@@ -1,0 +1,88 @@
+// Ablation: guaranteed RIS algorithms vs degree heuristics — the
+// introduction's motivating comparison ("most algorithms rely on
+// heuristics ... but fail to provide the desired approximation guarantee").
+//
+// For each dataset under WC, select k seeds with OPIM-C+SUBSIM and with the
+// three degree heuristics, then score all four by forward Monte-Carlo
+// spread. Heuristics are orders of magnitude faster but give up spread —
+// how much depends on how degree-aligned influence is.
+
+#include <cstdio>
+#include <iostream>
+
+#include "subsim/algo/registry.h"
+#include "subsim/benchsup/experiment.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/util/string_util.h"
+
+int main(int argc, char** argv) {
+  const auto args = subsim::ExperimentArgs::Parse(argc, argv, 0.15);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  const std::uint32_t k = args->quick ? 20 : 50;
+  const std::uint64_t sims = args->quick ? 1000 : 5000;
+
+  std::printf(
+      "Ablation: certified greedy vs degree heuristics (WC, k=%u)\n\n", k);
+  for (const std::string& dataset : subsim::SelectDatasets(*args)) {
+    const auto graph = subsim::BuildDatasetGraph(
+        dataset, args->scale, args->seed,
+        subsim::WeightModel::kWeightedCascade, {});
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    subsim::SpreadEstimator estimator(
+        *graph, subsim::CascadeModel::kIndependentCascade);
+
+    subsim::TablePrinter table(
+        {"algorithm", "time", "MC spread", "spread vs certified"});
+    double certified_spread = 0.0;
+    for (const char* name :
+         {"opim-c", "degree-discount", "single-discount", "max-degree"}) {
+      const auto algorithm = subsim::MakeImAlgorithm(name);
+      if (!algorithm.ok()) {
+        return 1;
+      }
+      subsim::ImOptions options;
+      options.k = k;
+      options.epsilon = 0.1;
+      options.rng_seed = args->seed;
+      options.generator = subsim::GeneratorKind::kSubsimIc;
+      const auto result = (*algorithm)->Run(*graph, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      subsim::Rng rng(args->seed + 1);
+      const double spread =
+          estimator.Estimate(result->seeds, sims, rng).spread;
+      if (std::string(name) == "opim-c") {
+        certified_spread = spread;
+      }
+      table.AddRow({name, subsim::HumanSeconds(result->seconds),
+                    subsim::FormatDouble(spread, 1),
+                    subsim::FormatDouble(
+                        certified_spread > 0 ? 100.0 * spread /
+                                                   certified_spread
+                                             : 100.0,
+                        1) +
+                        "%"});
+    }
+    std::printf("--- %s ---\n", dataset.c_str());
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: heuristics are fastest and can even match the greedy on\n"
+      "strongly degree-aligned graphs — but they carry no guarantee, and\n"
+      "on degree-misaligned instances (or mistuned discounts) they cede\n"
+      "a substantial fraction of the spread. The greedy's value is the\n"
+      "certified floor, not winning every instance.\n");
+  return 0;
+}

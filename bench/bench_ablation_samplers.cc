@@ -1,0 +1,117 @@
+// Ablation: standalone subset-sampler strategies across set sizes and
+// probability shapes (DESIGN.md "sampler choice" design choice).
+//
+// For the same probability vector, compare nanoseconds per Sample() call:
+//   naive     — one coin per element (vanilla behaviour, O(h));
+//   geometric — skips (uniform probabilities only, O(1 + mu));
+//   bucket    — Bringmann-Panagiotou buckets + alias hops (O(1 + mu));
+//   sorted    — index-free position buckets (O(1 + mu + log h)).
+// The crossover structure justifies the SUBSIM generator's per-node plan
+// dispatch: naive only ever wins when h is tiny.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "subsim/benchsup/experiment.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/random/rng.h"
+#include "subsim/sampling/sampler_factory.h"
+#include "subsim/util/timer.h"
+
+namespace {
+
+std::vector<double> MakeProbs(const std::string& shape, std::size_t h) {
+  std::vector<double> probs(h);
+  if (shape == "uniform-1/h") {
+    for (auto& p : probs) {
+      p = 1.0 / static_cast<double>(h);
+    }
+  } else if (shape == "zipf") {
+    // Descending 1/rank, scaled so mu ~ log(h).
+    for (std::size_t i = 0; i < h; ++i) {
+      probs[i] = 1.0 / static_cast<double>(i + 1);
+    }
+  } else {  // "random": iid uniforms scaled to mu ~ 2.
+    subsim::Rng rng(17);
+    for (auto& p : probs) {
+      p = rng.NextDouble() * 4.0 / static_cast<double>(h);
+      if (p > 1.0) {
+        p = 1.0;
+      }
+    }
+  }
+  return probs;
+}
+
+double NanosPerSample(const subsim::SubsetSampler& sampler, int iterations) {
+  subsim::Rng rng(23);
+  std::vector<std::uint32_t> out;
+  subsim::WallTimer timer;
+  std::size_t sink = 0;
+  for (int i = 0; i < iterations; ++i) {
+    out.clear();
+    sampler.Sample(rng, &out);
+    sink += out.size();
+  }
+  const double nanos = timer.ElapsedSeconds() * 1e9 / iterations;
+  // Keep the compiler from optimizing the loop away.
+  if (sink == static_cast<std::size_t>(-1)) {
+    std::printf("impossible\n");
+  }
+  return nanos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = subsim::ExperimentArgs::Parse(argc, argv, 0.25);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  const int iterations = args->quick ? 20000 : 100000;
+
+  std::printf("Ablation: subset-sampler cost (ns per Sample call)\n\n");
+  subsim::TablePrinter table({"shape", "h", "mu", "naive", "geometric",
+                              "bucket", "sorted"});
+  for (const char* shape : {"uniform-1/h", "zipf", "random"}) {
+    for (const std::size_t h : {16ul, 256ul, 4096ul, 65536ul}) {
+      std::vector<double> probs = MakeProbs(shape, h);
+
+      // Large-h naive cells cost ~200us per draw; scale iterations so no
+      // cell dominates the run while keeping >= 2k draws of statistics.
+      const int cell_iterations =
+          h >= 4096 ? std::max(2000, iterations / 20) : iterations;
+      auto measure = [&](subsim::SamplerKind kind) -> std::string {
+        std::vector<double> copy = probs;
+        if (kind == subsim::SamplerKind::kSorted) {
+          std::sort(copy.begin(), copy.end(), std::greater<>());
+        }
+        const auto sampler = subsim::MakeSubsetSampler(kind, std::move(copy));
+        if (!sampler.ok()) {
+          return "n/a";
+        }
+        return subsim::FormatDouble(
+            NanosPerSample(**sampler, cell_iterations), 0);
+      };
+
+      double mu = 0.0;
+      for (double p : probs) {
+        mu += p;
+      }
+      table.AddRow({shape, std::to_string(h), subsim::FormatDouble(mu, 2),
+                    measure(subsim::SamplerKind::kNaive),
+                    measure(subsim::SamplerKind::kGeometric),
+                    measure(subsim::SamplerKind::kBucket),
+                    measure(subsim::SamplerKind::kSorted)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: naive cost grows linearly in h; the three subset\n"
+      "samplers stay ~flat (O(1 + mu)), which is Lemma 3/5 in action.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Ablation: Algorithm 6's out-degree tie-break vs plain Algorithm 1 for
+// sentinel selection (DESIGN.md "revised greedy" design choice).
+//
+// The paper argues that among equally-covering candidates, picking the one
+// with the larger out-degree yields sentinels that truncate more future RR
+// sets. This ablation isolates exactly that choice: select b sentinels
+// from the same RR collection with and without the tie-break, then measure
+// the hit rate and the average truncated RR-set size on fresh samples.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/coverage/max_coverage.h"
+#include "subsim/rrset/subsim_ic_generator.h"
+#include "subsim/util/string_util.h"
+
+namespace {
+
+struct TruncationStats {
+  double hit_rate = 0.0;
+  double avg_size = 0.0;
+};
+
+TruncationStats MeasureTruncation(const subsim::Graph& graph,
+                                  const std::vector<subsim::NodeId>& sentinels,
+                                  std::size_t samples, std::uint64_t seed) {
+  subsim::SubsimIcGenerator generator(graph);
+  generator.SetSentinels(sentinels);
+  subsim::Rng rng(seed);
+  std::vector<subsim::NodeId> scratch;
+  std::uint64_t hits = 0;
+  std::uint64_t total_nodes = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    hits += generator.Generate(rng, &scratch) ? 1 : 0;
+    total_nodes += scratch.size();
+  }
+  return {static_cast<double>(hits) / samples,
+          static_cast<double>(total_nodes) / samples};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = subsim::ExperimentArgs::Parse(argc, argv, 0.12);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  const std::uint32_t b = 16;       // sentinel budget under comparison
+  const std::size_t pool = 2000;    // RR sets used for selection
+  const std::size_t samples = args->quick ? 2000 : 10000;
+  const double target = subsim_bench::HighInfluenceTarget(args->quick);
+
+  std::printf(
+      "Ablation: out-degree tie-break (Algorithm 6) vs plain greedy "
+      "(Algorithm 1)\nSentinels: b=%u, measured on %zu fresh RR sets\n\n",
+      b, samples);
+  subsim::TablePrinter table({"dataset", "alg1 hit%", "alg6 hit%",
+                              "alg1 avg size", "alg6 avg size",
+                              "size advantage"});
+  for (const std::string& dataset : subsim::SelectDatasets(*args)) {
+    const auto calibrated = subsim_bench::BuildCalibrated(
+        dataset, args->scale, args->seed, subsim::WeightModel::kWcVariant,
+        target);
+    if (!calibrated.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.c_str(),
+                   calibrated.status().ToString().c_str());
+      return 1;
+    }
+    const subsim::Graph& graph = calibrated->graph;
+
+    subsim::RrCollection collection(graph.num_nodes());
+    {
+      subsim::SubsimIcGenerator generator(graph);
+      subsim::Rng rng(args->seed);
+      generator.Fill(rng, pool, &collection);
+    }
+
+    subsim::CoverageGreedyOptions plain;
+    plain.k = b;
+    subsim::CoverageGreedyOptions revised = plain;
+    revised.tie_break_by_out_degree = true;
+    revised.graph = &graph;
+
+    const auto plain_greedy = RunCoverageGreedy(collection, plain);
+    const auto revised_greedy = RunCoverageGreedy(collection, revised);
+
+    const TruncationStats alg1 = MeasureTruncation(
+        graph, plain_greedy.seeds, samples, args->seed + 1);
+    const TruncationStats alg6 = MeasureTruncation(
+        graph, revised_greedy.seeds, samples, args->seed + 1);
+
+    table.AddRow({dataset, subsim::FormatDouble(100.0 * alg1.hit_rate, 1),
+                  subsim::FormatDouble(100.0 * alg6.hit_rate, 1),
+                  subsim::FormatDouble(alg1.avg_size, 1),
+                  subsim::FormatDouble(alg6.avg_size, 1),
+                  subsim::FormatSpeedup(alg1.avg_size, alg6.avg_size)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected: Algorithm 6's sentinels are hit at least as often and\n"
+      "truncate RR sets at least as hard (ties are common under WC-style\n"
+      "coverage, so the tie-break has real freedom to act).\n");
+  return 0;
+}

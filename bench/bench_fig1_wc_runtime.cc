@@ -1,0 +1,97 @@
+// Figure 1: running time under the WC model — SUBSIM vs IMM vs SSA vs
+// OPIM-C, varying k on each dataset.
+//
+// Paper shape to reproduce: SUBSIM (OPIM-C chassis + SUBSIM generator)
+// fastest everywhere — up to 15x over OPIM-C, ~an order over SSA, up to
+// three orders over IMM; every algorithm gets cheaper per seed as k grows
+// (theta ~ 1/k at fixed quality).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "subsim/algo/registry.h"
+#include "subsim/benchsup/experiment.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/util/string_util.h"
+
+namespace {
+
+struct AlgoConfig {
+  const char* label;
+  const char* algorithm;
+  subsim::GeneratorKind generator;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = subsim::ExperimentArgs::Parse(argc, argv, 0.15);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::uint32_t> k_values =
+      args->quick ? std::vector<std::uint32_t>{10, 200}
+                  : std::vector<std::uint32_t>{1, 10, 50, 200, 1000, 2000};
+  const AlgoConfig configs[] = {
+      {"IMM", "imm", subsim::GeneratorKind::kVanillaIc},
+      {"SSA", "ssa", subsim::GeneratorKind::kVanillaIc},
+      {"OPIM-C", "opim-c", subsim::GeneratorKind::kVanillaIc},
+      {"SUBSIM", "opim-c", subsim::GeneratorKind::kSubsimIc},
+  };
+
+  std::printf(
+      "Figure 1: WC model running time (seconds), eps=0.1, delta=1/n\n\n");
+  for (const std::string& dataset : subsim::SelectDatasets(*args)) {
+    const auto graph = subsim::BuildDatasetGraph(
+        dataset, args->scale, args->seed,
+        subsim::WeightModel::kWeightedCascade, {});
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+
+    subsim::TablePrinter table(
+        {"k", "IMM", "SSA", "OPIM-C", "SUBSIM", "SUBSIM vs OPIM-C"});
+    for (const std::uint32_t k : k_values) {
+      std::vector<std::string> row = {std::to_string(k)};
+      double opim_seconds = 0.0;
+      double subsim_seconds = 0.0;
+      for (const AlgoConfig& config : configs) {
+        const auto algorithm = subsim::MakeImAlgorithm(config.algorithm);
+        if (!algorithm.ok()) {
+          return 1;
+        }
+        subsim::ImOptions options;
+        options.k = k;
+        options.epsilon = 0.1;
+        options.rng_seed = args->seed;
+        options.generator = config.generator;
+        const auto result = (*algorithm)->Run(*graph, options);
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s k=%u: %s\n", config.label, k,
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        row.push_back(subsim::FormatDouble(result->seconds, 3));
+        if (std::string(config.label) == "OPIM-C") {
+          opim_seconds = result->seconds;
+        }
+        if (std::string(config.label) == "SUBSIM") {
+          subsim_seconds = result->seconds;
+        }
+      }
+      row.push_back(subsim::FormatSpeedup(opim_seconds, subsim_seconds));
+      table.AddRow(std::move(row));
+    }
+    std::printf("--- %s ---\n", dataset.c_str());
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): SUBSIM < OPIM-C < SSA << IMM at every k.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 3: RR-set statistics of HIST vs OPIM-C in the high-influence
+// WC-variant setting.
+//   (a) number of RR sets generated in HIST's sentinel-selection phase vs
+//       the number OPIM-C generates in total (paper: ~2 orders less);
+//   (b) average RR-set size of HIST vs OPIM-C (paper: up to 700x smaller).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "subsim/algo/registry.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/util/string_util.h"
+
+int main(int argc, char** argv) {
+  const auto args = subsim::ExperimentArgs::Parse(argc, argv, 0.12);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  const std::uint32_t k = args->quick ? 50 : 200;
+  const double target = subsim_bench::HighInfluenceTarget(args->quick);
+
+  std::printf(
+      "Figure 3: RR-set statistics, WC variant @ avg RR size ~%.0f, "
+      "k=%u\n\n",
+      target, k);
+  subsim::TablePrinter table({"dataset", "OPIM-C #RR", "HIST ph1 #RR",
+                              "ratio", "OPIM-C avg size", "HIST avg size",
+                              "size reduction"});
+  for (const std::string& dataset : subsim::SelectDatasets(*args)) {
+    const auto calibrated = subsim_bench::BuildCalibrated(
+        dataset, args->scale, args->seed, subsim::WeightModel::kWcVariant,
+        target);
+    if (!calibrated.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.c_str(),
+                   calibrated.status().ToString().c_str());
+      return 1;
+    }
+
+    subsim::ImOptions options;
+    options.k = k;
+    options.epsilon = 0.1;
+    options.rng_seed = args->seed;
+
+    const auto opim = subsim::MakeImAlgorithm("opim-c");
+    const auto hist = subsim::MakeImAlgorithm("hist");
+    if (!opim.ok() || !hist.ok()) {
+      return 1;
+    }
+    const auto opim_result = (*opim)->Run(calibrated->graph, options);
+    const auto hist_result = (*hist)->Run(calibrated->graph, options);
+    if (!opim_result.ok() || !hist_result.ok()) {
+      std::fprintf(stderr, "%s: run failed\n", dataset.c_str());
+      return 1;
+    }
+
+    const double rr_ratio =
+        hist_result->phase1_rr_sets > 0
+            ? static_cast<double>(opim_result->num_rr_sets) /
+                  static_cast<double>(hist_result->phase1_rr_sets)
+            : 0.0;
+    const double size_reduction =
+        hist_result->average_rr_size() > 0.0
+            ? opim_result->average_rr_size() / hist_result->average_rr_size()
+            : 0.0;
+    table.AddRow({dataset, std::to_string(opim_result->num_rr_sets),
+                  std::to_string(hist_result->phase1_rr_sets),
+                  subsim::FormatDouble(rr_ratio, 1) + "x",
+                  subsim::FormatDouble(opim_result->average_rr_size(), 1),
+                  subsim::FormatDouble(hist_result->average_rr_size(), 1),
+                  subsim::FormatDouble(size_reduction, 1) + "x"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): phase-1 needs far fewer RR sets than\n"
+      "OPIM-C (loose sentinel target), and hit-and-stop truncation cuts\n"
+      "the average RR size by orders of magnitude (up to 700x).\n"
+      "Scale note: on the flat-degree undirected stand-ins the phase-1\n"
+      "verification (Lemma 6's theta') converges later at bench scale, so\n"
+      "the #RR advantage shows mainly on the hub-dominated datasets; the\n"
+      "size reduction — the driver of Figures 4/6/7 — holds everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 5: expected influence of the returned seed set vs k in the
+// high-influence WC-variant setting.
+//
+// Paper shape to reproduce: influence rises steeply with k on all
+// datasets, with HIST matching OPIM-C's quality (their curves coincide) —
+// HIST's speed does not come from weaker seeds. Influence is measured by
+// forward Monte-Carlo simulation.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "subsim/algo/registry.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/util/string_util.h"
+
+int main(int argc, char** argv) {
+  const auto args = subsim::ExperimentArgs::Parse(argc, argv, 0.12);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  const double target = subsim_bench::HighInfluenceTarget(args->quick);
+  const std::vector<std::uint32_t> k_values =
+      args->quick
+          ? std::vector<std::uint32_t>{10, 100}
+          : std::vector<std::uint32_t>{1, 10, 50, 100, 200, 500};
+  const std::uint64_t simulations = args->quick ? 500 : 1000;
+
+  std::printf(
+      "Figure 5: expected influence vs k, WC variant @ avg RR size ~%.0f\n\n",
+      target);
+  for (const std::string& dataset : subsim::SelectDatasets(*args)) {
+    const auto calibrated = subsim_bench::BuildCalibrated(
+        dataset, args->scale, args->seed, subsim::WeightModel::kWcVariant,
+        target);
+    if (!calibrated.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.c_str(),
+                   calibrated.status().ToString().c_str());
+      return 1;
+    }
+    subsim::SpreadEstimator estimator(
+        calibrated->graph, subsim::CascadeModel::kIndependentCascade);
+
+    subsim::TablePrinter table({"k", "HIST influence", "OPIM-C influence",
+                                "influence %n", "HIST/OPIM-C"});
+    for (const std::uint32_t k : k_values) {
+      if (k >= calibrated->graph.num_nodes()) {
+        continue;
+      }
+      subsim::ImOptions options;
+      options.k = k;
+      options.epsilon = 0.1;
+      options.rng_seed = args->seed;
+
+      const auto hist = subsim::MakeImAlgorithm("hist");
+      const auto opim = subsim::MakeImAlgorithm("opim-c");
+      if (!hist.ok() || !opim.ok()) {
+        return 1;
+      }
+      const auto hist_result = (*hist)->Run(calibrated->graph, options);
+      const auto opim_result = (*opim)->Run(calibrated->graph, options);
+      if (!hist_result.ok() || !opim_result.ok()) {
+        std::fprintf(stderr, "%s k=%u: run failed\n", dataset.c_str(), k);
+        return 1;
+      }
+
+      subsim::Rng rng(args->seed + 1);
+      const double hist_spread =
+          estimator.Estimate(hist_result->seeds, simulations, rng).spread;
+      const double opim_spread =
+          estimator.Estimate(opim_result->seeds, simulations, rng).spread;
+      table.AddRow(
+          {std::to_string(k), subsim::FormatDouble(hist_spread, 1),
+           subsim::FormatDouble(opim_spread, 1),
+           subsim::FormatDouble(
+               100.0 * hist_spread / calibrated->graph.num_nodes(), 1) +
+               "%",
+           subsim::FormatDouble(hist_spread / opim_spread, 3)});
+    }
+    std::printf("--- %s ---\n", dataset.c_str());
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): influence climbs sharply from k=1 to\n"
+      "k=2000; HIST/OPIM-C quality ratio stays ~1.0 throughout.\n");
+  return 0;
+}

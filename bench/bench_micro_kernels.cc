@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: RNG draws,
+// geometric skips, alias-table sampling, subset sampling, and single
+// RR-set generation. Useful for catching regressions in the primitives
+// the figure-level numbers are built from.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/random/alias_table.h"
+#include "subsim/random/geometric.h"
+#include "subsim/random/rng.h"
+#include "subsim/rrset/subsim_ic_generator.h"
+#include "subsim/rrset/vanilla_ic_generator.h"
+#include "subsim/sampling/sampler_factory.h"
+
+namespace subsim {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UniformInt(1000000));
+  }
+}
+BENCHMARK(BM_RngUniformInt);
+
+void BM_GeometricSample(benchmark::State& state) {
+  Rng rng(1);
+  const double inv_log_q = GeometricInvLogQ(0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleGeometricFast(rng, inv_log_q));
+  }
+}
+BENCHMARK(BM_GeometricSample);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  std::vector<double> weights(state.range(0));
+  Rng init(2);
+  for (auto& w : weights) {
+    w = init.NextDouble() + 0.01;
+  }
+  AliasTable table(weights);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(16)->Arg(4096);
+
+void BM_SubsetSampler(benchmark::State& state, SamplerKind kind) {
+  const std::size_t h = state.range(0);
+  std::vector<double> probs(h, 2.0 / static_cast<double>(h));
+  auto sampler = MakeSubsetSampler(kind, std::move(probs));
+  Rng rng(4);
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    (*sampler)->Sample(rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_SubsetSampler, naive, SamplerKind::kNaive)
+    ->Arg(64)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_SubsetSampler, geometric, SamplerKind::kGeometric)
+    ->Arg(64)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_SubsetSampler, bucket, SamplerKind::kBucket)
+    ->Arg(64)
+    ->Arg(4096);
+
+const Graph& BenchGraph() {
+  static const Graph* const kGraph = [] {
+    Result<EdgeList> list = GenerateBarabasiAlbert(50000, 10, false, 5);
+    AssignWeights(WeightModel::kWeightedCascade, {}, &list.value());
+    return new Graph(BuildGraph(std::move(list).value()).value());
+  }();
+  return *kGraph;
+}
+
+void BM_RrGenerateVanilla(benchmark::State& state) {
+  VanillaIcGenerator generator(BenchGraph());
+  Rng rng(6);
+  std::vector<NodeId> out;
+  for (auto _ : state) {
+    generator.Generate(rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RrGenerateVanilla);
+
+void BM_RrGenerateSubsim(benchmark::State& state) {
+  SubsimIcGenerator generator(BenchGraph());
+  Rng rng(6);
+  std::vector<NodeId> out;
+  for (auto _ : state) {
+    generator.Generate(rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RrGenerateSubsim);
+
+}  // namespace
+}  // namespace subsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// High-influence networks: the regime the HIST algorithm was built for.
+//
+// When propagation probabilities are high (viral products, breaking news),
+// a single reverse-reachable set can engulf a large fraction of the graph,
+// and classic RIS solvers grind. This example dials the influence level up
+// (the paper's WC-variant theta knob), then shows HIST's hit-and-stop
+// truncation collapsing the average RR-set size and the running time while
+// the seed quality stays put.
+//
+// Usage: example_high_influence [--quick]
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "subsim/algo/registry.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/util/string_util.h"
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const subsim::NodeId n = quick ? 5000 : 20000;
+  const std::uint32_t k = 50;
+  const double theta = 3.0;  // WC-variant influence level
+
+  std::printf(
+      "Building a %u-node network with amplified propagation "
+      "(theta = %.1f) ...\n",
+      n, theta);
+  subsim::Result<subsim::EdgeList> edges = subsim::GenerateBarabasiAlbert(
+      n, 3, /*undirected=*/true, /*seed=*/123);
+  if (!edges.ok()) {
+    std::fprintf(stderr, "error: %s\n", edges.status().ToString().c_str());
+    return 1;
+  }
+  subsim::WeightModelParams params;
+  params.wc_variant_theta = theta;
+  if (const subsim::Status status = subsim::AssignWeights(
+          subsim::WeightModel::kWcVariant, params, &edges.value());
+      !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  subsim::Result<subsim::Graph> graph =
+      subsim::BuildGraph(std::move(edges).value());
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  subsim::SpreadEstimator estimator(
+      *graph, subsim::CascadeModel::kIndependentCascade);
+
+  subsim::TablePrinter table({"algorithm", "time", "RR sets", "avg RR size",
+                              "sentinels", "MC spread"});
+  struct Config {
+    const char* label;
+    const char* algorithm;
+    subsim::GeneratorKind generator;
+  };
+  const Config configs[] = {
+      {"OPIM-C", "opim-c", subsim::GeneratorKind::kVanillaIc},
+      {"SUBSIM", "opim-c", subsim::GeneratorKind::kSubsimIc},
+      {"HIST", "hist", subsim::GeneratorKind::kVanillaIc},
+      {"HIST+SUBSIM", "hist", subsim::GeneratorKind::kSubsimIc},
+  };
+
+  for (const Config& config : configs) {
+    const auto algorithm = subsim::MakeImAlgorithm(config.algorithm);
+    if (!algorithm.ok()) {
+      return 1;
+    }
+    subsim::ImOptions options;
+    options.k = k;
+    options.epsilon = 0.1;
+    options.rng_seed = 17;
+    options.generator = config.generator;
+    const subsim::Result<subsim::ImResult> result =
+        (*algorithm)->Run(*graph, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", config.label,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    subsim::Rng rng(18);
+    const double spread =
+        estimator.Estimate(result->seeds, quick ? 1000 : 5000, rng).spread;
+    table.AddRow(
+        {config.label, subsim::HumanSeconds(result->seconds),
+         std::to_string(result->num_rr_sets),
+         subsim::FormatDouble(result->average_rr_size(), 1),
+         result->sentinel_size > 0 ? std::to_string(result->sentinel_size)
+                                   : std::string("-"),
+         subsim::FormatDouble(spread, 1)});
+  }
+
+  std::printf("\nHigh-influence comparison (k = %u):\n\n", k);
+  table.Print(std::cout);
+  std::printf(
+      "\nHIST's sentinel set lets RR generation stop at first hit — watch\n"
+      "the avg RR size column — while the Monte-Carlo spread stays level.\n");
+  return 0;
+}

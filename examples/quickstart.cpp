@@ -1,0 +1,106 @@
+// Quickstart: the five-minute tour of the subsim library.
+//
+//   1. generate (or load) a social graph,
+//   2. assign IC propagation probabilities,
+//   3. pick k seeds with OPIM-C + the SUBSIM RR-set generator
+//      (the paper's "SUBSIM" configuration),
+//   4. validate the seeds with forward Monte-Carlo simulation.
+//
+// Usage: example_quickstart [edge_list.txt]
+//   With a file argument, reads a "src dst" edge list (SNAP format);
+//   otherwise generates a 10k-node scale-free network.
+
+#include <cstdio>
+#include <string>
+
+#include "subsim/algo/registry.h"
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/graph_io.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/util/logging.h"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2020;
+
+subsim::Result<subsim::EdgeList> LoadOrGenerate(int argc, char** argv) {
+  if (argc > 1) {
+    std::printf("Loading edge list from %s ...\n", argv[1]);
+    return subsim::ReadEdgeListText(argv[1]);
+  }
+  std::printf("Generating a 10,000-node scale-free network ...\n");
+  return subsim::GenerateBarabasiAlbert(10000, 4, /*undirected=*/false,
+                                        kSeed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // 1. Obtain a graph.
+  subsim::Result<subsim::EdgeList> edges = LoadOrGenerate(argc, argv);
+  if (!edges.ok()) {
+    std::fprintf(stderr, "error: %s\n", edges.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Weighted Cascade: p(u, v) = 1 / in-degree(v).
+  subsim::Status weighted = subsim::AssignWeights(
+      subsim::WeightModel::kWeightedCascade, {}, &edges.value());
+  if (!weighted.ok()) {
+    std::fprintf(stderr, "error: %s\n", weighted.ToString().c_str());
+    return 1;
+  }
+  subsim::Result<subsim::Graph> graph =
+      subsim::BuildGraph(std::move(edges).value());
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Graph ready: %u nodes, %llu edges.\n\n", graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()));
+
+  // 3. Influence maximization: OPIM-C chassis + SUBSIM RR generation.
+  const auto algorithm = subsim::MakeImAlgorithm("opim-c");
+  if (!algorithm.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 algorithm.status().ToString().c_str());
+    return 1;
+  }
+  subsim::ImOptions options;
+  options.k = 10;
+  options.epsilon = 0.1;
+  options.rng_seed = kSeed;
+  options.generator = subsim::GeneratorKind::kSubsimIc;
+
+  const subsim::Result<subsim::ImResult> result =
+      (*algorithm)->Run(*graph, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Selected %zu seeds in %.3fs using %llu RR sets:\n  ",
+              result->seeds.size(), result->seconds,
+              static_cast<unsigned long long>(result->num_rr_sets));
+  for (subsim::NodeId v : result->seeds) {
+    std::printf("%u ", v);
+  }
+  std::printf(
+      "\nCertified: influence >= %.1f, optimum <= %.1f "
+      "(ratio %.3f >= 1 - 1/e - eps).\n\n",
+      result->influence_lower_bound, result->optimal_upper_bound,
+      result->approx_ratio);
+
+  // 4. Independent validation by forward simulation.
+  subsim::SpreadEstimator estimator(
+      *graph, subsim::CascadeModel::kIndependentCascade);
+  subsim::Rng rng(kSeed + 1);
+  const subsim::SpreadEstimate estimate =
+      estimator.Estimate(result->seeds, 10000, rng);
+  std::printf(
+      "Monte-Carlo validation (10k cascades): spread = %.1f +- %.1f nodes.\n",
+      estimate.spread, 2.0 * estimate.std_error);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Viral marketing budget planning — the application the paper's
+// introduction motivates: a company gives its product to k influencers and
+// wants the expected adoption for each candidate budget.
+//
+// The example sweeps budgets, reports expected adoption and the marginal
+// value of each extra seed (diminishing returns from submodularity), and
+// shows how the certified bounds let a planner defend the numbers.
+//
+// Usage: example_viral_marketing [--quick]
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "subsim/algo/registry.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/util/string_util.h"
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const subsim::NodeId num_customers = quick ? 5000 : 30000;
+
+  // A customer network: undirected friendships, heavy-tailed popularity.
+  std::printf("Building a %u-customer friendship network ...\n",
+              num_customers);
+  subsim::Result<subsim::EdgeList> edges =
+      subsim::GenerateBarabasiAlbert(num_customers, 5, /*undirected=*/true,
+                                     /*seed=*/99);
+  if (!edges.ok()) {
+    std::fprintf(stderr, "error: %s\n", edges.status().ToString().c_str());
+    return 1;
+  }
+  // Word-of-mouth propagation: each recommendation convinces a friend with
+  // probability inversely proportional to how many friends they have.
+  if (const subsim::Status status = subsim::AssignWeights(
+          subsim::WeightModel::kWeightedCascade, {}, &edges.value());
+      !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  subsim::Result<subsim::Graph> graph =
+      subsim::BuildGraph(std::move(edges).value());
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto algorithm = subsim::MakeImAlgorithm("opim-c");
+  if (!algorithm.ok()) {
+    return 1;
+  }
+
+  subsim::SpreadEstimator estimator(
+      *graph, subsim::CascadeModel::kIndependentCascade);
+
+  subsim::TablePrinter table({"budget k", "expected adopters", "per-seed",
+                              "certified >=", "time"});
+  for (const std::uint32_t k : {1u, 5u, 10u, 25u, 50u, 100u}) {
+    subsim::ImOptions options;
+    options.k = k;
+    options.epsilon = 0.1;
+    options.rng_seed = 7;
+    options.generator = subsim::GeneratorKind::kSubsimIc;
+    const subsim::Result<subsim::ImResult> result =
+        (*algorithm)->Run(*graph, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+
+    subsim::Rng rng(11);
+    const double spread =
+        estimator.Estimate(result->seeds, quick ? 2000 : 10000, rng).spread;
+    table.AddRow({std::to_string(k), subsim::FormatDouble(spread, 1),
+                  subsim::FormatDouble(spread / k, 1),
+                  subsim::FormatDouble(result->influence_lower_bound, 1),
+                  subsim::HumanSeconds(result->seconds)});
+  }
+
+  std::printf("\nCampaign planning table (adoption by seeding budget):\n\n");
+  table.Print(std::cout);
+  std::printf(
+      "\nNote the diminishing per-seed return — the submodularity that\n"
+      "makes the greedy (1 - 1/e)-approximation possible.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "subsim/algo/celf_greedy.h"
+
+#include <queue>
+
+#include "subsim/util/timer.h"
+
+namespace subsim {
+
+namespace {
+
+struct CelfEntry {
+  double marginal;
+  NodeId node;
+  std::uint32_t round;  // seed-set size when `marginal` was computed
+
+  bool operator<(const CelfEntry& other) const {
+    if (marginal != other.marginal) return marginal < other.marginal;
+    return node < other.node;
+  }
+};
+
+}  // namespace
+
+Result<ImResult> CelfGreedy::Run(const Graph& graph,
+                                 const ImOptions& options) const {
+  SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
+  WallTimer timer;
+
+  SpreadEstimator estimator(graph, model_);
+  Rng rng(options.rng_seed);
+
+  ImResult result;
+  std::vector<NodeId> seeds;
+  double current_spread = 0.0;
+
+  std::priority_queue<CelfEntry> heap;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const NodeId single[1] = {v};
+    const double spread =
+        estimator.Estimate(single, simulations_, rng).spread;
+    heap.push(CelfEntry{spread, v, 0});
+  }
+
+  while (seeds.size() < options.k && !heap.empty()) {
+    CelfEntry top = heap.top();
+    heap.pop();
+    if (top.round == seeds.size()) {
+      seeds.push_back(top.node);
+      current_spread += top.marginal;
+      continue;
+    }
+    // Stale: re-estimate the marginal against the current seed set.
+    std::vector<NodeId> with_candidate = seeds;
+    with_candidate.push_back(top.node);
+    const double spread =
+        estimator.Estimate(with_candidate, simulations_, rng).spread;
+    top.marginal = spread - current_spread;
+    top.round = static_cast<std::uint32_t>(seeds.size());
+    heap.push(top);
+  }
+
+  result.seeds = std::move(seeds);
+  result.estimated_spread =
+      estimator.Estimate(result.seeds, simulations_, rng).spread;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace subsim

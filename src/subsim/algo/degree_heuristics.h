@@ -1,0 +1,45 @@
+#ifndef SUBSIM_ALGO_DEGREE_HEURISTICS_H_
+#define SUBSIM_ALGO_DEGREE_HEURISTICS_H_
+
+#include "subsim/algo/im_algorithm.h"
+
+namespace subsim {
+
+/// Degree-based heuristics (Chen, Wang, Yang — KDD 2009). These are the
+/// "fast but no approximation guarantee" baselines the paper's introduction
+/// contrasts the RIS family against: they ignore cascade dynamics beyond
+/// one hop, so their seed quality degrades on graphs where influence is not
+/// degree-aligned — but they run in O(m + n log n) and make a useful
+/// quality yardstick in examples and ablations.
+enum class DegreeHeuristicKind {
+  /// Top-k nodes by out-degree.
+  kMaxDegree,
+  /// SingleDiscount: picking a seed discounts each out-neighbor's degree
+  /// by one (a neighbor's edge into the seed set is wasted).
+  kSingleDiscount,
+  /// DegreeDiscount: the IC-aware discount 2t + (d - t) t p for a node
+  /// with t already-seeded in-neighbors, degree d, and uniform probability
+  /// p (Chen et al.'s ddv formula). Falls back to SingleDiscount's rule
+  /// when edge probabilities are not uniform (p is then the graph's mean
+  /// edge weight).
+  kDegreeDiscount,
+};
+
+/// Degree-heuristic seed selection behind the common `ImAlgorithm`
+/// interface. `ImOptions::epsilon` / `generator` are ignored; results carry
+/// no certified bounds (there is no guarantee to certify).
+class DegreeHeuristic final : public ImAlgorithm {
+ public:
+  explicit DegreeHeuristic(DegreeHeuristicKind kind) : kind_(kind) {}
+
+  Result<ImResult> Run(const Graph& graph,
+                       const ImOptions& options) const override;
+  const char* name() const override;
+
+ private:
+  DegreeHeuristicKind kind_;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_ALGO_DEGREE_HEURISTICS_H_

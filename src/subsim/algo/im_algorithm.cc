@@ -1,0 +1,32 @@
+#include "subsim/algo/im_algorithm.h"
+
+#include <string>
+
+#include "subsim/util/math.h"
+
+namespace subsim {
+
+Status ValidateImOptions(const Graph& graph, const ImOptions& options) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.k > graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "k (" + std::to_string(options.k) + ") exceeds node count (" +
+        std::to_string(graph.num_nodes()) + ")");
+  }
+  if (options.epsilon <= 0.0 || options.epsilon >= kOneMinusInvE) {
+    return Status::InvalidArgument(
+        "epsilon must be in (0, 1 - 1/e); got " +
+        std::to_string(options.epsilon));
+  }
+  if (options.delta < 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace subsim

@@ -1,0 +1,95 @@
+#ifndef SUBSIM_ALGO_IM_ALGORITHM_H_
+#define SUBSIM_ALGO_IM_ALGORITHM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "subsim/graph/graph.h"
+#include "subsim/rrset/generator_factory.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Common knobs for every RR-set-based IM algorithm.
+struct ImOptions {
+  /// Seed-set budget.
+  std::uint32_t k = 50;
+
+  /// Approximation slack: algorithms certify (1 - 1/e - epsilon)-approximate
+  /// solutions. The paper's experiments use 0.1.
+  double epsilon = 0.1;
+
+  /// Failure probability. 0 means "use 1/n" (the paper's default).
+  double delta = 0.0;
+
+  /// RNG seed; everything downstream is deterministic given it.
+  std::uint64_t rng_seed = 1;
+
+  /// Which RR-set generator to use — the axis the paper varies:
+  /// OPIM-C + kSubsimIc is the paper's "SUBSIM" algorithm, HIST + kSubsimIc
+  /// its "HIST+SUBSIM".
+  GeneratorKind generator = GeneratorKind::kVanillaIc;
+
+  /// Resolves delta == 0 to 1/n.
+  double EffectiveDelta(NodeId num_nodes) const {
+    return delta > 0.0 ? delta
+                       : 1.0 / static_cast<double>(
+                                   num_nodes > 1 ? num_nodes : 2);
+  }
+};
+
+/// What an IM run produced, plus the accounting the paper's figures report.
+struct ImResult {
+  std::vector<NodeId> seeds;
+
+  /// Certified influence bounds when the algorithm computes them (OPIM-C,
+  /// HIST); zero otherwise. `approx_ratio` = lower / upper.
+  double influence_lower_bound = 0.0;
+  double optimal_upper_bound = 0.0;
+  double approx_ratio = 0.0;
+
+  /// Unbiased coverage-based estimate of the selected set's influence.
+  double estimated_spread = 0.0;
+
+  /// Total RR sets generated across all collections and phases — the
+  /// quantity Figure 3(a) compares.
+  std::uint64_t num_rr_sets = 0;
+  /// Total nodes stored across those sets; avg = total / num — Fig. 3(b).
+  std::uint64_t total_rr_nodes = 0;
+
+  /// Wall-clock seconds for the full run.
+  double seconds = 0.0;
+
+  /// HIST only: sentinel-set size b and per-phase RR counts.
+  std::uint32_t sentinel_size = 0;
+  std::uint64_t phase1_rr_sets = 0;
+  std::uint64_t phase2_rr_sets = 0;
+
+  double average_rr_size() const {
+    return num_rr_sets == 0
+               ? 0.0
+               : static_cast<double>(total_rr_nodes) / num_rr_sets;
+  }
+};
+
+/// Interface implemented by IMM, OPIM-C, SSA, and HIST.
+class ImAlgorithm {
+ public:
+  virtual ~ImAlgorithm() = default;
+
+  /// Selects a seed set on `graph` under IC semantics (or LT when the
+  /// options name the LT generator). Fails on invalid options (k == 0,
+  /// k > n, epsilon outside (0, 1 - 1/e), or generator preconditions).
+  virtual Result<ImResult> Run(const Graph& graph,
+                               const ImOptions& options) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Validates the option invariants shared by all algorithms.
+Status ValidateImOptions(const Graph& graph, const ImOptions& options);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_ALGO_IM_ALGORITHM_H_

@@ -1,0 +1,100 @@
+#include "subsim/algo/imm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "subsim/coverage/max_coverage.h"
+#include "subsim/util/math.h"
+#include "subsim/util/timer.h"
+
+namespace subsim {
+
+Result<ImResult> Imm::Run(const Graph& graph,
+                          const ImOptions& options) const {
+  SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
+  WallTimer timer;
+
+  const NodeId n = graph.num_nodes();
+  const std::uint32_t k = options.k;
+  const double eps = options.epsilon;
+  const double delta = options.EffectiveDelta(n);
+  const double ln_n = std::log(std::max<double>(n, 2));
+
+  Result<std::unique_ptr<RrGenerator>> generator =
+      MakeRrGenerator(options.generator, graph);
+  if (!generator.ok()) {
+    return generator.status();
+  }
+
+  // delta = n^-l  =>  l = ln(1/delta)/ln(n); bumped by ln2/ln n so the
+  // union bound over both phases still lands at n^-l (IMM Section 4.3).
+  double l = std::log(1.0 / delta) / ln_n;
+  l *= 1.0 + std::log(2.0) / ln_n;
+
+  const double log_nk = LogNChooseK(n, k);
+
+  Rng master(options.rng_seed);
+  Rng gen_rng = master.Fork(1);
+  RrCollection collection(n);
+
+  CoverageGreedyOptions greedy_options;
+  greedy_options.k = k;
+
+  // ---- Phase 1: estimate a lower bound LB of OPT. ----
+  const double eps_prime = std::sqrt(2.0) * eps;
+  const double lambda_prime =
+      (2.0 + 2.0 / 3.0 * eps_prime) *
+      (log_nk + l * ln_n + std::log(std::max(1.0, std::log2(n)))) *
+      static_cast<double>(n) / (eps_prime * eps_prime);
+
+  double lower_bound_opt = 1.0;
+  const int max_rounds = std::max(1, static_cast<int>(std::log2(n)) - 1);
+  for (int i = 1; i <= max_rounds; ++i) {
+    const double x = static_cast<double>(n) / std::pow(2.0, i);
+    const std::uint64_t theta_i =
+        static_cast<std::uint64_t>(std::ceil(lambda_prime / x));
+    if (theta_i > collection.num_sets()) {
+      (*generator)->Fill(gen_rng, theta_i - collection.num_sets(),
+                         &collection);
+    }
+    const CoverageGreedyResult greedy =
+        RunCoverageGreedy(collection, greedy_options);
+    const double estimated =
+        static_cast<double>(n) *
+        static_cast<double>(greedy.total_coverage()) /
+        static_cast<double>(collection.num_sets());
+    if (estimated >= (1.0 + eps_prime) * x) {
+      lower_bound_opt = estimated / (1.0 + eps_prime);
+      break;
+    }
+  }
+  lower_bound_opt = std::max(lower_bound_opt, static_cast<double>(k));
+
+  // ---- Phase 2: theta = lambda* / LB, then final greedy. ----
+  const double alpha = std::sqrt(l * ln_n + std::log(2.0));
+  const double beta =
+      std::sqrt(kOneMinusInvE * (log_nk + l * ln_n + std::log(2.0)));
+  const double lambda_star = 2.0 * static_cast<double>(n) *
+                             (kOneMinusInvE * alpha + beta) *
+                             (kOneMinusInvE * alpha + beta) / (eps * eps);
+  const std::uint64_t theta =
+      static_cast<std::uint64_t>(std::ceil(lambda_star / lower_bound_opt));
+  if (theta > collection.num_sets()) {
+    (*generator)->Fill(gen_rng, theta - collection.num_sets(), &collection);
+  }
+
+  const CoverageGreedyResult greedy =
+      RunCoverageGreedy(collection, greedy_options);
+
+  ImResult result;
+  result.seeds = greedy.seeds;
+  result.estimated_spread = static_cast<double>(n) *
+                            static_cast<double>(greedy.total_coverage()) /
+                            static_cast<double>(collection.num_sets());
+  result.num_rr_sets = collection.num_sets();
+  result.total_rr_nodes = collection.total_nodes();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace subsim

@@ -1,0 +1,80 @@
+#include "subsim/algo/opim_c.h"
+
+#include <algorithm>
+
+#include "subsim/algo/theta.h"
+#include "subsim/coverage/bounds.h"
+#include "subsim/coverage/max_coverage.h"
+#include "subsim/util/math.h"
+#include "subsim/util/timer.h"
+
+namespace subsim {
+
+Result<ImResult> OpimC::Run(const Graph& graph,
+                            const ImOptions& options) const {
+  SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
+  WallTimer timer;
+
+  const NodeId n = graph.num_nodes();
+  const std::uint32_t k = options.k;
+  const double eps = options.epsilon;
+  const double delta = options.EffectiveDelta(n);
+
+  Result<std::unique_ptr<RrGenerator>> generator =
+      MakeRrGenerator(options.generator, graph);
+  if (!generator.ok()) {
+    return generator.status();
+  }
+
+  const std::uint64_t theta0 = InitialTheta(delta);
+  const std::uint64_t theta_max = OpimThetaMax(n, k, eps, delta);
+  const std::uint32_t i_max = DoublingIterations(theta0, theta_max);
+  const double delta_iter = delta / (3.0 * i_max);
+
+  Rng master(options.rng_seed);
+  Rng rng1 = master.Fork(1);
+  Rng rng2 = master.Fork(2);
+  RrCollection r1(n);
+  RrCollection r2(n);
+
+  ImResult result;
+  const double target_ratio = kOneMinusInvE - eps;
+
+  for (std::uint32_t i = 1; i <= i_max; ++i) {
+    const std::uint64_t target = theta0 << (i - 1);
+    (*generator)->Fill(rng1, target - r1.num_sets(), &r1);
+    (*generator)->Fill(rng2, target - r2.num_sets(), &r2);
+
+    CoverageGreedyOptions greedy_options;
+    greedy_options.k = k;
+    const CoverageGreedyResult greedy = RunCoverageGreedy(r1, greedy_options);
+
+    const double lambda_upper = CoverageUpperBoundFromGreedy(greedy, k);
+    const double upper =
+        OpimUpperBound(lambda_upper, r1.num_sets(), n, delta_iter);
+
+    const std::uint64_t cov2 = ComputeCoverage(r2, greedy.seeds);
+    // A seed set always influences at least its own members.
+    const double lower =
+        std::max(static_cast<double>(greedy.seeds.size()),
+                 OpimLowerBound(cov2, r2.num_sets(), n, delta_iter));
+
+    result.seeds = greedy.seeds;
+    result.influence_lower_bound = lower;
+    result.optimal_upper_bound = upper;
+    result.approx_ratio = upper > 0.0 ? lower / upper : 0.0;
+    result.estimated_spread = static_cast<double>(cov2) *
+                              static_cast<double>(n) /
+                              static_cast<double>(r2.num_sets());
+    if (result.approx_ratio >= target_ratio || i == i_max) {
+      break;
+    }
+  }
+
+  result.num_rr_sets = r1.num_sets() + r2.num_sets();
+  result.total_rr_nodes = r1.total_nodes() + r2.total_nodes();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace subsim

@@ -1,0 +1,27 @@
+#ifndef SUBSIM_ALGO_OPIM_C_H_
+#define SUBSIM_ALGO_OPIM_C_H_
+
+#include "subsim/algo/im_algorithm.h"
+
+namespace subsim {
+
+/// OPIM-C (Tang et al., SIGMOD 2018) — the strongest baseline in the paper
+/// and the chassis of its "SUBSIM" algorithm (OPIM-C + the SUBSIM RR-set
+/// generator, selected via `ImOptions::generator`).
+///
+/// Doubling schedule over two equal-size independent collections R1 / R2:
+/// R1 selects a seed set greedily and yields the Equation (2) upper bound
+/// on the optimum; R2, independent of the selection, yields the
+/// Equation (1) lower bound on the selected set. The run stops as soon as
+/// lower / upper exceeds 1 - 1/e - epsilon, or after i_max doublings
+/// (theta_max per the OPIM analysis, with OPT conservatively >= k).
+class OpimC final : public ImAlgorithm {
+ public:
+  Result<ImResult> Run(const Graph& graph,
+                       const ImOptions& options) const override;
+  const char* name() const override { return "opim-c"; }
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_ALGO_OPIM_C_H_

@@ -1,0 +1,107 @@
+#include "subsim/algo/ssa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "subsim/algo/theta.h"
+#include "subsim/coverage/bounds.h"
+#include "subsim/coverage/max_coverage.h"
+#include "subsim/util/math.h"
+#include "subsim/util/timer.h"
+
+namespace subsim {
+
+Result<ImResult> Ssa::Run(const Graph& graph,
+                          const ImOptions& options) const {
+  SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
+  WallTimer timer;
+
+  const NodeId n = graph.num_nodes();
+  const std::uint32_t k = options.k;
+  const double eps = options.epsilon;
+  const double delta = options.EffectiveDelta(n);
+
+  Result<std::unique_ptr<RrGenerator>> generator =
+      MakeRrGenerator(options.generator, graph);
+  if (!generator.ok()) {
+    return generator.status();
+  }
+
+  // Epsilon split: eps1 guards the stare test (validated estimate vs
+  // selection estimate), eps3 the concentration floor.
+  const double eps1 = eps / 2.0;
+  const double eps3 = eps / 2.0;
+
+  // Concentration floor on coverage: below Lambda1 covered sets, the
+  // estimate for the candidate cannot have converged (Chernoff with
+  // relative error eps3). Deliberately *no* ln C(n,k) union-bound term —
+  // being optimistic about the one selected set instead of all C(n,k)
+  // candidates is SSA's whole advantage over IMM; the worst case is
+  // covered by the theta_max cap below.
+  const double lambda1 = (1.0 + eps1) * (1.0 + eps1) *
+                         (2.0 + 2.0 / 3.0 * eps3) *
+                         std::log(3.0 / delta) / (eps3 * eps3);
+
+  const std::uint64_t theta0 = InitialTheta(delta);
+  const std::uint64_t theta_max = OpimThetaMax(n, k, eps, delta);
+  const std::uint32_t i_max = DoublingIterations(theta0, theta_max);
+  const double delta_iter = delta / (3.0 * i_max);
+
+  Rng master(options.rng_seed);
+  Rng rng1 = master.Fork(1);
+  Rng rng2 = master.Fork(2);
+  RrCollection r1(n);
+  RrCollection r2(n);
+
+  CoverageGreedyOptions greedy_options;
+  greedy_options.k = k;
+
+  ImResult result;
+  for (std::uint32_t i = 1; i <= i_max; ++i) {
+    const std::uint64_t target = theta0 << (i - 1);
+    (*generator)->Fill(rng1, target - r1.num_sets(), &r1);
+
+    const CoverageGreedyResult greedy = RunCoverageGreedy(r1, greedy_options);
+    const double selection_estimate =
+        static_cast<double>(n) *
+        static_cast<double>(greedy.total_coverage()) /
+        static_cast<double>(r1.num_sets());
+
+    // Stare: validate on the independent collection.
+    (*generator)->Fill(rng2, target - r2.num_sets(), &r2);
+    const std::uint64_t cov2 = ComputeCoverage(r2, greedy.seeds);
+    const double validated_estimate = static_cast<double>(n) *
+                                      static_cast<double>(cov2) /
+                                      static_cast<double>(r2.num_sets());
+
+    result.seeds = greedy.seeds;
+    result.estimated_spread = validated_estimate;
+    result.influence_lower_bound =
+        std::max(static_cast<double>(greedy.seeds.size()),
+                 OpimLowerBound(cov2, r2.num_sets(), n, delta_iter));
+
+    const bool coverage_floor =
+        static_cast<double>(greedy.total_coverage()) >= lambda1;
+    const bool stare_ok =
+        validated_estimate >= selection_estimate / (1.0 + eps1);
+    if ((coverage_floor && stare_ok) || i == i_max) {
+      // At the cap, certify via the Equation (1)/(2) bounds so the final
+      // answer carries the worst-case guarantee (the SSA-Fix repair).
+      const double lambda_upper = CoverageUpperBoundFromGreedy(greedy, k);
+      result.optimal_upper_bound =
+          OpimUpperBound(lambda_upper, r1.num_sets(), n, delta_iter);
+      result.approx_ratio =
+          result.optimal_upper_bound > 0.0
+              ? result.influence_lower_bound / result.optimal_upper_bound
+              : 0.0;
+      break;
+    }
+  }
+
+  result.num_rr_sets = r1.num_sets() + r2.num_sets();
+  result.total_rr_nodes = r1.total_nodes() + r2.total_nodes();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace subsim

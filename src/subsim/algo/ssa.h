@@ -1,0 +1,29 @@
+#ifndef SUBSIM_ALGO_SSA_H_
+#define SUBSIM_ALGO_SSA_H_
+
+#include "subsim/algo/im_algorithm.h"
+
+namespace subsim {
+
+/// SSA — Stop-and-Stare (Nguyen et al., SIGMOD 2016), in the repaired
+/// SSA-Fix formulation of Huang et al. (PVLDB 2017).
+///
+/// The optimistic doubling loop generates a collection R1, greedily selects
+/// a candidate seed set, and then *stares*: it validates the candidate on
+/// an independent collection R2 of equal size. The run stops when the
+/// validated estimate is close enough to the selection-time estimate
+/// (within the epsilon split) and the coverage has passed the
+/// concentration floor Lambda1; otherwise samples are doubled. A theta_max
+/// cap (as in OPIM's analysis, with certified Equation (1)/(2) bounds
+/// evaluated at the cap) restores the worst-case guarantee that the
+/// original SSA analysis lost.
+class Ssa final : public ImAlgorithm {
+ public:
+  Result<ImResult> Run(const Graph& graph,
+                       const ImOptions& options) const override;
+  const char* name() const override { return "ssa"; }
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_ALGO_SSA_H_

@@ -1,0 +1,77 @@
+#include "subsim/algo/theta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "subsim/util/check.h"
+#include "subsim/util/math.h"
+
+namespace subsim {
+
+namespace {
+
+std::uint64_t CeilToCount(double x) {
+  if (x < 1.0) {
+    return 1;
+  }
+  // Cap defensively; doubling schedules stop at theta_max anyway.
+  constexpr double kCap = 1e15;
+  return static_cast<std::uint64_t>(std::ceil(std::min(x, kCap)));
+}
+
+}  // namespace
+
+std::uint64_t InitialTheta(double delta) {
+  SUBSIM_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  return CeilToCount(3.0 * std::log(1.0 / delta));
+}
+
+std::uint64_t HistPhase1ThetaMax(NodeId n, std::uint32_t k, double eps1,
+                                 double delta1) {
+  SUBSIM_CHECK(k >= 1 && k <= n, "k out of range");
+  SUBSIM_CHECK(eps1 > 0.0, "eps1 must be positive");
+  const double ln6d = std::log(6.0 / delta1);
+  const double lnck = LogNChooseK(n, k);
+  const double root = std::sqrt(ln6d) + std::sqrt(lnck + ln6d);
+  return CeilToCount(2.0 * static_cast<double>(n) * root * root /
+                     (eps1 * eps1 * static_cast<double>(k)));
+}
+
+std::uint64_t HistPhase2ThetaMax(NodeId n, std::uint32_t k, std::uint32_t b,
+                                 double eps2, double delta2) {
+  SUBSIM_CHECK(k >= 1 && k <= n, "k out of range");
+  SUBSIM_CHECK(b <= k, "b must not exceed k");
+  SUBSIM_CHECK(eps2 > 0.0, "eps2 must be positive");
+  const double ln9d = std::log(9.0 / delta2);
+  const double lnck = LogNChooseK(n - b, k - b);
+  const double root =
+      std::sqrt(ln9d) + std::sqrt(kOneMinusInvE * (lnck + ln9d));
+  return CeilToCount(2.0 * static_cast<double>(n) * root * root /
+                     (eps2 * eps2 * static_cast<double>(k)));
+}
+
+std::uint64_t OpimThetaMax(NodeId n, std::uint32_t k, double eps,
+                           double delta) {
+  SUBSIM_CHECK(k >= 1 && k <= n, "k out of range");
+  SUBSIM_CHECK(eps > 0.0, "eps must be positive");
+  const double ln6d = std::log(6.0 / delta);
+  const double lnck = LogNChooseK(n, k);
+  const double root = kOneMinusInvE * std::sqrt(ln6d) +
+                      std::sqrt(kOneMinusInvE * (lnck + ln6d));
+  return CeilToCount(2.0 * static_cast<double>(n) * root * root /
+                     (eps * eps * static_cast<double>(k)));
+}
+
+std::uint32_t DoublingIterations(std::uint64_t theta0,
+                                 std::uint64_t theta_max) {
+  SUBSIM_CHECK(theta0 >= 1, "theta0 must be >= 1");
+  std::uint32_t iterations = 1;
+  std::uint64_t theta = theta0;
+  while (theta < theta_max && iterations < 63) {
+    theta <<= 1;
+    ++iterations;
+  }
+  return iterations;
+}
+
+}  // namespace subsim

@@ -1,0 +1,44 @@
+#ifndef SUBSIM_ALGO_THETA_H_
+#define SUBSIM_ALGO_THETA_H_
+
+#include <cstdint>
+
+#include "subsim/graph/types.h"
+
+namespace subsim {
+
+/// Sample-size formulas used by the doubling algorithms. All return a
+/// number of RR sets (at least 1), computed with OPT_k conservatively
+/// replaced by k (the k seeds alone always influence >= k nodes).
+
+/// The initial sample size used by OPIM-C-style doubling schedules and by
+/// both HIST phases (Algorithms 7/8 line 1): theta_0 = 3 ln(1/delta),
+/// the Monte-Carlo floor of Dagum et al. for relative-error estimation.
+std::uint64_t InitialTheta(double delta);
+
+/// Equation (3): theta_max for HIST's sentinel-selection phase —
+///   2n ( sqrt(ln(6/d1)) + sqrt(ln C(n,k) + ln(6/d1)) )^2 / (eps1^2 k).
+std::uint64_t HistPhase1ThetaMax(NodeId n, std::uint32_t k, double eps1,
+                                 double delta1);
+
+/// Equation (4): theta_max for HIST's IM-Sentinel phase —
+///   2n ( sqrt(ln(9/d2)) + sqrt((1-1/e)(ln C(n-b,k-b) + ln(9/d2))) )^2
+///     / (eps2^2 k).
+std::uint64_t HistPhase2ThetaMax(NodeId n, std::uint32_t k, std::uint32_t b,
+                                 double eps2, double delta2);
+
+/// OPIM-C's theta_max (Tang et al. 2018), same shape with the classic
+/// (1 - 1/e) factors:
+///   2n ( (1-1/e) sqrt(ln(6/d)) + sqrt((1-1/e)(ln C(n,k) + ln(6/d))) )^2
+///     / (eps^2 k).
+std::uint64_t OpimThetaMax(NodeId n, std::uint32_t k, double eps,
+                           double delta);
+
+/// Number of doubling iterations: ceil(log2(theta_max / theta_0)),
+/// at least 1.
+std::uint32_t DoublingIterations(std::uint64_t theta0,
+                                 std::uint64_t theta_max);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_ALGO_THETA_H_

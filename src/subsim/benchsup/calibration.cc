@@ -1,0 +1,110 @@
+#include "subsim/benchsup/calibration.h"
+
+#include <cmath>
+
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/rrset/subsim_ic_generator.h"
+
+namespace subsim {
+
+namespace {
+
+/// Average RR-set size on `edges` weighted by `model` at `parameter`.
+Result<double> ProbeAvgRrSize(const EdgeList& edges, WeightModel model,
+                              double parameter, std::uint64_t seed,
+                              std::uint32_t probe_sets) {
+  EdgeList weighted = edges;
+  WeightModelParams params;
+  if (model == WeightModel::kWcVariant) {
+    params.wc_variant_theta = parameter;
+  } else {
+    params.uniform_p = parameter;
+  }
+  SUBSIM_RETURN_IF_ERROR(AssignWeights(model, params, &weighted));
+
+  Result<Graph> graph = BuildGraph(std::move(weighted));
+  if (!graph.ok()) {
+    return graph.status();
+  }
+
+  SubsimIcGenerator generator(*graph);
+  Rng rng(seed);
+  std::vector<NodeId> scratch;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < probe_sets; ++i) {
+    generator.Generate(rng, &scratch);
+    total += scratch.size();
+  }
+  return static_cast<double>(total) / probe_sets;
+}
+
+Result<CalibrationResult> Calibrate(const EdgeList& edges, WeightModel model,
+                                    double lo, double hi,
+                                    double target_avg_size,
+                                    std::uint64_t seed,
+                                    std::uint32_t probe_sets) {
+  if (target_avg_size < 1.0) {
+    return Status::InvalidArgument("target average size must be >= 1");
+  }
+
+  CalibrationResult result;
+
+  // Saturation check at the upper limit.
+  Result<double> at_hi = ProbeAvgRrSize(edges, model, hi, seed, probe_sets);
+  if (!at_hi.ok()) {
+    return at_hi.status();
+  }
+  if (*at_hi < target_avg_size) {
+    result.parameter = hi;
+    result.achieved_avg_size = *at_hi;
+    result.saturated = true;
+    return result;
+  }
+
+  double achieved = *at_hi;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const Result<double> avg =
+        ProbeAvgRrSize(edges, model, mid, seed, probe_sets);
+    if (!avg.ok()) {
+      return avg.status();
+    }
+    achieved = *avg;
+    if (std::abs(achieved - target_avg_size) / target_avg_size < 0.05) {
+      result.parameter = mid;
+      result.achieved_avg_size = achieved;
+      return result;
+    }
+    if (achieved < target_avg_size) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.parameter = 0.5 * (lo + hi);
+  result.achieved_avg_size = achieved;
+  return result;
+}
+
+}  // namespace
+
+Result<CalibrationResult> CalibrateWcVariantTheta(const EdgeList& edges,
+                                                  double target_avg_size,
+                                                  std::uint64_t seed,
+                                                  std::uint32_t probe_sets) {
+  // theta = 1 is plain WC; beyond ~64 every moderate-degree node copies its
+  // whole in-neighborhood, which saturates any connected graph.
+  return Calibrate(edges, WeightModel::kWcVariant, /*lo=*/0.0, /*hi=*/64.0,
+                   target_avg_size, seed, probe_sets);
+}
+
+Result<CalibrationResult> CalibrateUniformP(const EdgeList& edges,
+                                            double target_avg_size,
+                                            std::uint64_t seed,
+                                            std::uint32_t probe_sets) {
+  return Calibrate(edges, WeightModel::kUniformIc, /*lo=*/0.0, /*hi=*/1.0,
+                   target_avg_size, seed, probe_sets);
+}
+
+}  // namespace subsim

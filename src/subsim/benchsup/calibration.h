@@ -1,0 +1,41 @@
+#ifndef SUBSIM_BENCHSUP_CALIBRATION_H_
+#define SUBSIM_BENCHSUP_CALIBRATION_H_
+
+#include <cstdint>
+
+#include "subsim/graph/types.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Result of calibrating an influence-level parameter so random RR sets
+/// reach a target average size — the paper's theta_50 ... theta_32K and
+/// p_50 ... p_32K settings (Section 7, Figures 6 and 7).
+struct CalibrationResult {
+  /// The calibrated parameter (WC-variant theta, or Uniform-IC p).
+  double parameter = 0.0;
+  /// The average RR-set size the parameter actually achieves.
+  double achieved_avg_size = 0.0;
+  /// True when the target could not be reached even at the parameter's
+  /// upper limit (the graph's reachable mass saturates below the target).
+  bool saturated = false;
+};
+
+/// Binary-searches theta in the WC-variant model p(u,v) = min{1,
+/// theta/d_in(v)} until `probe_sets` SUBSIM-generated RR sets average
+/// `target_avg_size` nodes (within ~5%). Deterministic per seed.
+Result<CalibrationResult> CalibrateWcVariantTheta(const EdgeList& edges,
+                                                  double target_avg_size,
+                                                  std::uint64_t seed,
+                                                  std::uint32_t probe_sets =
+                                                      400);
+
+/// Same, for the Uniform IC probability p.
+Result<CalibrationResult> CalibrateUniformP(const EdgeList& edges,
+                                            double target_avg_size,
+                                            std::uint64_t seed,
+                                            std::uint32_t probe_sets = 400);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_BENCHSUP_CALIBRATION_H_

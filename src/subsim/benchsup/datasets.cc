@@ -1,0 +1,70 @@
+#include "subsim/benchsup/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "subsim/graph/generators.h"
+
+namespace subsim {
+
+const std::vector<DatasetSpec>& StandardDatasets() {
+  static const std::vector<DatasetSpec>* const kDatasets =
+      new std::vector<DatasetSpec>{
+          // Pokec: directed friendship graph, m/n ~ 19.
+          {"pokec-s", "Pokec (1.6M/30.6M)", /*undirected=*/false,
+           /*base_nodes=*/100000, /*avg_degree=*/19.0, "plc",
+           /*exponent=*/2.2},
+          // Orkut: undirected community graph, dense: directed m/n ~ 76.
+          {"orkut-s", "Orkut (3.1M/117.2M)", /*undirected=*/true,
+           /*base_nodes=*/60000, /*avg_degree=*/76.0, "ba",
+           /*exponent=*/0.0},
+          // Twitter: directed follower graph with extreme hubs, m/n ~ 36.
+          {"twitter-s", "Twitter (41.7M/1.5B)", /*undirected=*/false,
+           /*base_nodes=*/100000, /*avg_degree=*/36.0, "plc",
+           /*exponent=*/2.0},
+          // Friendster: undirected, directed m/n ~ 55.
+          {"friendster-s", "Friendster (65.6M/1.8B)", /*undirected=*/true,
+           /*base_nodes=*/80000, /*avg_degree=*/55.0, "ba",
+           /*exponent=*/0.0},
+      };
+  return *kDatasets;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : StandardDatasets()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  return Status::NotFound("unknown dataset: " + name +
+                          " (expected pokec-s | orkut-s | twitter-s | "
+                          "friendster-s)");
+}
+
+Result<EdgeList> MakeDataset(const DatasetSpec& spec, double scale,
+                             std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  const NodeId n = std::max<NodeId>(
+      2000, static_cast<NodeId>(spec.base_nodes * scale));
+
+  if (spec.family == "ba") {
+    // Undirected BA: each attachment contributes 2 directed edges, so
+    // edges_per_node = avg_degree / 2 hits the directed density target.
+    const NodeId epn = std::max<NodeId>(
+        1, static_cast<NodeId>(std::lround(spec.avg_degree / 2.0)));
+    return GenerateBarabasiAlbert(n, epn, spec.undirected, seed);
+  }
+  if (spec.family == "plc") {
+    // Each directed edge pairs one out-stub with one in-stub, and both stub
+    // pools are drawn with the same mean, so the per-side draw mean equals
+    // the directed m/n target.
+    const NodeId max_degree = std::max<NodeId>(64, n / 10);
+    return GeneratePowerLawConfiguration(n, spec.exponent, max_degree,
+                                         spec.avg_degree, seed);
+  }
+  return Status::InvalidArgument("unknown generator family: " + spec.family);
+}
+
+}  // namespace subsim

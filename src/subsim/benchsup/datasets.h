@@ -1,0 +1,50 @@
+#ifndef SUBSIM_BENCHSUP_DATASETS_H_
+#define SUBSIM_BENCHSUP_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "subsim/graph/types.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Synthetic stand-ins for the paper's Table 2 datasets.
+///
+/// The SNAP/KONECT graphs (Pokec, Orkut, Twitter, Friendster) are not
+/// shipped offline; each stand-in reproduces the structural features the
+/// paper's claims depend on — directedness, heavy-tailed degrees, and the
+/// m/n density of the directed representation — at laptop scale. See
+/// DESIGN.md Section 3 for the substitution argument.
+struct DatasetSpec {
+  std::string name;
+  /// Name of the dataset it stands in for.
+  std::string stands_in_for;
+  bool undirected = false;
+  /// Node count at scale = 1.
+  NodeId base_nodes = 0;
+  /// Directed average degree target (m/n after symmetrization).
+  double avg_degree = 0.0;
+  /// Generator family: "ba" (preferential attachment) or "plc" (power-law
+  /// configuration model).
+  std::string family;
+  /// plc only: degree exponent.
+  double exponent = 2.1;
+};
+
+/// The four standard stand-ins, in Table 2 order.
+const std::vector<DatasetSpec>& StandardDatasets();
+
+/// Looks up a spec by name ("pokec-s", "orkut-s", "twitter-s",
+/// "friendster-s").
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Instantiates a dataset at `scale` in (0, 1]: node count becomes
+/// max(2000, base_nodes * scale); density is preserved. Weights are 0 —
+/// apply a WeightModel. Deterministic per (name, scale, seed).
+Result<EdgeList> MakeDataset(const DatasetSpec& spec, double scale,
+                             std::uint64_t seed);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_BENCHSUP_DATASETS_H_

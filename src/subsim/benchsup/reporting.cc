@@ -1,0 +1,86 @@
+#include "subsim/benchsup/reporting.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'x' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SUBSIM_CHECK(cells.size() == headers_.size(),
+               "row has %zu cells, table has %zu columns", cells.size(),
+               headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      out << (c == 0 ? "" : "  ");
+      if (LooksNumeric(cells[c])) {
+        out << std::string(pad, ' ') << cells[c];
+      } else {
+        out << cells[c] << std::string(pad, ' ');
+      }
+    }
+    out << "\n";
+  };
+
+  print_row(headers_);
+  std::size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+  for (std::size_t w : widths) {
+    total += w;
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatSpeedup(double baseline_seconds, double seconds) {
+  if (seconds <= 0.0) {
+    return "-";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fx", baseline_seconds / seconds);
+  return buf;
+}
+
+}  // namespace subsim

@@ -1,0 +1,36 @@
+#ifndef SUBSIM_BENCHSUP_REPORTING_H_
+#define SUBSIM_BENCHSUP_REPORTING_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace subsim {
+
+/// Minimal aligned-column table for bench output. Every experiment binary
+/// prints its figure/table as one of these so EXPERIMENTS.md rows can be
+/// pasted directly.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals.
+std::string FormatDouble(double value, int digits = 3);
+
+/// "12.5x" style speedup string ("-" when the baseline is 0).
+std::string FormatSpeedup(double baseline_seconds, double seconds);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_BENCHSUP_REPORTING_H_

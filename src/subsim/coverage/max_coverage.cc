@@ -1,0 +1,160 @@
+#include "subsim/coverage/max_coverage.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+namespace {
+
+/// Lazy-heap entry. Ordering is lexicographic on
+/// (marginal, out_degree, node) so Algorithm 6's tie-break is part of the
+/// priority; with tie-break disabled out_degree is fixed to 0 and ties fall
+/// through to the node id (descending id pops first; any argmax is valid
+/// for Algorithm 1, the id merely makes runs deterministic).
+struct HeapEntry {
+  std::uint64_t marginal;
+  NodeId out_degree;
+  NodeId node;
+
+  bool operator<(const HeapEntry& other) const {
+    if (marginal != other.marginal) return marginal < other.marginal;
+    if (out_degree != other.out_degree) return out_degree < other.out_degree;
+    return node < other.node;
+  }
+};
+
+}  // namespace
+
+CoverageGreedyResult RunCoverageGreedy(const RrCollection& collection,
+                                       const CoverageGreedyOptions& options) {
+  SUBSIM_CHECK(!options.tie_break_by_out_degree || options.graph != nullptr,
+               "tie_break_by_out_degree requires options.graph");
+
+  const NodeId n = collection.num_graph_nodes();
+  const std::size_t num_sets = collection.num_sets();
+  const std::uint32_t k =
+      std::min<std::uint64_t>(options.k, static_cast<std::uint64_t>(n));
+
+  CoverageGreedyResult result;
+
+  // Which RR sets participate. Excluded sets (sentinel hits) are treated as
+  // pre-covered so they never contribute to marginals.
+  std::vector<std::uint8_t> covered(num_sets, 0);
+  std::uint64_t considered = num_sets;
+  if (options.exclude_sentinel_hit_sets) {
+    for (std::size_t id = 0; id < num_sets; ++id) {
+      if (collection.HitSentinel(static_cast<RrId>(id))) {
+        covered[id] = 1;
+        --considered;
+      }
+    }
+  }
+  result.considered_sets = considered;
+
+  // Initial singleton coverages; also feeds the exact i = 0 term of Λ^u.
+  std::vector<std::uint64_t> initial_cov(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    std::uint64_t c = 0;
+    for (RrId id : collection.SetsContaining(v)) {
+      if (!covered[id]) {
+        ++c;
+      }
+    }
+    initial_cov[v] = c;
+  }
+  {
+    const std::uint32_t top_count =
+        options.singleton_top_count > 0 ? options.singleton_top_count
+                                        : options.k;
+    std::vector<std::uint64_t> top(initial_cov);
+    if (top.size() > top_count) {
+      std::nth_element(top.begin(), top.begin() + top_count, top.end(),
+                       std::greater<>());
+      top.resize(top_count);
+    }
+    result.top_k_singleton_sum = 0;
+    for (std::uint64_t c : top) {
+      result.top_k_singleton_sum += c;
+    }
+  }
+
+  auto out_degree = [&](NodeId v) -> NodeId {
+    return options.tie_break_by_out_degree ? options.graph->OutDegree(v)
+                                           : NodeId{0};
+  };
+
+  std::vector<std::uint8_t> selected(n, 0);
+  for (NodeId v : options.excluded_nodes) {
+    SUBSIM_CHECK(v < n, "excluded node out of range");
+    selected[v] = 1;
+  }
+
+  std::priority_queue<HeapEntry> heap;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!selected[v]) {
+      heap.push(HeapEntry{initial_cov[v], out_degree(v), v});
+    }
+  }
+  std::uint64_t total = 0;
+  result.seeds.reserve(k);
+  result.gains.reserve(k);
+  result.coverage_prefix.reserve(k);
+
+  while (result.seeds.size() < k && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (selected[top.node]) {
+      continue;
+    }
+    // Refresh the marginal: count currently-uncovered sets containing it.
+    std::uint64_t fresh = 0;
+    for (RrId id : collection.SetsContaining(top.node)) {
+      if (!covered[id]) {
+        ++fresh;
+      }
+    }
+    if (fresh != top.marginal) {
+      SUBSIM_DCHECK(fresh < top.marginal, "marginal grew — index corrupt");
+      top.marginal = fresh;
+      heap.push(top);
+      continue;
+    }
+    // The key is fresh and was the heap maximum, so it dominates every
+    // remaining stale key, hence every fresh key: an exact argmax under
+    // (marginal, out-degree, id).
+    selected[top.node] = 1;
+    for (RrId id : collection.SetsContaining(top.node)) {
+      if (!covered[id]) {
+        covered[id] = 1;
+      }
+    }
+    total += top.marginal;
+    result.seeds.push_back(top.node);
+    result.gains.push_back(top.marginal);
+    result.coverage_prefix.push_back(total);
+  }
+
+  // If the graph has fewer nodes than k we may exit early; that is fine —
+  // callers treat seeds.size() as the effective k.
+  return result;
+}
+
+std::uint64_t ComputeCoverage(const RrCollection& collection,
+                              std::span<const NodeId> seeds) {
+  std::vector<std::uint8_t> covered(collection.num_sets(), 0);
+  std::uint64_t total = 0;
+  for (NodeId v : seeds) {
+    for (RrId id : collection.SetsContaining(v)) {
+      if (!covered[id]) {
+        covered[id] = 1;
+        ++total;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace subsim

@@ -1,0 +1,78 @@
+#ifndef SUBSIM_COVERAGE_MAX_COVERAGE_H_
+#define SUBSIM_COVERAGE_MAX_COVERAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "subsim/graph/graph.h"
+#include "subsim/rrset/rr_collection.h"
+
+namespace subsim {
+
+/// Options for the greedy max-coverage pass over an `RrCollection`.
+struct CoverageGreedyOptions {
+  /// Number of seeds to select (capped at the number of graph nodes).
+  std::uint32_t k = 1;
+
+  /// Algorithm 6 (Revised-Greedy): among nodes with maximal marginal
+  /// coverage, prefer the one with the largest out-degree — nodes likelier
+  /// to be hit by future sentinel-truncated RR sets. Requires `graph`.
+  /// When false this is exactly Algorithm 1 (ties broken by node id, for
+  /// determinism).
+  bool tie_break_by_out_degree = false;
+  const Graph* graph = nullptr;
+
+  /// Algorithm 8 line 5: ignore RR sets whose generation hit a sentinel
+  /// (they are covered by the sentinel set and contribute zero marginal to
+  /// everything else).
+  bool exclude_sentinel_hit_sets = false;
+
+  /// Nodes that must not be selected (HIST phase 2 passes the sentinel set
+  /// so the residual greedy cannot return duplicates).
+  std::span<const NodeId> excluded_nodes;
+
+  /// How many of the largest singleton coverages to sum into
+  /// `top_k_singleton_sum`. 0 means "use k". HIST phase 2 selects k - b
+  /// seeds but needs the maxMC term over the full k for Equation (2).
+  std::uint32_t singleton_top_count = 0;
+};
+
+/// Output of the greedy pass. `gains[i]` is the marginal coverage of the
+/// (i+1)-th seed; `coverage_prefix[i]` is the total coverage of the first
+/// i+1 seeds. Both have `seeds.size()` entries; gains are non-increasing.
+struct CoverageGreedyResult {
+  std::vector<NodeId> seeds;
+  std::vector<std::uint64_t> gains;
+  std::vector<std::uint64_t> coverage_prefix;
+
+  /// Number of RR sets the pass considered (total minus excluded).
+  std::uint64_t considered_sets = 0;
+
+  /// Exact sum of the k largest singleton coverages Λ(v) — the i = 0 term
+  /// of the paper's Λ^u upper bound with maxMC evaluated exactly.
+  std::uint64_t top_k_singleton_sum = 0;
+
+  std::uint64_t total_coverage() const {
+    return coverage_prefix.empty() ? 0 : coverage_prefix.back();
+  }
+};
+
+/// Greedy maximum coverage (Algorithm 1 / Algorithm 6) with CELF-style lazy
+/// marginal re-evaluation. The lazy heap orders nodes by
+/// (marginal, out-degree, node id); because marginals only shrink as the
+/// seed set grows while the other keys are constant, a popped node whose
+/// refreshed key still dominates the heap top is an exact argmax under that
+/// order — so the selected sequence is identical to the textbook greedy,
+/// including the out-degree tie-break, at a fraction of the cost.
+CoverageGreedyResult RunCoverageGreedy(const RrCollection& collection,
+                                       const CoverageGreedyOptions& options);
+
+/// Λ_R(S): number of RR sets in `collection` intersecting `seeds`.
+/// O(sum of inverted-index lists of the seeds).
+std::uint64_t ComputeCoverage(const RrCollection& collection,
+                              std::span<const NodeId> seeds);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_COVERAGE_MAX_COVERAGE_H_

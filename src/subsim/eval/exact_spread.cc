@@ -1,0 +1,145 @@
+#include "subsim/eval/exact_spread.h"
+
+#include <string>
+
+namespace subsim {
+
+namespace {
+
+/// Enumerates all live-edge worlds, invoking `visit(world_probability,
+/// live_edge_mask)` for each. Edges are indexed in `edges` order.
+template <typename Visit>
+void ForEachWorld(const std::vector<Edge>& edges, Visit&& visit) {
+  const std::uint32_t m = static_cast<std::uint32_t>(edges.size());
+  const std::uint64_t worlds = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 0; mask < worlds; ++mask) {
+    double prob = 1.0;
+    for (std::uint32_t e = 0; e < m; ++e) {
+      const double p = edges[e].weight;
+      prob *= (mask >> e) & 1 ? p : (1.0 - p);
+      if (prob == 0.0) {
+        break;
+      }
+    }
+    if (prob > 0.0) {
+      visit(prob, mask);
+    }
+  }
+}
+
+/// Nodes reachable from `seeds` using only edges in `mask`. Returns count,
+/// and optionally reports whether `target` was reached.
+std::uint64_t CountReachable(const Graph& graph,
+                             const std::vector<Edge>& edges,
+                             std::uint64_t mask,
+                             std::span<const NodeId> seeds,
+                             NodeId target, bool* target_reached) {
+  // Tiny graphs: plain vectors are fine.
+  std::vector<std::uint8_t> active(graph.num_nodes(), 0);
+  std::vector<NodeId> queue;
+  for (NodeId s : seeds) {
+    if (!active[s]) {
+      active[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId u = queue[head++];
+    for (std::uint32_t e = 0; e < edges.size(); ++e) {
+      if (!((mask >> e) & 1) || edges[e].src != u) {
+        continue;
+      }
+      const NodeId v = edges[e].dst;
+      if (!active[v]) {
+        active[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (target_reached != nullptr) {
+    *target_reached = target < graph.num_nodes() && active[target] != 0;
+  }
+  return queue.size();
+}
+
+Status CheckSize(const Graph& graph, std::uint32_t max_edges) {
+  if (graph.num_edges() > max_edges) {
+    return Status::InvalidArgument(
+        "exact spread enumeration limited to " + std::to_string(max_edges) +
+        " edges; graph has " + std::to_string(graph.num_edges()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> ExactSpreadIc(const Graph& graph,
+                             std::span<const NodeId> seeds,
+                             std::uint32_t max_edges) {
+  SUBSIM_RETURN_IF_ERROR(CheckSize(graph, max_edges));
+  const std::vector<Edge> edges = graph.ToEdgeList().edges;
+  double expected = 0.0;
+  ForEachWorld(edges, [&](double prob, std::uint64_t mask) {
+    expected += prob * static_cast<double>(CountReachable(
+                           graph, edges, mask, seeds, kInvalidNode, nullptr));
+  });
+  return expected;
+}
+
+Result<double> ExactInfluenceProbabilityIc(const Graph& graph, NodeId u,
+                                           NodeId v,
+                                           std::uint32_t max_edges) {
+  SUBSIM_RETURN_IF_ERROR(CheckSize(graph, max_edges));
+  const std::vector<Edge> edges = graph.ToEdgeList().edges;
+  const NodeId seeds[1] = {u};
+  double probability = 0.0;
+  ForEachWorld(edges, [&](double prob, std::uint64_t mask) {
+    bool reached = false;
+    CountReachable(graph, edges, mask, seeds, v, &reached);
+    if (reached) {
+      probability += prob;
+    }
+  });
+  return probability;
+}
+
+Result<ExactOptimum> ExactOptimalSeedSetIc(const Graph& graph,
+                                           std::uint32_t k,
+                                           std::uint32_t max_edges) {
+  SUBSIM_RETURN_IF_ERROR(CheckSize(graph, max_edges));
+  const NodeId n = graph.num_nodes();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (n > 20) {
+    return Status::InvalidArgument("exhaustive seed search limited to n<=20");
+  }
+
+  ExactOptimum best;
+  std::vector<NodeId> current;
+  // Enumerate k-subsets via bitmask popcount (n <= 20 keeps this small).
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    if (static_cast<std::uint32_t>(__builtin_popcount(mask)) != k) {
+      continue;
+    }
+    current.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) {
+        current.push_back(v);
+      }
+    }
+    const Result<double> spread = ExactSpreadIc(graph, current, max_edges);
+    if (!spread.ok()) {
+      return spread.status();
+    }
+    if (*spread > best.spread) {
+      best.spread = *spread;
+      best.seeds = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace subsim

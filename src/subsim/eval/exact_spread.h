@@ -1,0 +1,40 @@
+#ifndef SUBSIM_EVAL_EXACT_SPREAD_H_
+#define SUBSIM_EVAL_EXACT_SPREAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "subsim/graph/graph.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Exact expected influence under IC by enumerating all 2^m live-edge
+/// worlds. Only feasible for tiny graphs; fails with InvalidArgument when
+/// m exceeds `max_edges` (default 24). Tests use this as ground truth for
+/// Lemma 1 (RR membership probability == influence probability) and for
+/// approximation-guarantee checks.
+Result<double> ExactSpreadIc(const Graph& graph,
+                             std::span<const NodeId> seeds,
+                             std::uint32_t max_edges = 24);
+
+/// Exact Pr[u activates v] under IC (probability v is reachable from u in
+/// the live-edge world). Same enumeration cost caveat.
+Result<double> ExactInfluenceProbabilityIc(const Graph& graph, NodeId u,
+                                           NodeId v,
+                                           std::uint32_t max_edges = 24);
+
+/// Exact optimum: the size-k seed set maximizing exact IC spread, found by
+/// exhaustive search over all C(n, k) subsets. Feasible for n <= ~14.
+struct ExactOptimum {
+  std::vector<NodeId> seeds;
+  double spread = 0.0;
+};
+Result<ExactOptimum> ExactOptimalSeedSetIc(const Graph& graph,
+                                           std::uint32_t k,
+                                           std::uint32_t max_edges = 24);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_EVAL_EXACT_SPREAD_H_

@@ -1,0 +1,30 @@
+#ifndef SUBSIM_EVAL_EXACT_SPREAD_LT_H_
+#define SUBSIM_EVAL_EXACT_SPREAD_LT_H_
+
+#include <span>
+
+#include "subsim/graph/graph.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Exact expected influence under the Linear Threshold model via
+/// enumeration of LT live-edge worlds: each node independently keeps at
+/// most one incoming edge — in-neighbor u with probability p(u, v), none
+/// with probability 1 - sum (Kempe et al.'s equivalence). The world count
+/// is prod_v (d_in(v) + 1); enumeration is refused when it exceeds
+/// `max_worlds`. Tests use this as LT ground truth alongside the IC
+/// enumeration in exact_spread.h.
+Result<double> ExactSpreadLt(const Graph& graph,
+                             std::span<const NodeId> seeds,
+                             std::uint64_t max_worlds = 1u << 22);
+
+/// Exact Pr[u activates v] under LT.
+Result<double> ExactInfluenceProbabilityLt(const Graph& graph, NodeId u,
+                                           NodeId v,
+                                           std::uint64_t max_worlds = 1u
+                                                                      << 22);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_EVAL_EXACT_SPREAD_LT_H_

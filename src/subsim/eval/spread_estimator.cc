@@ -1,0 +1,136 @@
+#include "subsim/eval/spread_estimator.h"
+
+#include <cmath>
+
+namespace subsim {
+
+const char* CascadeModelName(CascadeModel model) {
+  switch (model) {
+    case CascadeModel::kIndependentCascade:
+      return "IC";
+    case CascadeModel::kLinearThreshold:
+      return "LT";
+  }
+  return "?";
+}
+
+SpreadEstimator::SpreadEstimator(const Graph& graph, CascadeModel model)
+    : graph_(graph), model_(model) {
+  activated_.Resize(graph.num_nodes());
+  if (model_ == CascadeModel::kLinearThreshold) {
+    threshold_.assign(graph.num_nodes(), 0.0);
+    accumulated_.assign(graph.num_nodes(), 0.0);
+    lt_touched_mark_.Resize(graph.num_nodes());
+  }
+}
+
+std::uint64_t SpreadEstimator::SimulateOnce(std::span<const NodeId> seeds,
+                                            Rng& rng) {
+  return model_ == CascadeModel::kIndependentCascade ? SimulateIc(seeds, rng)
+                                                     : SimulateLt(seeds, rng);
+}
+
+std::uint64_t SpreadEstimator::SimulateIc(std::span<const NodeId> seeds,
+                                          Rng& rng) {
+  frontier_.clear();
+  std::uint64_t activated_count = 0;
+  for (NodeId s : seeds) {
+    if (activated_.Set(s)) {
+      frontier_.push_back(s);
+      ++activated_count;
+    }
+  }
+  std::size_t head = 0;
+  while (head < frontier_.size()) {
+    const NodeId u = frontier_[head++];
+    const auto targets = graph_.OutNeighbors(u);
+    const auto weights = graph_.OutWeights(u);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (!rng.Bernoulli(weights[i])) {
+        continue;
+      }
+      if (activated_.Set(targets[i])) {
+        frontier_.push_back(targets[i]);
+        ++activated_count;
+      }
+    }
+  }
+  activated_.ResetTouched();
+  return activated_count;
+}
+
+std::uint64_t SpreadEstimator::SimulateLt(std::span<const NodeId> seeds,
+                                          Rng& rng) {
+  frontier_.clear();
+  touched_lt_.clear();
+  std::uint64_t activated_count = 0;
+  for (NodeId s : seeds) {
+    if (activated_.Set(s)) {
+      frontier_.push_back(s);
+      ++activated_count;
+    }
+  }
+
+  // Round-based propagation: each round, newly activated nodes add their
+  // edge weight to each out-neighbor's accumulator; a neighbor activates
+  // when the accumulator reaches its (lazily drawn) threshold.
+  std::size_t head = 0;
+  while (head < frontier_.size()) {
+    const std::size_t round_end = frontier_.size();
+    while (head < round_end) {
+      const NodeId u = frontier_[head++];
+      const auto targets = graph_.OutNeighbors(u);
+      const auto weights = graph_.OutWeights(u);
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        const NodeId v = targets[i];
+        if (activated_.Get(v)) {
+          continue;
+        }
+        if (lt_touched_mark_.Set(v)) {
+          // First touch this simulation: draw the threshold. U in (0,1) so
+          // zero accumulated weight can never activate.
+          threshold_[v] = rng.NextDoubleOpen();
+          accumulated_[v] = 0.0;
+          touched_lt_.push_back(v);
+        }
+        accumulated_[v] += weights[i];
+        if (accumulated_[v] >= threshold_[v] && activated_.Set(v)) {
+          frontier_.push_back(v);
+          ++activated_count;
+        }
+      }
+    }
+  }
+
+  activated_.ResetTouched();
+  lt_touched_mark_.ResetTouched();
+  return activated_count;
+}
+
+SpreadEstimate SpreadEstimator::Estimate(std::span<const NodeId> seeds,
+                                         std::uint64_t num_simulations,
+                                         Rng& rng) {
+  SpreadEstimate estimate;
+  estimate.simulations = num_simulations;
+  if (num_simulations == 0) {
+    return estimate;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::uint64_t i = 0; i < num_simulations; ++i) {
+    const double x = static_cast<double>(SimulateOnce(seeds, rng));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / static_cast<double>(num_simulations);
+  estimate.spread = mean;
+  if (num_simulations > 1) {
+    const double var =
+        (sum_sq - sum * mean) / static_cast<double>(num_simulations - 1);
+    estimate.std_error =
+        std::sqrt(std::max(0.0, var) / static_cast<double>(num_simulations));
+  }
+  return estimate;
+}
+
+}  // namespace subsim

@@ -1,0 +1,83 @@
+#include "subsim/graph/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace subsim {
+
+namespace {
+
+/// Path-halving union-find.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    const NodeId ra = Find(a);
+    const NodeId rb = Find(b);
+    if (ra != rb) {
+      parent_[std::max(ra, rb)] = std::min(ra, rb);
+    }
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+ComponentInfo ComputeWeakComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      uf.Union(u, v);
+    }
+  }
+
+  // Count members per root.
+  std::vector<NodeId> size_of_root(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++size_of_root[uf.Find(v)];
+  }
+
+  // Collect roots and sort by size descending (ties by root id for
+  // determinism).
+  std::vector<NodeId> roots;
+  for (NodeId v = 0; v < n; ++v) {
+    if (size_of_root[v] > 0) {
+      roots.push_back(v);
+    }
+  }
+  std::sort(roots.begin(), roots.end(), [&](NodeId a, NodeId b) {
+    if (size_of_root[a] != size_of_root[b]) {
+      return size_of_root[a] > size_of_root[b];
+    }
+    return a < b;
+  });
+
+  ComponentInfo info;
+  info.sizes.reserve(roots.size());
+  std::vector<NodeId> label_of_root(n, 0);
+  for (NodeId i = 0; i < roots.size(); ++i) {
+    label_of_root[roots[i]] = i;
+    info.sizes.push_back(size_of_root[roots[i]]);
+  }
+  info.component_of.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    info.component_of[v] = label_of_root[uf.Find(v)];
+  }
+  return info;
+}
+
+}  // namespace subsim

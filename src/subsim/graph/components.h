@@ -1,0 +1,36 @@
+#ifndef SUBSIM_GRAPH_COMPONENTS_H_
+#define SUBSIM_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "subsim/graph/graph.h"
+
+namespace subsim {
+
+/// Weakly-connected-component decomposition (direction-blind). Influence
+/// cannot cross WCC boundaries, so component structure bounds achievable
+/// spread and is part of the dataset characterization (Table 2 bench).
+struct ComponentInfo {
+  /// component_of[v] in [0, num_components).
+  std::vector<NodeId> component_of;
+  /// Size of each component, descending (component 0 is the giant one...
+  /// component ids are relabeled so that sizes are non-increasing).
+  std::vector<NodeId> sizes;
+
+  NodeId num_components() const {
+    return static_cast<NodeId>(sizes.size());
+  }
+  /// Fraction of nodes in the largest component (0 for empty graphs).
+  double giant_fraction(NodeId num_nodes) const {
+    return num_nodes == 0 || sizes.empty()
+               ? 0.0
+               : static_cast<double>(sizes.front()) / num_nodes;
+  }
+};
+
+/// Union-find based WCC computation; O(m alpha(n)).
+ComponentInfo ComputeWeakComponents(const Graph& graph);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_GRAPH_COMPONENTS_H_

@@ -1,0 +1,291 @@
+#include "subsim/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "subsim/random/rng.h"
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+namespace {
+
+/// Packs (src, dst) for duplicate detection.
+inline std::uint64_t PackEdge(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+Result<EdgeList> GenerateErdosRenyi(NodeId num_nodes, EdgeIndex num_edges,
+                                    std::uint64_t seed) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("ErdosRenyi requires >= 2 nodes");
+  }
+  const double max_edges = static_cast<double>(num_nodes) *
+                           (static_cast<double>(num_nodes) - 1.0);
+  if (static_cast<double>(num_edges) > max_edges) {
+    return Status::InvalidArgument("too many edges for simple digraph");
+  }
+  if (static_cast<double>(num_edges) > 0.5 * max_edges) {
+    return Status::InvalidArgument(
+        "rejection sampling needs m <= 0.5 * n * (n-1); use MakeComplete for "
+        "dense graphs");
+  }
+
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.edges.reserve(num_edges);
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (list.edges.size() < num_edges) {
+    const NodeId src = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    const NodeId dst = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    if (src == dst) {
+      continue;
+    }
+    if (seen.insert(PackEdge(src, dst)).second) {
+      list.edges.push_back(Edge{src, dst, 0.0});
+    }
+  }
+  return list;
+}
+
+Result<EdgeList> GenerateBarabasiAlbert(NodeId num_nodes,
+                                        NodeId edges_per_node,
+                                        bool undirected, std::uint64_t seed) {
+  if (edges_per_node == 0) {
+    return Status::InvalidArgument("edges_per_node must be >= 1");
+  }
+  if (num_nodes <= edges_per_node) {
+    return Status::InvalidArgument("need num_nodes > edges_per_node");
+  }
+
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.edges.reserve(static_cast<std::size_t>(num_nodes) * edges_per_node *
+                     (undirected ? 2 : 1));
+  Rng rng(seed);
+
+  // `attachment` holds one entry per degree unit plus one per node
+  // (the +1 smoothing), so uniform picks from it realize preferential
+  // attachment. Classic Batagelj–Brandes trick.
+  std::vector<NodeId> attachment;
+  attachment.reserve(static_cast<std::size_t>(num_nodes) *
+                     (2 * edges_per_node + 1));
+
+  // Seed clique over the first edges_per_node + 1 nodes.
+  const NodeId seed_size = edges_per_node + 1;
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = 0; v < seed_size; ++v) {
+      if (u == v) {
+        continue;
+      }
+      list.edges.push_back(Edge{u, v, 0.0});
+    }
+    attachment.insert(attachment.end(), seed_size, u);
+  }
+
+  std::unordered_set<NodeId> chosen;
+  for (NodeId u = seed_size; u < num_nodes; ++u) {
+    chosen.clear();
+    while (chosen.size() < edges_per_node) {
+      const NodeId target = attachment[rng.UniformInt(attachment.size())];
+      if (target == u) {
+        continue;
+      }
+      chosen.insert(target);
+    }
+    for (NodeId target : chosen) {
+      list.edges.push_back(Edge{u, target, 0.0});
+      if (undirected) {
+        list.edges.push_back(Edge{target, u, 0.0});
+      }
+      attachment.push_back(target);
+      attachment.push_back(u);
+    }
+    attachment.push_back(u);  // +1 smoothing entry for the new node
+  }
+  return list;
+}
+
+Result<EdgeList> GeneratePowerLawConfiguration(NodeId num_nodes,
+                                               double exponent,
+                                               NodeId max_degree,
+                                               double target_avg_degree,
+                                               std::uint64_t seed) {
+  if (num_nodes < 2 || max_degree < 1) {
+    return Status::InvalidArgument("need >= 2 nodes and max_degree >= 1");
+  }
+  if (exponent <= 1.0) {
+    return Status::InvalidArgument("power-law exponent must be > 1");
+  }
+  if (target_avg_degree <= 0.0 ||
+      target_avg_degree > static_cast<double>(max_degree)) {
+    return Status::InvalidArgument("target_avg_degree out of range");
+  }
+
+  Rng rng(seed);
+  max_degree = std::min<NodeId>(max_degree, num_nodes - 1);
+
+  // Zipf pmf over degrees 1..max_degree: Pr[d] ~ d^-exponent; build a CDF
+  // for inverse-transform sampling.
+  std::vector<double> cdf(max_degree);
+  double acc = 0.0;
+  for (NodeId d = 1; d <= max_degree; ++d) {
+    acc += std::pow(static_cast<double>(d), -exponent);
+    cdf[d - 1] = acc;
+  }
+  for (double& c : cdf) {
+    c /= acc;
+  }
+  // Mean of the raw law; degrees are later thinned/boosted towards the
+  // requested average by scaling the per-node draw count.
+  double mean = 0.0;
+  double prev = 0.0;
+  for (NodeId d = 1; d <= max_degree; ++d) {
+    mean += d * (cdf[d - 1] - prev);
+    prev = cdf[d - 1];
+  }
+  const double boost = target_avg_degree / mean;
+
+  // One popularity draw per node feeds both degree directions, so hubs are
+  // hubs on both sides — the in/out correlation real follower graphs have.
+  // (With independent draws the nodes most likely to appear in RR sets
+  // would rarely be the expensive high-in-degree ones, which would erase
+  // the very asymmetry the SUBSIM experiments measure.)
+  auto stochastic_round = [&](double scaled) -> EdgeIndex {
+    const EdgeIndex whole = static_cast<EdgeIndex>(scaled);
+    return whole + (rng.NextDouble() < (scaled - whole) ? 1 : 0);
+  };
+
+  std::vector<NodeId> out_stubs;
+  std::vector<NodeId> in_stubs;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const NodeId base =
+        static_cast<NodeId>(std::distance(cdf.begin(), it)) + 1;
+    const double scaled = base * boost;
+    const EdgeIndex od = stochastic_round(scaled);
+    const EdgeIndex id = stochastic_round(scaled);
+    out_stubs.insert(out_stubs.end(), od, v);
+    in_stubs.insert(in_stubs.end(), id, v);
+  }
+  // Equalize stub counts by trimming the longer list at random.
+  while (out_stubs.size() > in_stubs.size()) {
+    const std::size_t i = rng.UniformInt(out_stubs.size());
+    out_stubs[i] = out_stubs.back();
+    out_stubs.pop_back();
+  }
+  while (in_stubs.size() > out_stubs.size()) {
+    const std::size_t i = rng.UniformInt(in_stubs.size());
+    in_stubs[i] = in_stubs.back();
+    in_stubs.pop_back();
+  }
+
+  // Shuffle in-stubs (Fisher–Yates) and match positionally.
+  for (std::size_t i = in_stubs.size(); i > 1; --i) {
+    std::swap(in_stubs[i - 1], in_stubs[rng.UniformInt(i)]);
+  }
+
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.edges.reserve(out_stubs.size());
+  for (std::size_t i = 0; i < out_stubs.size(); ++i) {
+    if (out_stubs[i] == in_stubs[i]) {
+      continue;  // drop self-loops
+    }
+    list.edges.push_back(Edge{out_stubs[i], in_stubs[i], 0.0});
+  }
+  return list;
+}
+
+Result<EdgeList> GenerateWattsStrogatz(NodeId num_nodes,
+                                       NodeId neighbors_each_side,
+                                       double rewire_prob,
+                                       std::uint64_t seed) {
+  if (num_nodes < 3 || neighbors_each_side < 1) {
+    return Status::InvalidArgument("need >= 3 nodes, >= 1 neighbor per side");
+  }
+  if (2 * static_cast<EdgeIndex>(neighbors_each_side) >= num_nodes) {
+    return Status::InvalidArgument("neighborhood too large for ring");
+  }
+  if (rewire_prob < 0.0 || rewire_prob > 1.0) {
+    return Status::InvalidArgument("rewire_prob must be in [0,1]");
+  }
+
+  Rng rng(seed);
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  list.edges.reserve(static_cast<std::size_t>(num_nodes) *
+                     neighbors_each_side * 2);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId j = 1; j <= neighbors_each_side; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % num_nodes);
+      if (rng.NextDouble() < rewire_prob) {
+        do {
+          v = static_cast<NodeId>(rng.UniformInt(num_nodes));
+        } while (v == u);
+      }
+      list.edges.push_back(Edge{u, v, 0.0});
+      list.edges.push_back(Edge{v, u, 0.0});
+    }
+  }
+  return list;
+}
+
+EdgeList MakePath(NodeId num_nodes) {
+  SUBSIM_CHECK(num_nodes >= 1, "path needs >= 1 node");
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  for (NodeId u = 0; u + 1 < num_nodes; ++u) {
+    list.edges.push_back(Edge{u, static_cast<NodeId>(u + 1), 0.0});
+  }
+  return list;
+}
+
+EdgeList MakeCycle(NodeId num_nodes) {
+  SUBSIM_CHECK(num_nodes >= 2, "cycle needs >= 2 nodes");
+  EdgeList list = MakePath(num_nodes);
+  list.edges.push_back(Edge{static_cast<NodeId>(num_nodes - 1), 0, 0.0});
+  return list;
+}
+
+EdgeList MakeStar(NodeId num_leaves) {
+  EdgeList list;
+  list.num_nodes = num_leaves + 1;
+  for (NodeId leaf = 1; leaf <= num_leaves; ++leaf) {
+    list.edges.push_back(Edge{0, leaf, 0.0});
+  }
+  return list;
+}
+
+EdgeList MakeComplete(NodeId num_nodes) {
+  EdgeList list;
+  list.num_nodes = num_nodes;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (u != v) {
+        list.edges.push_back(Edge{u, v, 0.0});
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList MakeBipartite(NodeId left, NodeId right) {
+  EdgeList list;
+  list.num_nodes = left + right;
+  for (NodeId u = 0; u < left; ++u) {
+    for (NodeId v = 0; v < right; ++v) {
+      list.edges.push_back(Edge{u, static_cast<NodeId>(left + v), 0.0});
+    }
+  }
+  return list;
+}
+
+}  // namespace subsim

@@ -1,0 +1,61 @@
+#ifndef SUBSIM_GRAPH_GENERATORS_H_
+#define SUBSIM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "subsim/graph/types.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Synthetic graph generators.
+///
+/// The paper evaluates on SNAP/KONECT social networks that are not shipped
+/// with this repository; these generators produce structurally comparable
+/// stand-ins (heavy-tailed degree distributions, matched average degree) at
+/// laptop scale. All generators emit edges with weight 0 — apply a
+/// `WeightModel` afterwards. All are deterministic given the seed.
+
+/// Erdős–Rényi G(n, m): m distinct directed edges drawn uniformly at random
+/// (no self-loops). Requires m <= n*(n-1).
+Result<EdgeList> GenerateErdosRenyi(NodeId num_nodes, EdgeIndex num_edges,
+                                    std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: nodes arrive one at a time and
+/// attach `edges_per_node` out-edges to existing nodes chosen proportionally
+/// to (degree + 1). If `undirected` is true, each attachment also adds the
+/// reverse edge, yielding the symmetric social-graph shape of Orkut /
+/// Friendster. Produces a heavy-tailed in-degree distribution.
+Result<EdgeList> GenerateBarabasiAlbert(NodeId num_nodes,
+                                        NodeId edges_per_node,
+                                        bool undirected, std::uint64_t seed);
+
+/// Directed configuration model with power-law out- and in-degree
+/// distributions: degrees ~ Zipf(exponent) truncated at `max_degree`, then
+/// out-stubs are matched to in-stubs uniformly at random. Self-loops are
+/// dropped; parallel edges kept (they are rare and harmless to IC/LT).
+/// The Twitter-style "few huge hubs" shape comes from exponent ~ 2.0.
+Result<EdgeList> GeneratePowerLawConfiguration(NodeId num_nodes,
+                                               double exponent,
+                                               NodeId max_degree,
+                                               double target_avg_degree,
+                                               std::uint64_t seed);
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// `neighbors_each_side` nodes on each side, each edge rewired with
+/// probability `rewire_prob`. Directed (both directions added).
+Result<EdgeList> GenerateWattsStrogatz(NodeId num_nodes,
+                                       NodeId neighbors_each_side,
+                                       double rewire_prob,
+                                       std::uint64_t seed);
+
+/// Deterministic shapes used by unit tests and examples.
+EdgeList MakePath(NodeId num_nodes);                // 0->1->2->...
+EdgeList MakeCycle(NodeId num_nodes);               // ... ->0
+EdgeList MakeStar(NodeId num_leaves);               // 0 -> 1..L
+EdgeList MakeComplete(NodeId num_nodes);            // all ordered pairs
+EdgeList MakeBipartite(NodeId left, NodeId right);  // every left -> right
+
+}  // namespace subsim
+
+#endif  // SUBSIM_GRAPH_GENERATORS_H_

@@ -1,0 +1,19 @@
+#include "subsim/graph/graph.h"
+
+namespace subsim {
+
+EdgeList Graph::ToEdgeList() const {
+  EdgeList list;
+  list.num_nodes = num_nodes_;
+  list.edges.reserve(num_edges_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const auto targets = OutNeighbors(u);
+    const auto weights = OutWeights(u);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      list.edges.push_back(Edge{u, targets[i], weights[i]});
+    }
+  }
+  return list;
+}
+
+}  // namespace subsim

@@ -1,0 +1,127 @@
+#ifndef SUBSIM_GRAPH_GRAPH_H_
+#define SUBSIM_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "subsim/graph/types.h"
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+/// Immutable directed graph in compressed-sparse-row form.
+///
+/// Both directions are materialized:
+///  * out-adjacency — used by forward cascade simulation (`eval/`) and by
+///    the out-degree tie-break of the revised greedy (Algorithm 6);
+///  * in-adjacency — used by every reverse-reachable-set generator, which
+///    traverses edges against their direction.
+///
+/// Per-edge propagation probabilities are stored alongside both adjacency
+/// arrays (duplicated for locality). In-neighbor lists may additionally be
+/// sorted in descending weight order (see `in_sorted_by_weight()`), which
+/// the index-free general-IC sampler requires (paper Section 3.3).
+///
+/// Instances are created by `GraphBuilder`; the class itself is read-only,
+/// cheap to move, and deliberately has no mutation API.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeIndex num_edges() const { return num_edges_; }
+
+  /// Average degree m/n (0 for the empty graph).
+  double average_degree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(num_edges_) / num_nodes_;
+  }
+
+  NodeId OutDegree(NodeId u) const {
+    SUBSIM_DCHECK(u < num_nodes_, "node out of range");
+    return static_cast<NodeId>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  NodeId InDegree(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    return static_cast<NodeId>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Targets of u's out-edges.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    SUBSIM_DCHECK(u < num_nodes_, "node out of range");
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  /// p(u, v) for each out-edge of u, aligned with `OutNeighbors(u)`.
+  std::span<const double> OutWeights(NodeId u) const {
+    SUBSIM_DCHECK(u < num_nodes_, "node out of range");
+    return {out_weights_.data() + out_offsets_[u],
+            out_weights_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Sources of v's in-edges.
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  /// p(u, v) for each in-edge of v, aligned with `InNeighbors(v)`.
+  std::span<const double> InWeights(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    return {in_weights_.data() + in_offsets_[v],
+            in_weights_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Sum of in-edge weights of v (the LT activation budget; also the
+  /// expected number of sampled in-neighbors under IC).
+  double InWeightSum(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    return in_weight_sums_[v];
+  }
+
+  /// True when all in-edges of v carry the same weight (WC / Uniform IC),
+  /// enabling the pure geometric-skip fast path of SUBSIM.
+  bool HasUniformInWeights(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    return uniform_in_weights_[v] != 0;
+  }
+
+  /// True if the builder sorted every in-neighbor list in descending weight
+  /// order (required by the index-free sorted subset sampler).
+  bool in_sorted_by_weight() const { return in_sorted_by_weight_; }
+
+  /// Reconstructs the raw edge list (out-edge order). Mostly for IO and
+  /// tests.
+  EdgeList ToEdgeList() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  EdgeIndex num_edges_ = 0;
+  bool in_sorted_by_weight_ = false;
+
+  std::vector<EdgeIndex> out_offsets_;  // size n+1
+  std::vector<NodeId> out_targets_;     // size m
+  std::vector<double> out_weights_;     // size m
+
+  std::vector<EdgeIndex> in_offsets_;  // size n+1
+  std::vector<NodeId> in_sources_;     // size m
+  std::vector<double> in_weights_;     // size m
+
+  std::vector<double> in_weight_sums_;       // size n
+  std::vector<std::uint8_t> uniform_in_weights_;  // size n
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_GRAPH_GRAPH_H_

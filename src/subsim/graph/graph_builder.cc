@@ -1,0 +1,150 @@
+#include "subsim/graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace subsim {
+
+namespace {
+
+Status ValidateEdges(const EdgeList& list) {
+  const NodeId n = list.num_nodes;
+  for (std::size_t i = 0; i < list.edges.size(); ++i) {
+    const Edge& e = list.edges[i];
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(i) + " endpoint out of range (n=" +
+          std::to_string(n) + ", src=" + std::to_string(e.src) +
+          ", dst=" + std::to_string(e.dst) + ")");
+    }
+    if (!std::isfinite(e.weight) || e.weight < 0.0 || e.weight > 1.0) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(i) +
+          " weight must be a finite probability in [0,1], got " +
+          std::to_string(e.weight));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) && {
+  SUBSIM_RETURN_IF_ERROR(ValidateEdges(list_));
+
+  std::vector<Edge>& edges = list_.edges;
+  const NodeId n = list_.num_nodes;
+
+  if (options.remove_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) { return e.src == e.dst; }),
+                edges.end());
+  }
+
+  if (options.merge_parallel_edges) {
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.src != b.src) return a.src < b.src;
+      if (a.dst != b.dst) return a.dst < b.dst;
+      return a.weight > b.weight;  // keep the max-weight copy first
+    });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  Graph g;
+  g.num_nodes_ = n;
+  g.num_edges_ = edges.size();
+  g.in_sorted_by_weight_ = options.sort_in_edges_by_weight;
+
+  // Out-CSR via counting sort on src.
+  g.out_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.out_offsets_[e.src + 1];
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    g.out_offsets_[u + 1] += g.out_offsets_[u];
+  }
+  g.out_targets_.resize(edges.size());
+  g.out_weights_.resize(edges.size());
+  {
+    std::vector<EdgeIndex> cursor(g.out_offsets_.begin(),
+                                  g.out_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      const EdgeIndex at = cursor[e.src]++;
+      g.out_targets_[at] = e.dst;
+      g.out_weights_[at] = e.weight;
+    }
+  }
+
+  // In-CSR via counting sort on dst.
+  g.in_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_sources_.resize(edges.size());
+  g.in_weights_.resize(edges.size());
+  {
+    std::vector<EdgeIndex> cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      const EdgeIndex at = cursor[e.dst]++;
+      g.in_sources_[at] = e.src;
+      g.in_weights_[at] = e.weight;
+    }
+  }
+
+  if (options.sort_in_edges_by_weight) {
+    // Sort each in-list by descending weight (stable on sources for
+    // reproducibility).
+    std::vector<std::pair<double, NodeId>> scratch;
+    for (NodeId v = 0; v < n; ++v) {
+      const EdgeIndex begin = g.in_offsets_[v];
+      const EdgeIndex end = g.in_offsets_[v + 1];
+      scratch.clear();
+      for (EdgeIndex i = begin; i < end; ++i) {
+        scratch.emplace_back(g.in_weights_[i], g.in_sources_[i]);
+      }
+      std::sort(scratch.begin(), scratch.end(), [](const auto& a,
+                                                   const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+      });
+      for (std::size_t i = 0; i < scratch.size(); ++i) {
+        g.in_weights_[begin + i] = scratch[i].first;
+        g.in_sources_[begin + i] = scratch[i].second;
+      }
+    }
+  }
+
+  // Per-node derived data.
+  g.in_weight_sums_.assign(n, 0.0);
+  g.uniform_in_weights_.assign(n, 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto weights = g.InWeights(v);
+    double sum = 0.0;
+    bool uniform = true;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      sum += weights[i];
+      if (weights[i] != weights[0]) {
+        uniform = false;
+      }
+    }
+    g.in_weight_sums_[v] = sum;
+    g.uniform_in_weights_[v] = uniform ? 1 : 0;
+  }
+
+  return g;
+}
+
+Result<Graph> BuildGraph(EdgeList list, const GraphBuildOptions& options) {
+  return GraphBuilder(std::move(list)).Build(options);
+}
+
+}  // namespace subsim

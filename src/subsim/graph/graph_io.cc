@@ -1,0 +1,138 @@
+#include "subsim/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "subsim/util/string_util.h"
+
+namespace subsim {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x53554253494d4731ull;  // "SUBSIMG1"
+
+}  // namespace
+
+Result<EdgeList> ReadEdgeListText(const std::string& path,
+                                  const EdgeListReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+
+  EdgeList list;
+  NodeId max_id = 0;
+  bool any_node = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#' || stripped[0] == '%') {
+      continue;
+    }
+    const auto fields = SplitAndTrim(stripped, " \t,");
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected 'src dst [weight]'");
+    }
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!ParseUint64(fields[0], &src) || !ParseUint64(fields[1], &dst)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": malformed node id");
+    }
+    if (src > 0xFFFFFFFEull || dst > 0xFFFFFFFEull) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": node id exceeds 32-bit range");
+    }
+    double weight = 0.0;
+    if (options.read_weights && fields.size() >= 3) {
+      if (!ParseDouble(fields[2], &weight)) {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": malformed weight");
+      }
+    }
+    const NodeId s = static_cast<NodeId>(src);
+    const NodeId d = static_cast<NodeId>(dst);
+    list.edges.push_back(Edge{s, d, weight});
+    if (options.undirected) {
+      list.edges.push_back(Edge{d, s, weight});
+    }
+    max_id = std::max(max_id, std::max(s, d));
+    any_node = true;
+  }
+  if (in.bad()) {
+    return Status::IoError("read error on " + path);
+  }
+  list.num_nodes = any_node ? max_id + 1 : 0;
+  return list;
+}
+
+Status WriteEdgeListText(const EdgeList& list, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << "# subsim edge list: " << list.num_nodes << " nodes, "
+      << list.edges.size() << " edges\n";
+  for (const Edge& e : list.edges) {
+    out << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("write error on " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteEdgeListBinary(const EdgeList& list, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::uint64_t n = list.num_nodes;
+  const std::uint64_t m = list.edges.size();
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic), sizeof(kBinaryMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(list.edges.data()),
+            static_cast<std::streamsize>(m * sizeof(Edge)));
+  out.flush();
+  if (!out) {
+    return Status::IoError("write error on " + path);
+  }
+  return Status::Ok();
+}
+
+Result<EdgeList> ReadEdgeListBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::uint64_t magic = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in || magic != kBinaryMagic) {
+    return Status::InvalidArgument(path + ": not a subsim binary edge list");
+  }
+  if (n > 0xFFFFFFFFull) {
+    return Status::InvalidArgument(path + ": node count exceeds 32-bit range");
+  }
+  EdgeList list;
+  list.num_nodes = static_cast<NodeId>(n);
+  list.edges.resize(m);
+  in.read(reinterpret_cast<char*>(list.edges.data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  if (!in) {
+    return Status::IoError(path + ": truncated edge payload");
+  }
+  return list;
+}
+
+}  // namespace subsim

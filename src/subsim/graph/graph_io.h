@@ -1,0 +1,39 @@
+#ifndef SUBSIM_GRAPH_GRAPH_IO_H_
+#define SUBSIM_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "subsim/graph/types.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Options for text edge-list parsing (SNAP-style files).
+struct EdgeListReadOptions {
+  /// Treat each line "u v [w]" as two directed edges u->v and v->u.
+  bool undirected = false;
+  /// If a third column is present, read it as the edge weight; otherwise
+  /// weights default to 0 (assign a WeightModel afterwards).
+  bool read_weights = true;
+  /// Lines starting with '#' or '%' are always skipped.
+};
+
+/// Parses a whitespace-separated edge list. Node ids may be arbitrary
+/// non-negative integers; they are kept as-is, and `num_nodes` becomes
+/// max(id) + 1. Fails with IoError / InvalidArgument on unreadable files or
+/// malformed lines.
+Result<EdgeList> ReadEdgeListText(const std::string& path,
+                                  const EdgeListReadOptions& options = {});
+
+/// Writes "src dst weight" lines. Inverse of ReadEdgeListText with
+/// read_weights = true.
+Status WriteEdgeListText(const EdgeList& list, const std::string& path);
+
+/// Binary snapshot of an edge list (magic + version + counts + packed
+/// edges). Roughly 10x faster to load than text for big graphs.
+Status WriteEdgeListBinary(const EdgeList& list, const std::string& path);
+Result<EdgeList> ReadEdgeListBinary(const std::string& path);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,44 @@
+#include "subsim/graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace subsim {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  stats.average_degree = graph.average_degree();
+
+  NodeId isolated_in = 0;
+  double weight_sum_total = 0.0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    if (graph.InDegree(v) == 0) {
+      ++isolated_in;
+    }
+    const double ws = graph.InWeightSum(v);
+    weight_sum_total += ws;
+    stats.max_in_weight_sum = std::max(stats.max_in_weight_sum, ws);
+  }
+  if (graph.num_nodes() > 0) {
+    stats.isolated_in_fraction =
+        static_cast<double>(isolated_in) / graph.num_nodes();
+    stats.avg_in_weight_sum = weight_sum_total / graph.num_nodes();
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream out;
+  out << "n=" << num_nodes << " m=" << num_edges << " avg_deg="
+      << average_degree << " max_in=" << max_in_degree
+      << " max_out=" << max_out_degree
+      << " avg_in_wsum=" << avg_in_weight_sum
+      << " max_in_wsum=" << max_in_weight_sum;
+  return out.str();
+}
+
+}  // namespace subsim

@@ -1,0 +1,32 @@
+#ifndef SUBSIM_GRAPH_GRAPH_STATS_H_
+#define SUBSIM_GRAPH_GRAPH_STATS_H_
+
+#include <string>
+
+#include "subsim/graph/graph.h"
+
+namespace subsim {
+
+/// Summary statistics of a built graph; used by the Table 2 bench and by
+/// tests that assert on generator shapes.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeIndex num_edges = 0;
+  double average_degree = 0.0;
+  NodeId max_in_degree = 0;
+  NodeId max_out_degree = 0;
+  /// Fraction of nodes with in-degree 0.
+  double isolated_in_fraction = 0.0;
+  /// Average and max of per-node total incoming weight (the paper's
+  /// theta(d_in) quantity).
+  double avg_in_weight_sum = 0.0;
+  double max_in_weight_sum = 0.0;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeGraphStats(const Graph& graph);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,36 @@
+#ifndef SUBSIM_GRAPH_TYPES_H_
+#define SUBSIM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace subsim {
+
+/// Node identifier: dense indices in [0, n).
+using NodeId = std::uint32_t;
+
+/// Edge index / adjacency offset. 64-bit so graphs above 4B edge endpoints
+/// would still index correctly (we stay far below that at laptop scale).
+using EdgeIndex = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// A weighted directed edge `src -> dst` with propagation probability
+/// `weight` in [0, 1].
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double weight = 0.0;
+};
+
+/// Raw edge-list form of a graph, the exchange format between generators,
+/// weight models, IO, and the `GraphBuilder`.
+struct EdgeList {
+  NodeId num_nodes = 0;
+  std::vector<Edge> edges;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_GRAPH_TYPES_H_

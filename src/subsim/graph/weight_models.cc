@@ -1,0 +1,160 @@
+#include "subsim/graph/weight_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+namespace {
+
+std::vector<NodeId> ComputeInDegrees(const EdgeList& list) {
+  std::vector<NodeId> in_degree(list.num_nodes, 0);
+  for (const Edge& e : list.edges) {
+    ++in_degree[e.dst];
+  }
+  return in_degree;
+}
+
+void AssignWeightedCascade(EdgeList* list) {
+  const std::vector<NodeId> in_degree = ComputeInDegrees(*list);
+  for (Edge& e : list->edges) {
+    e.weight = 1.0 / static_cast<double>(in_degree[e.dst]);
+  }
+}
+
+void AssignUniform(double p, EdgeList* list) {
+  for (Edge& e : list->edges) {
+    e.weight = p;
+  }
+}
+
+void AssignWcVariant(double theta, EdgeList* list) {
+  const std::vector<NodeId> in_degree = ComputeInDegrees(*list);
+  for (Edge& e : list->edges) {
+    e.weight = std::min(1.0, theta / static_cast<double>(in_degree[e.dst]));
+  }
+}
+
+/// Draws a raw positive weight per edge with `draw`, then rescales each
+/// node's incoming weights to sum to 1 (the paper's skewed-distribution
+/// protocol). Nodes whose raw incoming sum is 0 keep zero weights.
+template <typename DrawFn>
+void AssignNormalizedRandom(EdgeList* list, DrawFn draw) {
+  for (Edge& e : list->edges) {
+    e.weight = draw();
+  }
+  std::vector<double> in_sums(list->num_nodes, 0.0);
+  for (const Edge& e : list->edges) {
+    in_sums[e.dst] += e.weight;
+  }
+  for (Edge& e : list->edges) {
+    const double sum = in_sums[e.dst];
+    e.weight = sum > 0.0 ? e.weight / sum : 0.0;
+  }
+}
+
+void AssignExponential(double lambda, std::uint64_t seed, EdgeList* list) {
+  Rng rng(seed);
+  AssignNormalizedRandom(list, [&]() {
+    // Inverse-CDF sampling: X = -ln(U) / lambda.
+    return -std::log(rng.NextDoubleOpen()) / lambda;
+  });
+}
+
+void AssignWeibull(double param_max, std::uint64_t seed, EdgeList* list) {
+  Rng rng(seed);
+  AssignNormalizedRandom(list, [&]() {
+    // Per-edge shape a and scale b from Uniform(0, param_max];
+    // X = b * (-ln U)^{1/a}. A shape near 0 raises the exponent 1/a into
+    // the thousands, so compute in log space and clamp: one astronomically
+    // heavy draw would swallow its node's entire normalized weight anyway.
+    const double a = std::max(1e-3, rng.NextDouble() * param_max);
+    const double b = rng.NextDoubleOpen() * param_max;
+    const double log_x = std::log(b) + std::log(-std::log(rng.NextDoubleOpen())) / a;
+    return std::exp(std::min(log_x, 300.0));
+  });
+}
+
+void AssignTrivalency(std::uint64_t seed, EdgeList* list) {
+  static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+  Rng rng(seed);
+  for (Edge& e : list->edges) {
+    e.weight = kLevels[rng.UniformInt(3)];
+  }
+}
+
+}  // namespace
+
+Status AssignWeights(WeightModel model, const WeightModelParams& params,
+                     EdgeList* list) {
+  switch (model) {
+    case WeightModel::kWeightedCascade:
+    case WeightModel::kLinearThreshold:
+      AssignWeightedCascade(list);
+      return Status::Ok();
+    case WeightModel::kUniformIc:
+      if (params.uniform_p < 0.0 || params.uniform_p > 1.0) {
+        return Status::InvalidArgument("uniform_p must be in [0,1]");
+      }
+      AssignUniform(params.uniform_p, list);
+      return Status::Ok();
+    case WeightModel::kWcVariant:
+      if (params.wc_variant_theta < 0.0) {
+        return Status::InvalidArgument("wc_variant_theta must be >= 0");
+      }
+      AssignWcVariant(params.wc_variant_theta, list);
+      return Status::Ok();
+    case WeightModel::kExponential:
+      if (params.exponential_lambda <= 0.0) {
+        return Status::InvalidArgument("exponential_lambda must be > 0");
+      }
+      AssignExponential(params.exponential_lambda, params.seed, list);
+      return Status::Ok();
+    case WeightModel::kWeibull:
+      if (params.weibull_param_max <= 0.0) {
+        return Status::InvalidArgument("weibull_param_max must be > 0");
+      }
+      AssignWeibull(params.weibull_param_max, params.seed, list);
+      return Status::Ok();
+    case WeightModel::kTrivalency:
+      AssignTrivalency(params.seed, list);
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown weight model");
+}
+
+Result<WeightModel> ParseWeightModel(const std::string& name) {
+  if (name == "wc") return WeightModel::kWeightedCascade;
+  if (name == "uniform") return WeightModel::kUniformIc;
+  if (name == "wc-variant") return WeightModel::kWcVariant;
+  if (name == "exponential") return WeightModel::kExponential;
+  if (name == "weibull") return WeightModel::kWeibull;
+  if (name == "trivalency") return WeightModel::kTrivalency;
+  if (name == "lt") return WeightModel::kLinearThreshold;
+  return Status::InvalidArgument("unknown weight model: " + name);
+}
+
+const char* WeightModelName(WeightModel model) {
+  switch (model) {
+    case WeightModel::kWeightedCascade:
+      return "wc";
+    case WeightModel::kUniformIc:
+      return "uniform";
+    case WeightModel::kWcVariant:
+      return "wc-variant";
+    case WeightModel::kExponential:
+      return "exponential";
+    case WeightModel::kWeibull:
+      return "weibull";
+    case WeightModel::kTrivalency:
+      return "trivalency";
+    case WeightModel::kLinearThreshold:
+      return "lt";
+  }
+  return "?";
+}
+
+}  // namespace subsim

@@ -1,0 +1,69 @@
+#ifndef SUBSIM_GRAPH_WEIGHT_MODELS_H_
+#define SUBSIM_GRAPH_WEIGHT_MODELS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "subsim/graph/types.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Edge-probability models from the paper's experiments (Section 7).
+///
+/// All functions assign weights in place on an `EdgeList` (before CSR
+/// construction), because several models need global information (in-degrees
+/// or per-node normalization) that is cheapest to compute on the raw list.
+enum class WeightModel {
+  /// Weighted Cascade: p(u, v) = 1 / d_in(v).
+  kWeightedCascade,
+  /// Uniform IC: every edge carries the same probability p.
+  kUniformIc,
+  /// WC variant (paper Section 7): p(u, v) = min{1, theta / d_in(v)}.
+  /// theta >= 1 scales the influence level; theta = 1 recovers WC.
+  kWcVariant,
+  /// Exponential(lambda = 1) weights, then each node's incoming weights are
+  /// rescaled so they sum to 1 (paper's "skewed" setting).
+  kExponential,
+  /// Weibull(a, b) weights with a, b ~ Uniform[0, 10] per edge, then per-node
+  /// rescaling of incoming weights to sum 1 (following Tang et al. [38]).
+  kWeibull,
+  /// Trivalency: each edge uniformly from {0.1, 0.01, 0.001}. A classic IC
+  /// benchmark setting; included as an extension.
+  kTrivalency,
+  /// Linear Threshold normalization: p(u, v) = 1 / d_in(v); identical weights
+  /// to WC but declared separately because LT semantics interpret them as
+  /// threshold mass instead of independent coin flips.
+  kLinearThreshold,
+};
+
+/// Parameters for `AssignWeights`. Only the fields used by the chosen model
+/// are read.
+struct WeightModelParams {
+  /// kUniformIc: the shared edge probability.
+  double uniform_p = 0.1;
+  /// kWcVariant: the theta multiplier (>= 0; the paper uses >= 1).
+  double wc_variant_theta = 1.0;
+  /// kExponential: the rate lambda.
+  double exponential_lambda = 1.0;
+  /// kWeibull: upper bound of the uniform range for shape/scale draws.
+  double weibull_param_max = 10.0;
+  /// Seed for the models that draw random weights.
+  std::uint64_t seed = 0;
+};
+
+/// Overwrites `list->edges[i].weight` per the chosen model.
+/// Fails with InvalidArgument on out-of-range parameters.
+Status AssignWeights(WeightModel model, const WeightModelParams& params,
+                     EdgeList* list);
+
+/// Parses "wc", "uniform", "wc-variant", "exponential", "weibull",
+/// "trivalency", "lt" (case-sensitive).
+Result<WeightModel> ParseWeightModel(const std::string& name);
+
+/// Inverse of `ParseWeightModel`.
+const char* WeightModelName(WeightModel model);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_GRAPH_WEIGHT_MODELS_H_

@@ -1,0 +1,66 @@
+#include "subsim/random/alias_table.h"
+
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+void AliasTable::Build(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  SUBSIM_CHECK(n > 0, "AliasTable requires at least one weight");
+
+  total_weight_ = 0.0;
+  for (double w : weights) {
+    SUBSIM_CHECK(w >= 0.0, "AliasTable weights must be non-negative");
+    total_weight_ += w;
+  }
+  SUBSIM_CHECK(total_weight_ > 0.0, "AliasTable needs a positive weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities: mean 1. Partition into under/over-full columns and
+  // repeatedly pair one of each.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total_weight_;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * scale;
+  }
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: all remaining columns are (within rounding) full.
+  for (std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::uint32_t AliasTable::Sample(Rng& rng) const {
+  SUBSIM_DCHECK(!prob_.empty(), "Sample from empty AliasTable");
+  const std::uint64_t column = rng.UniformInt(prob_.size());
+  const double u = rng.NextDouble();
+  return u < prob_[column] ? static_cast<std::uint32_t>(column)
+                           : alias_[column];
+}
+
+}  // namespace subsim

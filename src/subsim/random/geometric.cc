@@ -1,0 +1,35 @@
+#include "subsim/random/geometric.h"
+
+#include <cmath>
+
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+std::uint64_t SampleGeometric(Rng& rng, double p) {
+  SUBSIM_DCHECK(p > 0.0 && p <= 1.0, "SampleGeometric requires 0 < p <= 1");
+  if (p >= 1.0) {
+    return 1;
+  }
+  return SampleGeometricFast(rng, GeometricInvLogQ(p));
+}
+
+double GeometricInvLogQ(double p) {
+  SUBSIM_DCHECK(p > 0.0 && p < 1.0, "GeometricInvLogQ requires 0 < p < 1");
+  // log1p(-p) = log(1-p), accurate for small p.
+  return 1.0 / std::log1p(-p);
+}
+
+std::uint64_t SampleGeometricFast(Rng& rng, double inv_log_q) {
+  const double u = rng.NextDoubleOpen();
+  const double x = std::ceil(std::log(u) * inv_log_q);
+  // x >= 1 always (log(u) < 0, inv_log_q < 0). Guard against the double
+  // exceeding the integer range for microscopic p.
+  if (!(x < static_cast<double>(kGeometricCap))) {
+    return kGeometricCap;
+  }
+  const std::uint64_t i = static_cast<std::uint64_t>(x);
+  return i == 0 ? 1 : i;  // ceil may give 0 if u rounds to 1.0 exactly.
+}
+
+}  // namespace subsim

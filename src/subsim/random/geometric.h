@@ -1,0 +1,40 @@
+#ifndef SUBSIM_RANDOM_GEOMETRIC_H_
+#define SUBSIM_RANDOM_GEOMETRIC_H_
+
+#include <cstdint>
+
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+/// Samples from the geometric distribution G(p) on {1, 2, 3, ...}:
+/// Pr[X = i] = (1-p)^{i-1} p — the index of the first success in a sequence
+/// of independent Bernoulli(p) trials.
+///
+/// This is the skip length used by SUBSIM (Algorithm 3, lines 7/13):
+/// `ceil(log U / log(1-p))` for U uniform in (0,1), which is O(1) per draw
+/// [Knuth Vol. 3]. Returns a value > `kGeometricCap` as-is; callers compare
+/// against their remaining-element count, so overflow beyond the set size is
+/// handled naturally.
+///
+/// Requires 0 < p <= 1. For p == 1 always returns 1.
+std::uint64_t SampleGeometric(Rng& rng, double p);
+
+/// Upper cap used internally to avoid converting +inf/NaN to integers when
+/// p is tiny and U is close to 1. Anything at or above this value means
+/// "beyond any realistic set size".
+inline constexpr std::uint64_t kGeometricCap = std::uint64_t{1} << 62;
+
+/// Log-space skip sampling with a precomputed 1/log(1-p): saves the log()
+/// in the denominator on repeated draws with the same p. `inv_log_q` must be
+/// 1.0 / log(1 - p) (a negative number). Used on the RR-generation hot path
+/// where a node's in-neighbor probability p is fixed.
+std::uint64_t SampleGeometricFast(Rng& rng, double inv_log_q);
+
+/// Precomputes the `inv_log_q` argument for `SampleGeometricFast`.
+/// Requires 0 < p < 1.
+double GeometricInvLogQ(double p);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RANDOM_GEOMETRIC_H_

@@ -1,0 +1,56 @@
+#ifndef SUBSIM_RANDOM_RNG_H_
+#define SUBSIM_RANDOM_RNG_H_
+
+#include <cstdint>
+
+namespace subsim {
+
+/// SplitMix64 step; used to expand user seeds into full engine state and to
+/// derive independent substreams. Public for tests.
+std::uint64_t SplitMix64(std::uint64_t* state);
+
+/// Deterministic pseudo-random generator (xoshiro256++).
+///
+/// All randomness in the library flows through explicitly seeded `Rng`
+/// instances — there is no global RNG — so every sampling routine, RR-set
+/// generator, and IM algorithm is reproducible from a single 64-bit seed.
+///
+/// Satisfies the uniform_random_bit_generator concept (operator(), min, max),
+/// so it can also drive <random> distributions when convenient.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next 64 uniform random bits.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1). 53-bit resolution.
+  double NextDouble();
+
+  /// Uniform double in (0, 1); never returns 0, safe for log().
+  double NextDoubleOpen();
+
+  /// Uniform integer in [0, bound). Requires bound >= 1. Unbiased
+  /// (Lemire's rejection method).
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Derives an independent generator for substream `stream`. Two forks of
+  /// the same Rng state with different stream ids are statistically
+  /// independent; forking does not advance this generator.
+  Rng Fork(std::uint64_t stream) const;
+
+  using result_type = std::uint64_t;
+  result_type operator()() { return NextU64(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RANDOM_RNG_H_

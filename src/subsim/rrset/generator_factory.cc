@@ -1,0 +1,55 @@
+#include "subsim/rrset/generator_factory.h"
+
+#include "subsim/rrset/lt_generator.h"
+#include "subsim/rrset/subsim_ic_generator.h"
+#include "subsim/rrset/vanilla_ic_generator.h"
+
+namespace subsim {
+
+void RrGenerator::Fill(Rng& rng, std::size_t count,
+                       RrCollection* collection) {
+  std::vector<NodeId> scratch;
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool hit = Generate(rng, &scratch);
+    collection->Add(scratch, hit);
+  }
+}
+
+Result<std::unique_ptr<RrGenerator>> MakeRrGenerator(GeneratorKind kind,
+                                                     const Graph& graph) {
+  switch (kind) {
+    case GeneratorKind::kVanillaIc:
+      return std::unique_ptr<RrGenerator>(new VanillaIcGenerator(graph));
+    case GeneratorKind::kSubsimIc:
+      return std::unique_ptr<RrGenerator>(new SubsimIcGenerator(graph));
+    case GeneratorKind::kLt: {
+      Result<std::unique_ptr<LtGenerator>> lt = LtGenerator::Create(graph);
+      if (!lt.ok()) {
+        return lt.status();
+      }
+      return std::unique_ptr<RrGenerator>(std::move(lt).value().release());
+    }
+  }
+  return Status::InvalidArgument("unknown generator kind");
+}
+
+Result<GeneratorKind> ParseGeneratorKind(const std::string& name) {
+  if (name == "vanilla") return GeneratorKind::kVanillaIc;
+  if (name == "subsim") return GeneratorKind::kSubsimIc;
+  if (name == "lt") return GeneratorKind::kLt;
+  return Status::InvalidArgument("unknown generator kind: " + name);
+}
+
+const char* GeneratorKindName(GeneratorKind kind) {
+  switch (kind) {
+    case GeneratorKind::kVanillaIc:
+      return "vanilla";
+    case GeneratorKind::kSubsimIc:
+      return "subsim";
+    case GeneratorKind::kLt:
+      return "lt";
+  }
+  return "?";
+}
+
+}  // namespace subsim

@@ -1,0 +1,34 @@
+#ifndef SUBSIM_RRSET_GENERATOR_FACTORY_H_
+#define SUBSIM_RRSET_GENERATOR_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "subsim/graph/graph.h"
+#include "subsim/rrset/rr_generator.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// RR-set generation strategies selectable by name. This is the axis the
+/// paper's experiments vary: every IM algorithm runs with either the
+/// vanilla generator or the SUBSIM generator.
+enum class GeneratorKind {
+  kVanillaIc,  // Algorithm 2
+  kSubsimIc,   // Algorithm 3 (+ general-IC extensions)
+  kLt,         // Linear Threshold live-edge walk
+};
+
+/// Builds a generator over `graph` (which must outlive the result).
+/// kLt validates the per-node weight-sum requirement.
+Result<std::unique_ptr<RrGenerator>> MakeRrGenerator(GeneratorKind kind,
+                                                     const Graph& graph);
+
+/// Parses "vanilla" | "subsim" | "lt".
+Result<GeneratorKind> ParseGeneratorKind(const std::string& name);
+
+const char* GeneratorKindName(GeneratorKind kind);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_GENERATOR_FACTORY_H_

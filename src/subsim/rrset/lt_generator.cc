@@ -1,0 +1,89 @@
+#include "subsim/rrset/lt_generator.h"
+
+#include <string>
+
+namespace subsim {
+
+Result<std::unique_ptr<LtGenerator>> LtGenerator::Create(const Graph& graph) {
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.InWeightSum(v) > 1.0 + 1e-9) {
+      return Status::InvalidArgument(
+          "LT requires per-node incoming weights to sum to <= 1; node " +
+          std::to_string(v) + " sums to " +
+          std::to_string(graph.InWeightSum(v)));
+    }
+  }
+  return std::unique_ptr<LtGenerator>(new LtGenerator(graph));
+}
+
+LtGenerator::LtGenerator(const Graph& graph) : graph_(graph) {
+  alias_.resize(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.InDegree(v) == 0 || graph.HasUniformInWeights(v)) {
+      continue;  // uniform pick; no table needed
+    }
+    const auto weights = graph.InWeights(v);
+    alias_[v] = std::make_unique<AliasTable>(
+        std::vector<double>(weights.begin(), weights.end()));
+  }
+  activated_.Resize(graph.num_nodes());
+  sentinel_.Resize(graph.num_nodes());
+}
+
+void LtGenerator::SetSentinels(std::span<const NodeId> sentinels) {
+  sentinel_.ResetTouched();
+  has_sentinels_ = !sentinels.empty();
+  for (NodeId v : sentinels) {
+    sentinel_.Set(v);
+  }
+}
+
+NodeId LtGenerator::PickInNeighbor(NodeId v, Rng& rng) {
+  const double sum = graph_.InWeightSum(v);
+  if (sum <= 0.0) {
+    return kInvalidNode;
+  }
+  ++stats_.edges_examined;
+  if (rng.NextDouble() >= sum) {
+    return kInvalidNode;  // no live in-edge for v
+  }
+  const auto sources = graph_.InNeighbors(v);
+  if (alias_[v] == nullptr) {
+    // Uniform in-weights: live edge uniform among in-neighbors.
+    return sources[rng.UniformInt(sources.size())];
+  }
+  return sources[alias_[v]->Sample(rng)];
+}
+
+bool LtGenerator::Generate(Rng& rng, std::vector<NodeId>* out) {
+  out->clear();
+  SUBSIM_CHECK(graph_.num_nodes() > 0, "cannot sample from empty graph");
+
+  NodeId cur = static_cast<NodeId>(rng.UniformInt(graph_.num_nodes()));
+  out->push_back(cur);
+  activated_.Set(cur);
+  bool hit = has_sentinels_ && sentinel_.Get(cur);
+
+  while (!hit) {
+    const NodeId next = PickInNeighbor(cur, rng);
+    if (next == kInvalidNode || !activated_.Set(next)) {
+      break;  // dead end or walked into the existing set
+    }
+    out->push_back(next);
+    if (has_sentinels_ && sentinel_.Get(next)) {
+      hit = true;
+      break;
+    }
+    cur = next;
+  }
+
+  activated_.ResetTouched();
+  ++stats_.sets_generated;
+  stats_.nodes_added += out->size();
+  if (hit) {
+    ++stats_.sentinel_hits;
+  }
+  return hit;
+}
+
+}  // namespace subsim

@@ -1,0 +1,55 @@
+#ifndef SUBSIM_RRSET_LT_GENERATOR_H_
+#define SUBSIM_RRSET_LT_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "subsim/graph/graph.h"
+#include "subsim/random/alias_table.h"
+#include "subsim/rrset/rr_generator.h"
+#include "subsim/util/bit_vector.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Linear Threshold RR-set generator.
+///
+/// Under the live-edge interpretation of LT, each node keeps at most one
+/// incoming live edge: in-neighbor w is picked with probability p(w, v),
+/// and no edge with probability 1 - sum_w p(w, v). A reverse traversal is
+/// therefore a random walk that stops on a revisit, a dead end, or a
+/// no-edge draw. Per step cost is O(1): uniform pick for equal weights,
+/// alias-table pick otherwise (table built once per node at construction).
+///
+/// The per-node incoming weight sums must not exceed 1 (LT requirement);
+/// `Create` validates this.
+class LtGenerator final : public RrGenerator {
+ public:
+  /// Fails with InvalidArgument if some node's incoming weights sum above
+  /// 1 + 1e-9. `graph` must outlive the generator.
+  static Result<std::unique_ptr<LtGenerator>> Create(const Graph& graph);
+
+  bool Generate(Rng& rng, std::vector<NodeId>* out) override;
+  void SetSentinels(std::span<const NodeId> sentinels) override;
+  const RrGenStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = RrGenStats{}; }
+  const char* name() const override { return "lt"; }
+
+ private:
+  explicit LtGenerator(const Graph& graph);
+
+  /// Picks the live in-neighbor of v, or kInvalidNode for "no live edge".
+  NodeId PickInNeighbor(NodeId v, Rng& rng);
+
+  const Graph& graph_;
+  RrGenStats stats_;
+  /// Alias tables for nodes with skewed in-weights; null for uniform ones.
+  std::vector<std::unique_ptr<AliasTable>> alias_;
+  BitVector activated_;
+  BitVector sentinel_;
+  bool has_sentinels_ = false;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_LT_GENERATOR_H_

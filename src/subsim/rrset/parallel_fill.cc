@@ -1,0 +1,101 @@
+#include "subsim/rrset/parallel_fill.h"
+
+#include <thread>
+#include <vector>
+
+namespace subsim {
+
+namespace {
+
+/// One worker's output: flattened sets plus their boundaries and flags.
+struct WorkerBuffer {
+  std::vector<NodeId> nodes;
+  std::vector<std::uint32_t> sizes;
+  std::vector<std::uint8_t> hits;
+};
+
+}  // namespace
+
+Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
+                    std::size_t count, const ParallelFillOptions& options,
+                    RrCollection* collection) {
+  unsigned num_threads = options.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) {
+      num_threads = 1;
+    }
+  }
+  if (num_threads > count) {
+    num_threads = count > 0 ? static_cast<unsigned>(count) : 1;
+  }
+
+  // Validate generator construction once up front (e.g. LT weight sums) so
+  // workers cannot fail after threads have started.
+  {
+    Result<std::unique_ptr<RrGenerator>> probe = MakeRrGenerator(kind, graph);
+    if (!probe.ok()) {
+      return probe.status();
+    }
+  }
+  if (count == 0) {
+    return Status::Ok();
+  }
+
+  std::vector<WorkerBuffer> buffers(num_threads);
+  std::vector<Rng> worker_rngs;
+  worker_rngs.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    worker_rngs.push_back(rng.Fork(0x9E3779B9ull + t));
+  }
+  rng.NextU64();  // advance the parent so the next call forks new streams
+
+  auto worker = [&](unsigned t) {
+    const std::size_t begin = count * t / num_threads;
+    const std::size_t end = count * (t + 1) / num_threads;
+    Result<std::unique_ptr<RrGenerator>> generator =
+        MakeRrGenerator(kind, graph);
+    // Construction succeeded on the probe above; a failure here would mean
+    // non-deterministic construction, which the factories do not do.
+    SUBSIM_CHECK(generator.ok(), "generator construction raced");
+    (*generator)->SetSentinels(options.sentinels);
+
+    WorkerBuffer& buffer = buffers[t];
+    std::vector<NodeId> scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const bool hit = (*generator)->Generate(worker_rngs[t], &scratch);
+      buffer.nodes.insert(buffer.nodes.end(), scratch.begin(),
+                          scratch.end());
+      buffer.sizes.push_back(static_cast<std::uint32_t>(scratch.size()));
+      buffer.hits.push_back(hit ? 1 : 0);
+    }
+  };
+
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+
+  // Deterministic merge: worker order, generation order within worker.
+  for (const WorkerBuffer& buffer : buffers) {
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < buffer.sizes.size(); ++i) {
+      collection->Add(
+          std::span<const NodeId>(buffer.nodes.data() + offset,
+                                  buffer.sizes[i]),
+          buffer.hits[i] != 0);
+      offset += buffer.sizes[i];
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace subsim

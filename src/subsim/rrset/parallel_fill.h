@@ -1,0 +1,41 @@
+#ifndef SUBSIM_RRSET_PARALLEL_FILL_H_
+#define SUBSIM_RRSET_PARALLEL_FILL_H_
+
+#include <cstddef>
+
+#include "subsim/graph/graph.h"
+#include "subsim/random/rng.h"
+#include "subsim/rrset/generator_factory.h"
+#include "subsim/rrset/rr_collection.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Options for multi-threaded RR-set generation.
+struct ParallelFillOptions {
+  /// Worker count; 0 means std::thread::hardware_concurrency() (min 1).
+  unsigned num_threads = 0;
+  /// Sentinel set installed in every worker's generator (Algorithm 5).
+  std::vector<NodeId> sentinels;
+};
+
+/// Generates `count` RR sets with `options.num_threads` workers and appends
+/// them to `collection`.
+///
+/// Each worker owns a private generator (the `RrGenerator` interface is
+/// stateful and not thread-safe) seeded from an independent fork of `rng`,
+/// and writes into a private buffer; buffers are appended in worker order
+/// after the join, so the resulting collection is deterministic for a given
+/// (seed, num_threads) regardless of scheduling. `rng` is advanced once so
+/// consecutive calls draw fresh streams.
+///
+/// This is an extension beyond the paper (which is single-threaded); RR-set
+/// generation is embarrassingly parallel and this routine exists so
+/// downstream users are not stuck at one core.
+Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
+                    std::size_t count, const ParallelFillOptions& options,
+                    RrCollection* collection);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_PARALLEL_FILL_H_

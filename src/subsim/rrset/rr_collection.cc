@@ -1,0 +1,30 @@
+#include "subsim/rrset/rr_collection.h"
+
+namespace subsim {
+
+RrId RrCollection::Add(std::span<const NodeId> nodes, bool hit_sentinel) {
+  const RrId id = static_cast<RrId>(num_sets());
+  arena_.insert(arena_.end(), nodes.begin(), nodes.end());
+  offsets_.push_back(arena_.size());
+  hit_sentinel_.push_back(hit_sentinel ? 1 : 0);
+  if (hit_sentinel) {
+    ++num_hit_;
+  }
+  for (NodeId v : nodes) {
+    SUBSIM_DCHECK(v < index_.size(), "RR member out of node range");
+    index_[v].push_back(id);
+  }
+  return id;
+}
+
+void RrCollection::Clear() {
+  offsets_.assign(1, 0);
+  arena_.clear();
+  hit_sentinel_.clear();
+  num_hit_ = 0;
+  for (auto& list : index_) {
+    list.clear();
+  }
+}
+
+}  // namespace subsim

@@ -1,0 +1,84 @@
+#ifndef SUBSIM_RRSET_RR_COLLECTION_H_
+#define SUBSIM_RRSET_RR_COLLECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "subsim/graph/types.h"
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+/// Identifier of an RR set inside an `RrCollection`.
+using RrId = std::uint32_t;
+
+/// A growable pool of reverse-reachable sets with an inverted index.
+///
+/// Storage is a single arena (offsets + node array), so appending RR sets
+/// does one amortized allocation and iteration is cache-friendly. The
+/// inverted index (node -> ids of RR sets containing it) is maintained on
+/// insert; it is what makes the greedy max-coverage pass O(total RR size).
+///
+/// Collections also record, per set, whether its generation was truncated
+/// by a sentinel hit (Algorithm 5). Such sets are covered by the sentinel
+/// set by construction; `IM-Sentinel` (Algorithm 8 line 5) excludes them
+/// from the residual greedy.
+class RrCollection {
+ public:
+  explicit RrCollection(NodeId num_nodes) : index_(num_nodes) {}
+
+  /// Appends one RR set. `nodes` are the members (root included, each node
+  /// at most once); `hit_sentinel` marks sentinel-truncated generation.
+  /// Returns the new set's id.
+  RrId Add(std::span<const NodeId> nodes, bool hit_sentinel);
+
+  std::size_t num_sets() const { return offsets_.size() - 1; }
+
+  /// Total number of node memberships across all sets.
+  std::uint64_t total_nodes() const { return arena_.size(); }
+
+  /// Average RR-set size (0 when empty) — the quantity Figure 3(b) reports.
+  double average_size() const {
+    return num_sets() == 0
+               ? 0.0
+               : static_cast<double>(total_nodes()) / num_sets();
+  }
+
+  std::span<const NodeId> Set(RrId id) const {
+    SUBSIM_DCHECK(id < num_sets(), "RR id out of range");
+    return {arena_.data() + offsets_[id], arena_.data() + offsets_[id + 1]};
+  }
+
+  bool HitSentinel(RrId id) const {
+    SUBSIM_DCHECK(id < num_sets(), "RR id out of range");
+    return hit_sentinel_[id] != 0;
+  }
+
+  /// Number of sets with the sentinel-hit flag.
+  std::size_t num_hit_sentinel() const { return num_hit_; }
+
+  /// Ids of the RR sets that contain `v`.
+  std::span<const RrId> SetsContaining(NodeId v) const {
+    SUBSIM_DCHECK(v < index_.size(), "node out of range");
+    return index_[v];
+  }
+
+  NodeId num_graph_nodes() const {
+    return static_cast<NodeId>(index_.size());
+  }
+
+  /// Removes all sets but keeps the node capacity.
+  void Clear();
+
+ private:
+  std::vector<std::uint64_t> offsets_{0};
+  std::vector<NodeId> arena_;
+  std::vector<std::uint8_t> hit_sentinel_;
+  std::size_t num_hit_ = 0;
+  std::vector<std::vector<RrId>> index_;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_RR_COLLECTION_H_

@@ -1,0 +1,64 @@
+#ifndef SUBSIM_RRSET_RR_GENERATOR_H_
+#define SUBSIM_RRSET_RR_GENERATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "subsim/graph/types.h"
+#include "subsim/random/rng.h"
+#include "subsim/rrset/rr_collection.h"
+
+namespace subsim {
+
+/// Cumulative cost counters for RR-set generation. `edges_examined` counts
+/// candidate in-edges actually probed: for the vanilla generator this is
+/// every in-edge of every activated node (one coin flip each); for SUBSIM
+/// it is only the geometric-skip landings — the gap between the two is the
+/// paper's Section 3 speedup.
+struct RrGenStats {
+  std::uint64_t sets_generated = 0;
+  std::uint64_t nodes_added = 0;
+  std::uint64_t edges_examined = 0;
+  std::uint64_t sentinel_hits = 0;
+
+  double AverageSetSize() const {
+    return sets_generated == 0
+               ? 0.0
+               : static_cast<double>(nodes_added) / sets_generated;
+  }
+};
+
+/// Strategy interface for generating random reverse-reachable sets.
+///
+/// A generator is bound to one graph. `Generate` produces one RR set rooted
+/// at a uniformly random node. All generators support *hit-and-stop*
+/// sentinel semantics (Algorithm 5): once a sentinel set is installed via
+/// `SetSentinels`, a traversal terminates as soon as any sentinel node is
+/// activated (the sentinel node is still appended, so the set is visibly
+/// covered by the sentinel set).
+///
+/// Implementations keep per-instance scratch state (visited bitmap, queue)
+/// and are therefore not thread-safe; use one generator per thread.
+class RrGenerator {
+ public:
+  virtual ~RrGenerator() = default;
+
+  /// Clears `*out` and fills it with one random RR set. Returns true if
+  /// the traversal was stopped by a sentinel hit.
+  virtual bool Generate(Rng& rng, std::vector<NodeId>* out) = 0;
+
+  /// Installs (or, with an empty span, removes) the sentinel set.
+  virtual void SetSentinels(std::span<const NodeId> sentinels) = 0;
+
+  virtual const RrGenStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+  virtual const char* name() const = 0;
+
+  /// Generates `count` RR sets and appends them to `collection`.
+  void Fill(Rng& rng, std::size_t count, RrCollection* collection);
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_RR_GENERATOR_H_

@@ -1,0 +1,168 @@
+#include "subsim/rrset/subsim_ic_generator.h"
+
+#include "subsim/random/geometric.h"
+#include "subsim/sampling/inline_sampling.h"
+
+namespace subsim {
+
+SubsimIcGenerator::SubsimIcGenerator(const Graph& graph,
+                                     GeneralIcStrategy strategy,
+                                     NodeId naive_fallback_degree)
+    : graph_(graph), strategy_(strategy) {
+  if (strategy_ == GeneralIcStrategy::kAuto) {
+    strategy_ = graph.in_sorted_by_weight()
+                    ? GeneralIcStrategy::kSortedIndexFree
+                    : GeneralIcStrategy::kBucketIndexed;
+  }
+  SUBSIM_CHECK(strategy_ != GeneralIcStrategy::kSortedIndexFree ||
+                   graph.in_sorted_by_weight(),
+               "sorted index-free strategy requires a graph built with "
+               "sort_in_edges_by_weight");
+
+  const NodeId n = graph.num_nodes();
+  plans_.resize(n);
+  inv_log_q_.assign(n, 0.0);
+  if (strategy_ == GeneralIcStrategy::kBucketIndexed) {
+    bucket_samplers_.resize(n);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto weights = graph.InWeights(v);
+    if (weights.empty() || graph.InWeightSum(v) <= 0.0) {
+      plans_[v] = NodePlan::kNoInEdges;
+      continue;
+    }
+    if (weights.size() < naive_fallback_degree) {
+      plans_[v] = NodePlan::kSmallNaive;
+      continue;
+    }
+    if (graph.HasUniformInWeights(v)) {
+      const double p = weights[0];
+      if (p >= 1.0) {
+        plans_[v] = NodePlan::kTakeAll;
+      } else if (p <= 0.0) {
+        plans_[v] = NodePlan::kNoInEdges;
+      } else {
+        plans_[v] = NodePlan::kUniformSkip;
+        inv_log_q_[v] = GeometricInvLogQ(p);
+      }
+      continue;
+    }
+    plans_[v] = NodePlan::kGeneral;
+    if (strategy_ == GeneralIcStrategy::kBucketIndexed) {
+      bucket_samplers_[v] = std::make_unique<BucketSubsetSampler>(
+          std::vector<double>(weights.begin(), weights.end()));
+    }
+  }
+
+  activated_.Resize(n);
+  sentinel_.Resize(n);
+}
+
+void SubsimIcGenerator::SetSentinels(std::span<const NodeId> sentinels) {
+  sentinel_.ResetTouched();
+  has_sentinels_ = !sentinels.empty();
+  for (NodeId v : sentinels) {
+    sentinel_.Set(v);
+  }
+}
+
+bool SubsimIcGenerator::Activate(NodeId w, std::vector<NodeId>* out) {
+  if (stop_ || !activated_.Set(w)) {
+    return false;
+  }
+  out->push_back(w);
+  if (has_sentinels_ && sentinel_.Get(w)) {
+    stop_ = true;
+    return true;
+  }
+  queue_.push_back(w);
+  return false;
+}
+
+bool SubsimIcGenerator::ExpandNode(NodeId u, Rng& rng,
+                                   std::vector<NodeId>* out) {
+  const auto sources = graph_.InNeighbors(u);
+  switch (plans_[u]) {
+    case NodePlan::kNoInEdges:
+      return false;
+    case NodePlan::kSmallNaive:
+      // Every in-edge gets a coin flip here, so count them all.
+      stats_.edges_examined += sources.size();
+      SampleSubsetNaive(graph_.InWeights(u), rng, [&](std::uint32_t i) {
+        Activate(sources[i], out);
+      });
+      return stop_;
+    case NodePlan::kTakeAll:
+      for (NodeId w : sources) {
+        ++stats_.edges_examined;
+        Activate(w, out);
+        if (stop_) {
+          return true;
+        }
+      }
+      return false;
+    case NodePlan::kUniformSkip:
+      SampleUniformSubsetSkips(
+          sources.size(), inv_log_q_[u], rng, [&](std::uint32_t i) {
+            ++stats_.edges_examined;
+            Activate(sources[i], out);
+          });
+      return stop_;
+    case NodePlan::kGeneral:
+      break;
+  }
+
+  if (strategy_ == GeneralIcStrategy::kSortedIndexFree) {
+    SampleSortedSubset(graph_.InWeights(u), rng, [&](std::uint32_t i) {
+      ++stats_.edges_examined;
+      Activate(sources[i], out);
+    });
+    return stop_;
+  }
+
+  // Bucket strategy: the sampler emits into scratch, then we activate.
+  scratch_indices_.clear();
+  bucket_samplers_[u]->Sample(rng, &scratch_indices_);
+  for (std::uint32_t i : scratch_indices_) {
+    ++stats_.edges_examined;
+    Activate(sources[i], out);
+    if (stop_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SubsimIcGenerator::Generate(Rng& rng, std::vector<NodeId>* out) {
+  out->clear();
+  SUBSIM_CHECK(graph_.num_nodes() > 0, "cannot sample from empty graph");
+
+  stop_ = false;
+  queue_.clear();
+  const NodeId root = static_cast<NodeId>(rng.UniformInt(graph_.num_nodes()));
+  out->push_back(root);
+  activated_.Set(root);
+  bool hit = has_sentinels_ && sentinel_.Get(root);
+
+  if (!hit) {
+    queue_.push_back(root);
+    std::size_t head = 0;
+    while (head < queue_.size()) {
+      if (ExpandNode(queue_[head++], rng, out)) {
+        hit = true;
+        break;
+      }
+    }
+  }
+
+  activated_.ResetTouched();
+  ++stats_.sets_generated;
+  stats_.nodes_added += out->size();
+  if (hit) {
+    ++stats_.sentinel_hits;
+  }
+  return hit;
+}
+
+}  // namespace subsim

@@ -1,0 +1,98 @@
+#ifndef SUBSIM_RRSET_SUBSIM_IC_GENERATOR_H_
+#define SUBSIM_RRSET_SUBSIM_IC_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "subsim/graph/graph.h"
+#include "subsim/rrset/rr_generator.h"
+#include "subsim/sampling/bucket_sampler.h"
+#include "subsim/util/bit_vector.h"
+
+namespace subsim {
+
+/// How the SUBSIM generator samples the in-neighbors of nodes whose
+/// incoming weights are *not* all equal (general IC, paper Section 3.3).
+enum class GeneralIcStrategy {
+  /// Index-free sorted-position bucketing; requires the graph to be built
+  /// with `sort_in_edges_by_weight`. O(1 + mu + log d) per activated node,
+  /// zero preprocessing.
+  kSortedIndexFree,
+  /// Per-node `BucketSubsetSampler` built once at generator construction.
+  /// O(1 + mu) per activated node after O(m) preprocessing (Lemma 5).
+  kBucketIndexed,
+  /// Pick automatically: sorted when the graph is weight-sorted, else
+  /// bucket.
+  kAuto,
+};
+
+/// Algorithm 3 (+ Section 3.3): the SUBSIM RR-set generator.
+///
+/// For a dequeued node whose in-edges share one probability p (WC, Uniform
+/// IC, and WC-variant below the min{} clamp), in-neighbors are selected by
+/// geometric skips — expected cost O(1 + d_in * p) instead of the vanilla
+/// O(d_in). Nodes with skewed in-weights fall back to the configured
+/// general-IC subset-sampling strategy. Per-node `1/log(1-p)` constants are
+/// precomputed so the hot loop performs one log() per geometric draw.
+class SubsimIcGenerator final : public RrGenerator {
+ public:
+  /// Below this in-degree a node is expanded by plain per-edge coin flips:
+  /// a geometric skip costs one log() (~10 Bernoulli draws), so subset
+  /// sampling only pays for itself on wider in-lists. Lemma 3's asymptotics
+  /// are unaffected — the fallback work is O(threshold) = O(1).
+  static constexpr NodeId kDefaultNaiveFallbackDegree = 16;
+
+  /// `graph` must outlive the generator. Construction cost: O(n) for the
+  /// uniform fast path, plus O(m) over skew-weighted nodes when the bucket
+  /// strategy is selected. `naive_fallback_degree` = 0 disables the
+  /// small-degree fallback (tests use this to force the skip kernels).
+  explicit SubsimIcGenerator(
+      const Graph& graph,
+      GeneralIcStrategy strategy = GeneralIcStrategy::kAuto,
+      NodeId naive_fallback_degree = kDefaultNaiveFallbackDegree);
+
+  bool Generate(Rng& rng, std::vector<NodeId>* out) override;
+  void SetSentinels(std::span<const NodeId> sentinels) override;
+  const RrGenStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = RrGenStats{}; }
+  const char* name() const override { return "subsim-ic"; }
+
+  GeneralIcStrategy resolved_strategy() const { return strategy_; }
+
+ private:
+  /// Per-node sampling plan resolved at construction.
+  enum class NodePlan : std::uint8_t {
+    kNoInEdges,     // d_in == 0 or all-zero weights
+    kSmallNaive,    // short in-list: per-edge coin flips are cheapest
+    kUniformSkip,   // equal weights in (0, 1): geometric skips
+    kTakeAll,       // equal weights >= 1: every in-neighbor activates
+    kGeneral,       // skewed weights: strategy_ decides
+  };
+
+  /// Samples the in-neighbors of `u`, invoking the activation logic.
+  /// Returns true if a sentinel was activated.
+  bool ExpandNode(NodeId u, Rng& rng, std::vector<NodeId>* out);
+
+  /// Activation step shared by all plans. Returns true on sentinel hit.
+  bool Activate(NodeId w, std::vector<NodeId>* out);
+
+  const Graph& graph_;
+  GeneralIcStrategy strategy_;
+  RrGenStats stats_;
+
+  std::vector<NodePlan> plans_;
+  std::vector<double> inv_log_q_;  // valid for kUniformSkip nodes
+  /// Bucket samplers for kGeneral nodes (empty unless bucket strategy).
+  std::vector<std::unique_ptr<BucketSubsetSampler>> bucket_samplers_;
+
+  BitVector activated_;
+  BitVector sentinel_;
+  bool has_sentinels_ = false;
+  bool stop_ = false;  // set when a sentinel activates mid-expansion
+  std::vector<NodeId> queue_;
+  std::vector<std::uint32_t> scratch_indices_;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_SUBSIM_IC_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "subsim/rrset/vanilla_ic_generator.h"
+
+namespace subsim {
+
+VanillaIcGenerator::VanillaIcGenerator(const Graph& graph) : graph_(graph) {
+  activated_.Resize(graph.num_nodes());
+  sentinel_.Resize(graph.num_nodes());
+}
+
+void VanillaIcGenerator::SetSentinels(std::span<const NodeId> sentinels) {
+  sentinel_.ResetTouched();
+  has_sentinels_ = !sentinels.empty();
+  for (NodeId v : sentinels) {
+    sentinel_.Set(v);
+  }
+}
+
+bool VanillaIcGenerator::Generate(Rng& rng, std::vector<NodeId>* out) {
+  out->clear();
+  SUBSIM_CHECK(graph_.num_nodes() > 0, "cannot sample from empty graph");
+
+  const NodeId root = static_cast<NodeId>(rng.UniformInt(graph_.num_nodes()));
+  out->push_back(root);
+  activated_.Set(root);
+  bool hit = has_sentinels_ && sentinel_.Get(root);
+
+  if (!hit) {
+    queue_.clear();
+    queue_.push_back(root);
+    std::size_t head = 0;
+    while (head < queue_.size() && !hit) {
+      const NodeId u = queue_[head++];
+      const auto sources = graph_.InNeighbors(u);
+      const auto weights = graph_.InWeights(u);
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        ++stats_.edges_examined;
+        if (!rng.Bernoulli(weights[i])) {
+          continue;
+        }
+        const NodeId w = sources[i];
+        if (!activated_.Set(w)) {
+          continue;  // already active
+        }
+        out->push_back(w);
+        if (has_sentinels_ && sentinel_.Get(w)) {
+          hit = true;
+          break;
+        }
+        queue_.push_back(w);
+      }
+    }
+  }
+
+  activated_.ResetTouched();
+  ++stats_.sets_generated;
+  stats_.nodes_added += out->size();
+  if (hit) {
+    ++stats_.sentinel_hits;
+  }
+  return hit;
+}
+
+}  // namespace subsim

@@ -1,0 +1,38 @@
+#ifndef SUBSIM_RRSET_VANILLA_IC_GENERATOR_H_
+#define SUBSIM_RRSET_VANILLA_IC_GENERATOR_H_
+
+#include <vector>
+
+#include "subsim/graph/graph.h"
+#include "subsim/rrset/rr_generator.h"
+#include "subsim/util/bit_vector.h"
+
+namespace subsim {
+
+/// Algorithm 2: the vanilla IC RR-set generator used by IMM, SSA and
+/// OPIM-C. Reverse BFS from a random root; every in-edge of every activated
+/// node gets its own Bernoulli(p(w, u)) coin flip — O(sum of in-degrees of
+/// activated nodes) per set.
+class VanillaIcGenerator final : public RrGenerator {
+ public:
+  /// `graph` must outlive the generator.
+  explicit VanillaIcGenerator(const Graph& graph);
+
+  bool Generate(Rng& rng, std::vector<NodeId>* out) override;
+  void SetSentinels(std::span<const NodeId> sentinels) override;
+  const RrGenStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = RrGenStats{}; }
+  const char* name() const override { return "vanilla-ic"; }
+
+ private:
+  const Graph& graph_;
+  RrGenStats stats_;
+  BitVector activated_;
+  BitVector sentinel_;
+  bool has_sentinels_ = false;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_VANILLA_IC_GENERATOR_H_

@@ -1,0 +1,30 @@
+#include "subsim/sampling/geometric_sampler.h"
+
+#include "subsim/random/geometric.h"
+#include "subsim/sampling/inline_sampling.h"
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+GeometricSubsetSampler::GeometricSubsetSampler(std::size_t h, double p)
+    : h_(h), p_(p) {
+  SUBSIM_CHECK(p >= 0.0 && p <= 1.0, "probability out of [0,1]: %f", p);
+  if (p_ > 0.0 && p_ < 1.0) {
+    inv_log_q_ = GeometricInvLogQ(p_);
+  }
+}
+
+void GeometricSubsetSampler::Sample(Rng& rng,
+                                    std::vector<std::uint32_t>* out) const {
+  if (p_ <= 0.0 || h_ == 0) {
+    return;
+  }
+  if (p_ >= 1.0) {
+    SampleAllElements(h_, [out](std::uint32_t i) { out->push_back(i); });
+    return;
+  }
+  SampleUniformSubsetSkips(h_, inv_log_q_, rng,
+                           [out](std::uint32_t i) { out->push_back(i); });
+}
+
+}  // namespace subsim

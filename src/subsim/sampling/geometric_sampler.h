@@ -1,0 +1,29 @@
+#ifndef SUBSIM_SAMPLING_GEOMETRIC_SAMPLER_H_
+#define SUBSIM_SAMPLING_GEOMETRIC_SAMPLER_H_
+
+#include "subsim/sampling/subset_sampler.h"
+
+namespace subsim {
+
+/// Equal-probability subset sampling with geometric skips — the SUBSIM
+/// kernel for WC and Uniform IC (Algorithm 3). Expected O(1 + h*p) per
+/// sample, independent of h when p ~ 1/h.
+class GeometricSubsetSampler final : public SubsetSampler {
+ public:
+  /// All h elements share inclusion probability p in [0, 1].
+  GeometricSubsetSampler(std::size_t h, double p);
+
+  void Sample(Rng& rng, std::vector<std::uint32_t>* out) const override;
+  std::size_t size() const override { return h_; }
+  double expected_count() const override { return h_ * p_; }
+  const char* name() const override { return "geometric"; }
+
+ private:
+  std::size_t h_;
+  double p_;
+  double inv_log_q_ = 0.0;  // valid iff 0 < p < 1
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SAMPLING_GEOMETRIC_SAMPLER_H_

@@ -1,0 +1,108 @@
+#ifndef SUBSIM_SAMPLING_INLINE_SAMPLING_H_
+#define SUBSIM_SAMPLING_INLINE_SAMPLING_H_
+
+#include <cstdint>
+#include <span>
+
+#include "subsim/random/geometric.h"
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+/// Allocation-free subset-sampling kernels used directly on the RR-set
+/// generation hot path. The class-based `SubsetSampler` hierarchy wraps
+/// these same routines for standalone use and testing.
+///
+/// Each kernel invokes `emit(i)` for every sampled index i (in increasing
+/// order). `Emit` may return void.
+
+/// Equal-probability subset sampling via geometric skips (Algorithm 3
+/// lines 7-13). `inv_log_q` must be `GeometricInvLogQ(p)` for the shared
+/// probability p in (0, 1). Expected cost O(1 + h*p).
+template <typename Emit>
+void SampleUniformSubsetSkips(std::uint64_t h, double inv_log_q, Rng& rng,
+                              Emit&& emit) {
+  std::uint64_t pos = SampleGeometricFast(rng, inv_log_q);
+  while (pos <= h) {
+    emit(static_cast<std::uint32_t>(pos - 1));
+    const std::uint64_t skip = SampleGeometricFast(rng, inv_log_q);
+    if (skip > h - pos) {
+      break;  // jumped past the end; avoids overflow of pos + skip
+    }
+    pos += skip;
+  }
+}
+
+/// Degenerate p == 1 case: every element is sampled.
+template <typename Emit>
+void SampleAllElements(std::uint64_t h, Emit&& emit) {
+  for (std::uint64_t i = 0; i < h; ++i) {
+    emit(static_cast<std::uint32_t>(i));
+  }
+}
+
+/// Naive per-element Bernoulli sampling — the vanilla baseline
+/// (Algorithm 2's inner loop). Cost O(h).
+template <typename Emit>
+void SampleSubsetNaive(std::span<const double> probs, Rng& rng, Emit&& emit) {
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (rng.Bernoulli(probs[i])) {
+      emit(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+/// Index-free subset sampling for probabilities sorted in descending order
+/// (paper Section 3.3): position-bucket [2^k, 2^{k+1}) uses the bucket's
+/// first (maximal) probability for geometric skipping, then accepts element
+/// at position pos with probability probs[pos] / bucket_max. Expected cost
+/// O(1 + mu + log h).
+///
+/// Requires probs to be non-increasing; the graph builder's
+/// `sort_in_edges_by_weight` option establishes this.
+template <typename Emit>
+void SampleSortedSubset(std::span<const double> probs, Rng& rng,
+                        Emit&& emit) {
+  const std::uint64_t h = probs.size();
+  std::uint64_t bucket_begin = 0;  // inclusive, position indices from 0
+  std::uint64_t bucket_size = 1;
+  while (bucket_begin < h) {
+    const std::uint64_t end =
+        bucket_begin + bucket_size < h ? bucket_begin + bucket_size : h;
+    const double p_max = probs[bucket_begin];
+    if (p_max <= 0.0) {
+      break;  // sorted: everything after is zero too
+    }
+    if (p_max >= 1.0) {
+      // Geometric skipping breaks down at p == 1; test each element
+      // directly (all have probability <= 1 but the first is 1).
+      for (std::uint64_t pos = bucket_begin; pos < end; ++pos) {
+        if (rng.Bernoulli(probs[pos])) {
+          emit(static_cast<std::uint32_t>(pos));
+        }
+      }
+    } else {
+      const double inv_log_q = GeometricInvLogQ(p_max);
+      std::uint64_t pos = bucket_begin;
+      while (true) {
+        const std::uint64_t skip = SampleGeometricFast(rng, inv_log_q);
+        if (skip > end - pos) {
+          break;
+        }
+        pos += skip;
+        const std::uint64_t index = pos - 1;
+        // Rejection: accept with probs[index] / p_max so the element's
+        // overall inclusion probability is exactly probs[index].
+        if (rng.NextDouble() * p_max < probs[index]) {
+          emit(static_cast<std::uint32_t>(index));
+        }
+      }
+    }
+    bucket_begin = end;
+    bucket_size <<= 1;
+  }
+}
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SAMPLING_INLINE_SAMPLING_H_

@@ -1,0 +1,22 @@
+#include "subsim/sampling/naive_sampler.h"
+
+#include "subsim/sampling/inline_sampling.h"
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+NaiveSubsetSampler::NaiveSubsetSampler(std::vector<double> probs)
+    : probs_(std::move(probs)) {
+  for (double p : probs_) {
+    SUBSIM_CHECK(p >= 0.0 && p <= 1.0, "probability out of [0,1]: %f", p);
+    mu_ += p;
+  }
+}
+
+void NaiveSubsetSampler::Sample(Rng& rng,
+                                std::vector<std::uint32_t>* out) const {
+  SampleSubsetNaive(probs_, rng,
+                    [out](std::uint32_t i) { out->push_back(i); });
+}
+
+}  // namespace subsim

@@ -1,0 +1,31 @@
+#ifndef SUBSIM_SAMPLING_NAIVE_SAMPLER_H_
+#define SUBSIM_SAMPLING_NAIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "subsim/sampling/subset_sampler.h"
+
+namespace subsim {
+
+/// Per-element Bernoulli subset sampling: one random number per element,
+/// O(h) per sample. This is exactly what the vanilla RR-set generator
+/// (Algorithm 2) does for each activated node, and serves as the baseline
+/// and as the correctness reference in tests.
+class NaiveSubsetSampler final : public SubsetSampler {
+ public:
+  /// `probs` are inclusion probabilities in [0, 1].
+  explicit NaiveSubsetSampler(std::vector<double> probs);
+
+  void Sample(Rng& rng, std::vector<std::uint32_t>* out) const override;
+  std::size_t size() const override { return probs_.size(); }
+  double expected_count() const override { return mu_; }
+  const char* name() const override { return "naive"; }
+
+ private:
+  std::vector<double> probs_;
+  double mu_ = 0.0;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SAMPLING_NAIVE_SAMPLER_H_

@@ -1,0 +1,95 @@
+#include "subsim/sampling/sampler_factory.h"
+
+#include <algorithm>
+
+#include "subsim/sampling/bucket_sampler.h"
+#include "subsim/sampling/geometric_sampler.h"
+#include "subsim/sampling/naive_sampler.h"
+#include "subsim/sampling/sorted_sampler.h"
+
+namespace subsim {
+
+namespace {
+
+bool AllEqual(const std::vector<double>& probs) {
+  return std::all_of(probs.begin(), probs.end(),
+                     [&](double p) { return p == probs.front(); });
+}
+
+bool NonIncreasing(const std::vector<double>& probs) {
+  for (std::size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[i - 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SubsetSampler>> MakeSubsetSampler(
+    SamplerKind kind, std::vector<double> probs) {
+  if (kind == SamplerKind::kAuto) {
+    if (probs.empty() || AllEqual(probs)) {
+      kind = SamplerKind::kGeometric;
+    } else if (NonIncreasing(probs)) {
+      kind = SamplerKind::kSorted;
+    } else {
+      kind = SamplerKind::kBucket;
+    }
+  }
+  switch (kind) {
+    case SamplerKind::kNaive:
+      return std::unique_ptr<SubsetSampler>(
+          new NaiveSubsetSampler(std::move(probs)));
+    case SamplerKind::kGeometric: {
+      if (!probs.empty() && !AllEqual(probs)) {
+        return Status::FailedPrecondition(
+            "geometric sampler requires uniform probabilities");
+      }
+      const double p = probs.empty() ? 0.0 : probs.front();
+      return std::unique_ptr<SubsetSampler>(
+          new GeometricSubsetSampler(probs.size(), p));
+    }
+    case SamplerKind::kBucket:
+      return std::unique_ptr<SubsetSampler>(
+          new BucketSubsetSampler(std::move(probs)));
+    case SamplerKind::kSorted:
+      if (!NonIncreasing(probs)) {
+        return Status::FailedPrecondition(
+            "sorted sampler requires non-increasing probabilities");
+      }
+      return std::unique_ptr<SubsetSampler>(
+          new SortedSubsetSampler(std::move(probs)));
+    case SamplerKind::kAuto:
+      break;  // resolved above
+  }
+  return Status::Internal("unreachable sampler kind");
+}
+
+Result<SamplerKind> ParseSamplerKind(const std::string& name) {
+  if (name == "naive") return SamplerKind::kNaive;
+  if (name == "geometric") return SamplerKind::kGeometric;
+  if (name == "bucket") return SamplerKind::kBucket;
+  if (name == "sorted") return SamplerKind::kSorted;
+  if (name == "auto") return SamplerKind::kAuto;
+  return Status::InvalidArgument("unknown sampler kind: " + name);
+}
+
+const char* SamplerKindName(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kNaive:
+      return "naive";
+    case SamplerKind::kGeometric:
+      return "geometric";
+    case SamplerKind::kBucket:
+      return "bucket";
+    case SamplerKind::kSorted:
+      return "sorted";
+    case SamplerKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+}  // namespace subsim

@@ -1,0 +1,37 @@
+#ifndef SUBSIM_SAMPLING_SAMPLER_FACTORY_H_
+#define SUBSIM_SAMPLING_SAMPLER_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "subsim/sampling/subset_sampler.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Subset-sampling strategies selectable by name.
+enum class SamplerKind {
+  kNaive,
+  kGeometric,  // requires all probabilities equal
+  kBucket,
+  kSorted,  // requires non-increasing probabilities
+  /// Picks the cheapest valid strategy for the given probabilities:
+  /// geometric if uniform, sorted if already non-increasing, else bucket.
+  kAuto,
+};
+
+/// Builds a sampler of the requested kind over `probs`. Fails with
+/// FailedPrecondition if the kind's structural requirement does not hold
+/// (e.g. kGeometric with non-uniform probabilities).
+Result<std::unique_ptr<SubsetSampler>> MakeSubsetSampler(
+    SamplerKind kind, std::vector<double> probs);
+
+/// Parses "naive" | "geometric" | "bucket" | "sorted" | "auto".
+Result<SamplerKind> ParseSamplerKind(const std::string& name);
+
+const char* SamplerKindName(SamplerKind kind);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SAMPLING_SAMPLER_FACTORY_H_

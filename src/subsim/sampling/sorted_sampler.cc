@@ -1,0 +1,25 @@
+#include "subsim/sampling/sorted_sampler.h"
+
+#include "subsim/sampling/inline_sampling.h"
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+SortedSubsetSampler::SortedSubsetSampler(std::vector<double> probs)
+    : probs_(std::move(probs)) {
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    SUBSIM_CHECK(probs_[i] >= 0.0 && probs_[i] <= 1.0,
+                 "probability out of [0,1]: %f", probs_[i]);
+    SUBSIM_CHECK(i == 0 || probs_[i] <= probs_[i - 1],
+                 "SortedSubsetSampler requires non-increasing probabilities");
+    mu_ += probs_[i];
+  }
+}
+
+void SortedSubsetSampler::Sample(Rng& rng,
+                                 std::vector<std::uint32_t>* out) const {
+  SampleSortedSubset(probs_, rng,
+                     [out](std::uint32_t i) { out->push_back(i); });
+}
+
+}  // namespace subsim

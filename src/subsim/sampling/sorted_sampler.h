@@ -1,0 +1,35 @@
+#ifndef SUBSIM_SAMPLING_SORTED_SAMPLER_H_
+#define SUBSIM_SAMPLING_SORTED_SAMPLER_H_
+
+#include <vector>
+
+#include "subsim/sampling/subset_sampler.h"
+
+namespace subsim {
+
+/// Index-free subset sampling for descending-sorted probabilities (paper
+/// Section 3.3): position buckets [2^k, 2^{k+1}) use geometric skips at the
+/// bucket's leading probability plus rejection. O(1 + mu + log h) per
+/// sample with zero preprocessing beyond the sort.
+///
+/// Because p_x <= p_ceil(x/2), the leading probability of each bucket is at
+/// most twice any member, so the acceptance ratio stays >= 1/2 and total
+/// expected work is O(1 + mu) plus one geometric draw per bucket.
+class SortedSubsetSampler final : public SubsetSampler {
+ public:
+  /// `probs` must be non-increasing (checked).
+  explicit SortedSubsetSampler(std::vector<double> probs);
+
+  void Sample(Rng& rng, std::vector<std::uint32_t>* out) const override;
+  std::size_t size() const override { return probs_.size(); }
+  double expected_count() const override { return mu_; }
+  const char* name() const override { return "sorted"; }
+
+ private:
+  std::vector<double> probs_;
+  double mu_ = 0.0;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SAMPLING_SORTED_SAMPLER_H_

@@ -1,0 +1,47 @@
+#ifndef SUBSIM_SAMPLING_SUBSET_SAMPLER_H_
+#define SUBSIM_SAMPLING_SUBSET_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+/// Independent subset sampling (paper Section 3.1): given h elements with
+/// inclusion probabilities p_0..p_{h-1}, draw a random subset where element
+/// i appears independently with probability p_i.
+///
+/// Implementations trade preprocessing for per-sample cost:
+///  * `NaiveSubsetSampler`      — no preprocessing, O(h) per sample
+///                                 (the vanilla RR-generation behaviour);
+///  * `GeometricSubsetSampler`  — equal probabilities only, O(1 + mu);
+///  * `BucketSubsetSampler`     — arbitrary probabilities, O(h) build,
+///                                 O(1 + mu) per sample (Lemma 5,
+///                                 Bringmann–Panagiotou);
+///  * `SortedSubsetSampler`     — probabilities sorted descending,
+///                                 index-free, O(1 + mu + log h) per sample
+///                                 (paper Section 3.3).
+/// where mu = sum of the probabilities.
+class SubsetSampler {
+ public:
+  virtual ~SubsetSampler() = default;
+
+  /// Appends the sampled element indices to `*out` (not cleared). Emission
+  /// order is implementation-defined (the bucket sampler groups by
+  /// probability bucket); callers needing sorted output must sort.
+  virtual void Sample(Rng& rng, std::vector<std::uint32_t>* out) const = 0;
+
+  /// Number of elements h.
+  virtual std::size_t size() const = 0;
+
+  /// mu = sum of inclusion probabilities (expected sample size).
+  virtual double expected_count() const = 0;
+
+  /// Implementation name for reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SAMPLING_SUBSET_SAMPLER_H_

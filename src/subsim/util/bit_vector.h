@@ -1,0 +1,69 @@
+#ifndef SUBSIM_UTIL_BIT_VECTOR_H_
+#define SUBSIM_UTIL_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+/// Fixed-size bit set with an O(#set-bits) reset path.
+///
+/// RR-set generation marks nodes "activated" and must clear those marks
+/// between samples. Clearing the whole bitmap would cost O(n) per RR set,
+/// dwarfing the O(size-of-RR-set) work SUBSIM is designed to achieve, so
+/// `ResetTouched` clears only the positions set since the last reset.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t size) { Resize(size); }
+
+  void Resize(std::size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+    touched_.clear();
+  }
+
+  std::size_t size() const { return size_; }
+
+  bool Get(std::size_t i) const {
+    SUBSIM_DCHECK(i < size_, "BitVector index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit `i` and records it for `ResetTouched`. Returns true if the bit
+  /// was previously clear (i.e., this call changed it).
+  bool Set(std::size_t i) {
+    SUBSIM_DCHECK(i < size_, "BitVector index out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    if (w & mask) {
+      return false;
+    }
+    w |= mask;
+    touched_.push_back(i);
+    return true;
+  }
+
+  /// Clears every bit set since the previous reset, in O(#set-bits).
+  void ResetTouched() {
+    for (std::size_t i : touched_) {
+      words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+    touched_.clear();
+  }
+
+  /// Number of bits set since the last reset.
+  std::size_t touched_count() const { return touched_.size(); }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::size_t> touched_;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_UTIL_BIT_VECTOR_H_

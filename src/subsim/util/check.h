@@ -1,0 +1,37 @@
+#ifndef SUBSIM_UTIL_CHECK_H_
+#define SUBSIM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace subsim::internal_check {
+
+[[noreturn]] inline void CheckFailed() { std::abort(); }
+
+}  // namespace subsim::internal_check
+
+/// Fatal contract check. Evaluates `cond` in all build modes; on failure
+/// prints the condition, location, and a printf-style message, then aborts.
+/// Use for programmer errors only; recoverable errors return `Status`.
+#define SUBSIM_CHECK(cond, ...)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SUBSIM_CHECK failed: %s at %s:%d: ", #cond,    \
+                   __FILE__, __LINE__);                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      ::subsim::internal_check::CheckFailed();                             \
+    }                                                                      \
+  } while (false)
+
+/// Like SUBSIM_CHECK but compiled out of release (NDEBUG) builds. Use on
+/// hot paths where the check would be measurable.
+#ifdef NDEBUG
+#define SUBSIM_DCHECK(cond, ...) \
+  do {                           \
+  } while (false)
+#else
+#define SUBSIM_DCHECK(cond, ...) SUBSIM_CHECK(cond, __VA_ARGS__)
+#endif
+
+#endif  // SUBSIM_UTIL_CHECK_H_

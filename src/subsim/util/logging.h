@@ -1,0 +1,57 @@
+#ifndef SUBSIM_UTIL_LOGGING_H_
+#define SUBSIM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace subsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted by SUBSIM_LOG. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink used when the message level is below the configured threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+bool ShouldLog(LogLevel level);
+
+}  // namespace internal_logging
+
+/// Usage: SUBSIM_LOG(kInfo) << "generated " << count << " RR sets";
+#define SUBSIM_LOG(severity)                                             \
+  if (!::subsim::internal_logging::ShouldLog(                            \
+          ::subsim::LogLevel::severity)) {                               \
+  } else                                                                 \
+    ::subsim::internal_logging::LogMessage(::subsim::LogLevel::severity, \
+                                           __FILE__, __LINE__)           \
+        .stream()
+
+}  // namespace subsim
+
+#endif  // SUBSIM_UTIL_LOGGING_H_

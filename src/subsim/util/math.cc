@@ -1,0 +1,63 @@
+#include "subsim/util/math.h"
+
+#include <cmath>
+
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+double LogFactorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogNChooseK(std::uint64_t n, std::uint64_t k) {
+  SUBSIM_CHECK(k <= n, "LogNChooseK requires k <= n (k=%llu n=%llu)",
+               static_cast<unsigned long long>(k),
+               static_cast<unsigned long long>(n));
+  if (k == 0 || k == n) {
+    return 0.0;
+  }
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double PowOneMinusInvK(std::uint64_t k, std::uint64_t b) {
+  SUBSIM_CHECK(k >= 1, "PowOneMinusInvK requires k >= 1");
+  if (k == 1) {
+    return b == 0 ? 1.0 : 0.0;
+  }
+  const double x = 1.0 - 1.0 / static_cast<double>(k);
+  return std::pow(x, static_cast<double>(b));
+}
+
+double HistApproxTarget(std::uint64_t k, std::uint64_t b, double eps) {
+  return 1.0 - PowOneMinusInvK(k, b) - eps;
+}
+
+std::uint64_t NextPowerOfTwo(std::uint64_t x) {
+  if (x <= 1) {
+    return 1;
+  }
+  std::uint64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+int FloorLog2(std::uint64_t x) {
+  SUBSIM_CHECK(x >= 1, "FloorLog2 requires x >= 1");
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+int CeilLog2(std::uint64_t x) {
+  SUBSIM_CHECK(x >= 1, "CeilLog2 requires x >= 1");
+  const int f = FloorLog2(x);
+  return (std::uint64_t{1} << f) == x ? f : f + 1;
+}
+
+}  // namespace subsim

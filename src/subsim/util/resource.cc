@@ -1,0 +1,37 @@
+#include "subsim/util/resource.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace subsim {
+
+std::uint64_t CurrentRssBytes() {
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) {
+    return 0;
+  }
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int fields = std::fscanf(statm, "%llu %llu", &size_pages,
+                                 &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) {
+    return 0;
+  }
+  const long page_size = sysconf(_SC_PAGESIZE);
+  return resident_pages * static_cast<std::uint64_t>(
+                              page_size > 0 ? page_size : 4096);
+}
+
+std::uint64_t PeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+}  // namespace subsim

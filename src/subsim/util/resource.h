@@ -1,0 +1,20 @@
+#ifndef SUBSIM_UTIL_RESOURCE_H_
+#define SUBSIM_UTIL_RESOURCE_H_
+
+#include <cstdint>
+
+namespace subsim {
+
+/// Current resident set size of this process in bytes (Linux
+/// /proc/self/statm). Returns 0 when unavailable. The paper's evaluation
+/// drops configurations exceeding 200 GB — RR-set storage is the dominant
+/// term, and benches report it alongside wall time.
+std::uint64_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (getrusage). Monotone over the process
+/// lifetime. Returns 0 when unavailable.
+std::uint64_t PeakRssBytes();
+
+}  // namespace subsim
+
+#endif  // SUBSIM_UTIL_RESOURCE_H_

@@ -1,0 +1,131 @@
+#ifndef SUBSIM_UTIL_STATUS_H_
+#define SUBSIM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+/// Error category for a failed operation.
+///
+/// The library does not use C++ exceptions; fallible operations return
+/// `Status` (or `Result<T>` when they produce a value). Programmer errors
+/// (contract violations) use `SUBSIM_CHECK` and abort instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic success/error indicator with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a `T` or an error `Status`. Accessing the value of an
+/// error result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so functions can `return Status::...;`. Must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    SUBSIM_CHECK(!std::get<Status>(data_).ok(),
+                 "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    SUBSIM_CHECK(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    SUBSIM_CHECK(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    SUBSIM_CHECK(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define SUBSIM_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::subsim::Status subsim_status__ = (expr);   \
+    if (!subsim_status__.ok()) {                 \
+      return subsim_status__;                    \
+    }                                            \
+  } while (false)
+
+}  // namespace subsim
+
+#endif  // SUBSIM_UTIL_STATUS_H_

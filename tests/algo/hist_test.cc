@@ -1,0 +1,168 @@
+// HIST-specific behaviour: sentinel machinery, phase accounting, RR-size
+// reduction in high-influence settings, and quality parity with OPIM-C.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "subsim/algo/hist.h"
+#include "subsim/algo/opim_c.h"
+#include "subsim/util/math.h"
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+
+namespace subsim {
+namespace {
+
+Graph HighInfluenceGraph(double theta, std::uint64_t seed = 55) {
+  // Undirected attachment: hubs are reachable in reverse, so RR sets in a
+  // high-influence configuration really do blow up (and sentinels on those
+  // hubs really do truncate them) — the regime HIST targets.
+  Result<EdgeList> list = GenerateBarabasiAlbert(3000, 3, true, seed);
+  EXPECT_TRUE(list.ok());
+  WeightModelParams params;
+  params.wc_variant_theta = theta;
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kWcVariant, params, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(HistTest, SentinelSizeIsReportedAndPositive) {
+  const Graph graph = HighInfluenceGraph(3.0);
+  Hist hist;
+  ImOptions options;
+  options.k = 20;
+  options.epsilon = 0.25;
+  options.rng_seed = 1;
+  const Result<ImResult> result = hist.Run(graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->sentinel_size, 0u);
+  EXPECT_LE(result->sentinel_size, options.k);
+  EXPECT_GT(result->phase1_rr_sets, 0u);
+  if (result->sentinel_size < options.k) {
+    EXPECT_GT(result->phase2_rr_sets, 0u);
+  }
+  EXPECT_EQ(result->num_rr_sets,
+            result->phase1_rr_sets + result->phase2_rr_sets);
+}
+
+TEST(HistTest, SeedsIncludeSentinelsAndAreDistinct) {
+  const Graph graph = HighInfluenceGraph(3.0);
+  Hist hist;
+  ImOptions options;
+  options.k = 15;
+  options.epsilon = 0.25;
+  options.rng_seed = 2;
+  const Result<ImResult> result = hist.Run(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->seeds.size(), 15u);
+  const std::set<NodeId> unique(result->seeds.begin(), result->seeds.end());
+  EXPECT_EQ(unique.size(), result->seeds.size());
+}
+
+TEST(HistTest, AverageRrSizeSmallerThanOpimC) {
+  // The headline effect (Figure 3b): hit-and-stop truncation collapses the
+  // average RR-set size in high-influence settings.
+  const Graph graph = HighInfluenceGraph(4.0);
+  ImOptions options;
+  options.k = 50;
+  options.epsilon = 0.3;
+  options.rng_seed = 3;
+
+  const Result<ImResult> hist_result = Hist().Run(graph, options);
+  const Result<ImResult> opim_result = OpimC().Run(graph, options);
+  ASSERT_TRUE(hist_result.ok());
+  ASSERT_TRUE(opim_result.ok());
+
+  EXPECT_LT(hist_result->average_rr_size(),
+            0.5 * opim_result->average_rr_size())
+      << "hist=" << hist_result->average_rr_size()
+      << " opim=" << opim_result->average_rr_size();
+}
+
+TEST(HistTest, QualityParityWithOpimC) {
+  const Graph graph = HighInfluenceGraph(3.0);
+  ImOptions options;
+  options.k = 20;
+  options.epsilon = 0.25;
+  options.rng_seed = 4;
+
+  const Result<ImResult> hist_result = Hist().Run(graph, options);
+  const Result<ImResult> opim_result = OpimC().Run(graph, options);
+  ASSERT_TRUE(hist_result.ok());
+  ASSERT_TRUE(opim_result.ok());
+
+  SpreadEstimator estimator(graph, CascadeModel::kIndependentCascade);
+  Rng rng(5);
+  const double hist_spread =
+      estimator.Estimate(hist_result->seeds, 3000, rng).spread;
+  const double opim_spread =
+      estimator.Estimate(opim_result->seeds, 3000, rng).spread;
+  EXPECT_GT(hist_spread, 0.9 * opim_spread)
+      << "hist=" << hist_spread << " opim=" << opim_spread;
+}
+
+TEST(HistTest, CertifiedRatioMeetsTarget) {
+  const Graph graph = HighInfluenceGraph(3.0);
+  Hist hist;
+  ImOptions options;
+  options.k = 20;
+  options.epsilon = 0.3;
+  options.rng_seed = 6;
+  const Result<ImResult> result = hist.Run(graph, options);
+  ASSERT_TRUE(result.ok());
+  if (result->sentinel_size < options.k) {
+    EXPECT_GE(result->approx_ratio, kOneMinusInvE - options.epsilon - 1e-9);
+  }
+}
+
+TEST(HistTest, WorksWithSubsimGenerator) {
+  const Graph graph = HighInfluenceGraph(3.0);
+  Hist hist;
+  ImOptions options;
+  options.k = 20;
+  options.epsilon = 0.25;
+  options.rng_seed = 7;
+  options.generator = GeneratorKind::kSubsimIc;
+  const Result<ImResult> result = hist.Run(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->seeds.size(), 20u);
+}
+
+TEST(HistTest, KEqualsOneDegeneratesGracefully) {
+  const Graph graph = HighInfluenceGraph(2.0);
+  Hist hist;
+  ImOptions options;
+  options.k = 1;
+  options.epsilon = 0.3;
+  options.rng_seed = 8;
+  const Result<ImResult> result = hist.Run(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->seeds.size(), 1u);
+}
+
+TEST(HistTest, LowInfluenceGraphStillCorrect) {
+  // HIST is designed for high influence but must stay correct at WC.
+  Result<EdgeList> list = GenerateErdosRenyi(800, 4000, 9);
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  ASSERT_TRUE(graph.ok());
+
+  Hist hist;
+  ImOptions options;
+  options.k = 10;
+  options.epsilon = 0.3;
+  options.rng_seed = 10;
+  const Result<ImResult> result = hist.Run(*graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->seeds.size(), 10u);
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,87 @@
+#include "subsim/algo/theta.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsim/util/math.h"
+
+namespace subsim {
+namespace {
+
+TEST(InitialThetaTest, MatchesThreeLogOneOverDelta) {
+  EXPECT_EQ(InitialTheta(1.0 / std::exp(1.0)), 3u);  // 3 * ln(e) = 3
+  EXPECT_EQ(InitialTheta(0.5), 3u);                  // ceil(3 * 0.693) = 3
+  EXPECT_EQ(InitialTheta(0.01),
+            static_cast<std::uint64_t>(std::ceil(3.0 * std::log(100.0))));
+}
+
+TEST(HistPhase1ThetaMaxTest, MatchesEquationThree) {
+  const NodeId n = 10000;
+  const std::uint32_t k = 50;
+  const double eps1 = 0.05;
+  const double delta1 = 1.0 / n;
+  const double ln6d = std::log(6.0 / delta1);
+  const double root = std::sqrt(ln6d) + std::sqrt(LogNChooseK(n, k) + ln6d);
+  const double expected = 2.0 * n * root * root / (eps1 * eps1 * k);
+  EXPECT_EQ(HistPhase1ThetaMax(n, k, eps1, delta1),
+            static_cast<std::uint64_t>(std::ceil(expected)));
+}
+
+TEST(HistPhase2ThetaMaxTest, MatchesEquationFour) {
+  const NodeId n = 10000;
+  const std::uint32_t k = 50;
+  const std::uint32_t b = 10;
+  const double eps2 = 0.05;
+  const double delta2 = 1.0 / n;
+  const double ln9d = std::log(9.0 / delta2);
+  const double root =
+      std::sqrt(ln9d) +
+      std::sqrt(kOneMinusInvE * (LogNChooseK(n - b, k - b) + ln9d));
+  const double expected = 2.0 * n * root * root / (eps2 * eps2 * k);
+  EXPECT_EQ(HistPhase2ThetaMax(n, k, b, eps2, delta2),
+            static_cast<std::uint64_t>(std::ceil(expected)));
+}
+
+TEST(HistPhase2ThetaMaxTest, LargerSentinelNeedsFewerSamples) {
+  // ln C(n-b, k-b) shrinks as b grows, so theta_max shrinks too — the
+  // pruning benefit HIST banks on.
+  const NodeId n = 100000;
+  const std::uint32_t k = 200;
+  const double eps2 = 0.05;
+  const double delta2 = 1e-5;
+  const std::uint64_t b0 = HistPhase2ThetaMax(n, k, 0, eps2, delta2);
+  const std::uint64_t b100 = HistPhase2ThetaMax(n, k, 100, eps2, delta2);
+  const std::uint64_t b199 = HistPhase2ThetaMax(n, k, 199, eps2, delta2);
+  EXPECT_GT(b0, b100);
+  EXPECT_GT(b100, b199);
+}
+
+TEST(OpimThetaMaxTest, GrowsWithTighterEpsilon) {
+  const NodeId n = 50000;
+  EXPECT_GT(OpimThetaMax(n, 100, 0.05, 1e-5),
+            OpimThetaMax(n, 100, 0.1, 1e-5));
+}
+
+TEST(OpimThetaMaxTest, ShrinksWithLargerK) {
+  // OPT >= k: more seeds means fewer required samples per the k-replacement.
+  const NodeId n = 50000;
+  EXPECT_GT(OpimThetaMax(n, 10, 0.1, 1e-5),
+            OpimThetaMax(n, 1000, 0.1, 1e-5));
+}
+
+TEST(DoublingIterationsTest, CoversThetaMax) {
+  EXPECT_EQ(DoublingIterations(10, 10), 1u);
+  EXPECT_EQ(DoublingIterations(10, 5), 1u);
+  // 10 -> 20 -> 40 -> 80: four sizes processed, last >= 80.
+  EXPECT_EQ(DoublingIterations(10, 80), 4u);
+  EXPECT_EQ(DoublingIterations(10, 81), 5u);
+  // Final processed size must always reach theta_max.
+  for (std::uint64_t theta_max : {1ull, 7ull, 100ull, 12345ull}) {
+    const std::uint32_t iterations = DoublingIterations(3, theta_max);
+    EXPECT_GE(3ull << (iterations - 1), theta_max);
+  }
+}
+
+}  // namespace
+}  // namespace subsim

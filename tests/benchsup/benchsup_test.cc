@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "subsim/benchsup/calibration.h"
+#include "subsim/benchsup/datasets.h"
+#include "subsim/benchsup/experiment.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/graph/graph_stats.h"
+
+namespace subsim {
+namespace {
+
+TEST(DatasetsTest, FourStandardDatasets) {
+  const auto& specs = StandardDatasets();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "pokec-s");
+  EXPECT_EQ(specs[1].name, "orkut-s");
+  EXPECT_EQ(specs[2].name, "twitter-s");
+  EXPECT_EQ(specs[3].name, "friendster-s");
+}
+
+TEST(DatasetsTest, FindByName) {
+  EXPECT_TRUE(FindDataset("twitter-s").ok());
+  EXPECT_FALSE(FindDataset("twitter").ok());
+}
+
+TEST(DatasetsTest, ScaledInstanceHasExpectedShape) {
+  const Result<DatasetSpec> spec = FindDataset("pokec-s");
+  ASSERT_TRUE(spec.ok());
+  const Result<EdgeList> list = MakeDataset(*spec, 0.05, 1);
+  ASSERT_TRUE(list.ok());
+  EXPECT_GE(list->num_nodes, 2000u);
+  const double avg =
+      static_cast<double>(list->edges.size()) / list->num_nodes;
+  // Density within a factor ~1.6 of the target.
+  EXPECT_GT(avg, spec->avg_degree / 1.6);
+  EXPECT_LT(avg, spec->avg_degree * 1.6);
+}
+
+TEST(DatasetsTest, UndirectedStandInsAreSymmetric) {
+  const Result<DatasetSpec> spec = FindDataset("orkut-s");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->undirected);
+}
+
+TEST(DatasetsTest, InvalidScaleRejected) {
+  const Result<DatasetSpec> spec = FindDataset("pokec-s");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(MakeDataset(*spec, 0.0, 1).ok());
+  EXPECT_FALSE(MakeDataset(*spec, 1.5, 1).ok());
+}
+
+TEST(DatasetsTest, DeterministicPerSeed) {
+  const Result<DatasetSpec> spec = FindDataset("twitter-s");
+  ASSERT_TRUE(spec.ok());
+  const Result<EdgeList> a = MakeDataset(*spec, 0.03, 9);
+  const Result<EdgeList> b = MakeDataset(*spec, 0.03, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->edges.size(), b->edges.size());
+  for (std::size_t i = 0; i < a->edges.size(); i += 97) {
+    EXPECT_EQ(a->edges[i].src, b->edges[i].src);
+    EXPECT_EQ(a->edges[i].dst, b->edges[i].dst);
+  }
+}
+
+TEST(CalibrationTest, WcVariantHitsTarget) {
+  const Result<DatasetSpec> spec = FindDataset("pokec-s");
+  ASSERT_TRUE(spec.ok());
+  const Result<EdgeList> list = MakeDataset(*spec, 0.04, 2);
+  ASSERT_TRUE(list.ok());
+  const Result<CalibrationResult> calibration =
+      CalibrateWcVariantTheta(*list, 50.0, 3);
+  ASSERT_TRUE(calibration.ok()) << calibration.status().ToString();
+  EXPECT_FALSE(calibration->saturated);
+  EXPECT_GT(calibration->achieved_avg_size, 25.0);
+  EXPECT_LT(calibration->achieved_avg_size, 100.0);
+  EXPECT_GT(calibration->parameter, 0.0);
+}
+
+TEST(CalibrationTest, UniformPHitsTarget) {
+  const Result<DatasetSpec> spec = FindDataset("pokec-s");
+  ASSERT_TRUE(spec.ok());
+  const Result<EdgeList> list = MakeDataset(*spec, 0.04, 2);
+  ASSERT_TRUE(list.ok());
+  const Result<CalibrationResult> calibration =
+      CalibrateUniformP(*list, 50.0, 3);
+  ASSERT_TRUE(calibration.ok());
+  EXPECT_GT(calibration->achieved_avg_size, 25.0);
+  EXPECT_LT(calibration->achieved_avg_size, 100.0);
+  EXPECT_GT(calibration->parameter, 0.0);
+  EXPECT_LE(calibration->parameter, 1.0);
+}
+
+TEST(CalibrationTest, MonotoneInTarget) {
+  const Result<DatasetSpec> spec = FindDataset("pokec-s");
+  ASSERT_TRUE(spec.ok());
+  const Result<EdgeList> list = MakeDataset(*spec, 0.04, 2);
+  ASSERT_TRUE(list.ok());
+  const Result<CalibrationResult> small =
+      CalibrateWcVariantTheta(*list, 20.0, 3);
+  const Result<CalibrationResult> large =
+      CalibrateWcVariantTheta(*list, 200.0, 3);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(small->parameter, large->parameter);
+}
+
+TEST(CalibrationTest, RejectsBadTarget) {
+  const Result<DatasetSpec> spec = FindDataset("pokec-s");
+  ASSERT_TRUE(spec.ok());
+  const Result<EdgeList> list = MakeDataset(*spec, 0.04, 2);
+  ASSERT_TRUE(list.ok());
+  EXPECT_FALSE(CalibrateWcVariantTheta(*list, 0.5, 3).ok());
+}
+
+TEST(ReportingTest, TableAlignsAndPrintsAllRows) {
+  TablePrinter table({"dataset", "time", "speedup"});
+  table.AddRow({"pokec-s", "1.25", "3.1x"});
+  table.AddRow({"twitter-s", "10.50", "12.0x"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("dataset"), std::string::npos);
+  EXPECT_NE(text.find("pokec-s"), std::string::npos);
+  EXPECT_NE(text.find("12.0x"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(ReportingTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatSpeedup(10.0, 2.0), "5.0x");
+  EXPECT_EQ(FormatSpeedup(10.0, 0.0), "-");
+}
+
+TEST(ExperimentArgsTest, ParsesAllFlags) {
+  const char* argv[] = {"bench", "--scale=0.5", "--seed=11",
+                        "--datasets=pokec-s,orkut-s", "--quick"};
+  const Result<ExperimentArgs> args =
+      ExperimentArgs::Parse(5, const_cast<char**>(argv), 0.25);
+  ASSERT_TRUE(args.ok()) << args.status().ToString();
+  EXPECT_DOUBLE_EQ(args->scale, 0.5);
+  EXPECT_EQ(args->seed, 11u);
+  EXPECT_TRUE(args->quick);
+  ASSERT_EQ(args->datasets.size(), 2u);
+  EXPECT_EQ(args->datasets[0], "pokec-s");
+}
+
+TEST(ExperimentArgsTest, DefaultsApply) {
+  const char* argv[] = {"bench"};
+  const Result<ExperimentArgs> args =
+      ExperimentArgs::Parse(1, const_cast<char**>(argv), 0.3);
+  ASSERT_TRUE(args.ok());
+  EXPECT_DOUBLE_EQ(args->scale, 0.3);
+  EXPECT_EQ(args->seed, 7u);
+  EXPECT_FALSE(args->quick);
+  EXPECT_EQ(SelectDatasets(*args).size(), 4u);
+}
+
+TEST(ExperimentArgsTest, RejectsUnknownFlagAndBadValues) {
+  {
+    const char* argv[] = {"bench", "--typo=1"};
+    EXPECT_FALSE(
+        ExperimentArgs::Parse(2, const_cast<char**>(argv), 0.25).ok());
+  }
+  {
+    const char* argv[] = {"bench", "--scale=2.0"};
+    EXPECT_FALSE(
+        ExperimentArgs::Parse(2, const_cast<char**>(argv), 0.25).ok());
+  }
+  {
+    const char* argv[] = {"bench", "--datasets=bogus"};
+    EXPECT_FALSE(
+        ExperimentArgs::Parse(2, const_cast<char**>(argv), 0.25).ok());
+  }
+}
+
+TEST(BuildDatasetGraphTest, ProducesWeightedGraph) {
+  WeightModelParams params;
+  const Result<Graph> graph =
+      BuildDatasetGraph("pokec-s", 0.03, 5, WeightModel::kWeightedCascade,
+                        params);
+  ASSERT_TRUE(graph.ok());
+  const GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_GE(stats.num_nodes, 2000u);
+  // WC: every node with in-edges has weight sum exactly 1.
+  EXPECT_LE(stats.max_in_weight_sum, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace subsim

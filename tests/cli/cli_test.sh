@@ -1,0 +1,88 @@
+#!/bin/sh
+# Integration test for tools/subsim_cli: exercises every subcommand
+# end-to-end through the shell interface, including failure paths.
+# Usage: cli_test.sh <path-to-subsim_cli>
+set -u
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+check() {
+  # check <description> <expected-exit> <command...>
+  desc="$1"; expected="$2"; shift 2
+  "$@" > "$WORK/out.txt" 2> "$WORK/err.txt"
+  actual=$?
+  if [ "$actual" -ne "$expected" ]; then
+    echo "FAIL: $desc (exit $actual, expected $expected)"
+    sed 's/^/    /' "$WORK/err.txt" | head -3
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $desc"
+  fi
+}
+
+expect_in_output() {
+  # expect_in_output <description> <pattern>
+  if grep -q "$2" "$WORK/out.txt"; then
+    echo "ok: $1"
+  else
+    echo "FAIL: $1 (pattern '$2' not in output)"
+    sed 's/^/    /' "$WORK/out.txt" | head -5
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# --- happy path: generate -> weight -> stats -> run -> calibrate ---
+check "generate ba graph" 0 \
+  "$CLI" generate --type=ba --nodes=2000 --degree=8 --undirected \
+  --seed=5 --out="$WORK/raw.txt"
+expect_in_output "generate reports counts" "2000 nodes"
+
+check "weight with wc model" 0 \
+  "$CLI" weight --in="$WORK/raw.txt" --model=wc --out="$WORK/wc.txt"
+
+check "stats prints summary" 0 "$CLI" stats --in="$WORK/wc.txt"
+expect_in_output "stats shows node count" "n=2000"
+
+check "run hist with evaluation" 0 \
+  "$CLI" run --in="$WORK/wc.txt" --algo=hist --k=5 --eps=0.2 \
+  --seed=3 --evaluate=500
+expect_in_output "run prints seeds" "seeds:"
+expect_in_output "run prints certified bounds" "certified:"
+expect_in_output "run prints monte-carlo spread" "monte-carlo spread"
+
+check "run degree heuristic" 0 \
+  "$CLI" run --in="$WORK/wc.txt" --algo=degree-discount --k=5
+
+check "calibrate uniform p" 0 \
+  "$CLI" calibrate --in="$WORK/raw.txt" --model=uniform --target=50
+expect_in_output "calibrate reports p" "p = "
+
+check "generate er graph" 0 \
+  "$CLI" generate --type=er --nodes=500 --degree=4 --seed=2 \
+  --out="$WORK/er.txt"
+check "weight uniform with p" 0 \
+  "$CLI" weight --in="$WORK/er.txt" --model=uniform --p=0.02 \
+  --out="$WORK/er_u.txt"
+check "run imm on er graph" 0 \
+  "$CLI" run --in="$WORK/er_u.txt" --algo=imm --k=3 --eps=0.25
+
+# --- failure paths ---
+check "no arguments shows usage" 2 "$CLI"
+check "unknown command shows usage" 2 "$CLI" frobnicate
+check "generate requires --out" 1 "$CLI" generate --type=ba --nodes=100
+check "unknown algorithm rejected" 1 \
+  "$CLI" run --in="$WORK/wc.txt" --algo=bogus
+check "missing file is an error" 1 "$CLI" stats --in=/nonexistent/g.txt
+check "malformed flag rejected" 1 "$CLI" stats -in=x
+check "bad k rejected" 1 "$CLI" run --in="$WORK/wc.txt" --k=0
+check "unknown weight model rejected" 1 \
+  "$CLI" weight --in="$WORK/raw.txt" --model=nope --out="$WORK/x.txt"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES CLI checks failed"
+  exit 1
+fi
+echo "all CLI checks passed"

@@ -1,0 +1,130 @@
+#include "subsim/coverage/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/rrset/subsim_ic_generator.h"
+
+namespace subsim {
+namespace {
+
+TEST(OpimLowerBoundTest, MatchesEquationOne) {
+  // Hand evaluation of Eq (1): Lambda = 100, theta = 1000, n = 10000,
+  // delta = 0.01 -> eta = ln(100).
+  const double eta = std::log(100.0);
+  const double root = std::sqrt(100.0 + 2.0 * eta / 9.0) - std::sqrt(eta / 2.0);
+  const double expected = (root * root - eta / 18.0) * 10000.0 / 1000.0;
+  EXPECT_NEAR(OpimLowerBound(100, 1000, 10000, 0.01), expected, 1e-9);
+}
+
+TEST(OpimUpperBoundTest, MatchesEquationTwo) {
+  const double eta = std::log(100.0);
+  const double root = std::sqrt(250.0 + eta / 2.0) + std::sqrt(eta / 2.0);
+  const double expected = root * root * 10000.0 / 1000.0;
+  EXPECT_NEAR(OpimUpperBound(250.0, 1000, 10000, 0.01), expected, 1e-9);
+}
+
+TEST(OpimBoundsTest, LowerBelowEstimateBelowUpper) {
+  // The unbiased estimate n * Lambda / theta must sit between the bounds.
+  const std::uint64_t coverage = 500;
+  const std::uint64_t theta = 2000;
+  const NodeId n = 50000;
+  const double estimate =
+      static_cast<double>(coverage) * n / static_cast<double>(theta);
+  const double lower = OpimLowerBound(coverage, theta, n, 0.001);
+  const double upper = OpimUpperBound(static_cast<double>(coverage), theta,
+                                      n, 0.001);
+  EXPECT_LT(lower, estimate);
+  EXPECT_GT(upper, estimate);
+}
+
+TEST(OpimBoundsTest, TightenWithMoreSamples) {
+  // Same coverage *rate*, more samples -> tighter interval.
+  const NodeId n = 50000;
+  const double gap_small =
+      OpimUpperBound(50.0, 200, n, 0.01) - OpimLowerBound(50, 200, n, 0.01);
+  const double gap_large = OpimUpperBound(5000.0, 20000, n, 0.01) -
+                           OpimLowerBound(5000, 20000, n, 0.01);
+  EXPECT_LT(gap_large, gap_small);
+}
+
+TEST(OpimBoundsTest, SmallerDeltaWidensInterval) {
+  const NodeId n = 10000;
+  EXPECT_LE(OpimLowerBound(100, 1000, n, 1e-6),
+            OpimLowerBound(100, 1000, n, 1e-2));
+  EXPECT_GE(OpimUpperBound(100.0, 1000, n, 1e-6),
+            OpimUpperBound(100.0, 1000, n, 1e-2));
+}
+
+TEST(OpimBoundsTest, ZeroCoverageLowerBoundNonPositive) {
+  EXPECT_LE(OpimLowerBound(0, 100, 1000, 0.01), 1e-9);
+}
+
+CoverageGreedyResult MakeGreedyResult(std::vector<std::uint64_t> gains,
+                                      std::uint64_t top_k_sum,
+                                      std::uint64_t considered) {
+  CoverageGreedyResult result;
+  result.gains = std::move(gains);
+  std::uint64_t acc = 0;
+  for (std::uint64_t g : result.gains) {
+    acc += g;
+    result.coverage_prefix.push_back(acc);
+    result.seeds.push_back(static_cast<NodeId>(result.seeds.size()));
+  }
+  result.top_k_singleton_sum = top_k_sum;
+  result.considered_sets = considered;
+  return result;
+}
+
+TEST(CoverageUpperBoundTest, UsesMinOverPrefixTerms) {
+  // gains (10, 8, 2), k = 3, top-3 singleton sum = 27.
+  // candidates: i=0 exact: 27;
+  //             i=1: 10 + 3*8 = 34; i=2: 18 + 3*2 = 24;
+  //             i=3 (not exhausted): 20 + 3*2 = 26.
+  // min = 24, clamped to >= total coverage (20) -> 24.
+  const CoverageGreedyResult greedy =
+      MakeGreedyResult({10, 8, 2}, 27, /*considered=*/100);
+  EXPECT_DOUBLE_EQ(CoverageUpperBoundFromGreedy(greedy, 3), 24.0);
+}
+
+TEST(CoverageUpperBoundTest, ExhaustedCoverageUsesZeroTail) {
+  // All 20 considered sets covered: final term is exactly the coverage.
+  const CoverageGreedyResult greedy =
+      MakeGreedyResult({12, 8}, 30, /*considered=*/20);
+  EXPECT_DOUBLE_EQ(CoverageUpperBoundFromGreedy(greedy, 2), 20.0);
+}
+
+TEST(CoverageUpperBoundTest, NeverBelowAchievedCoverage) {
+  const CoverageGreedyResult greedy =
+      MakeGreedyResult({5, 5, 5}, 6, /*considered=*/100);
+  EXPECT_GE(CoverageUpperBoundFromGreedy(greedy, 3), 15.0);
+}
+
+TEST(CoverageUpperBoundTest, StatisticallyBoundsOptimalCoverage) {
+  // On a real instance the bound must dominate the best k-subset coverage
+  // found by the greedy itself (which lower-bounds the optimum it proxies).
+  Result<EdgeList> list = GenerateErdosRenyi(80, 500, 3);
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  ASSERT_TRUE(graph.ok());
+
+  SubsimIcGenerator generator(*graph);
+  RrCollection collection(graph->num_nodes());
+  Rng rng(4);
+  generator.Fill(rng, 2000, &collection);
+
+  CoverageGreedyOptions options;
+  options.k = 5;
+  const CoverageGreedyResult greedy = RunCoverageGreedy(collection, options);
+  const double upper = CoverageUpperBoundFromGreedy(greedy, 5);
+  EXPECT_GE(upper, static_cast<double>(greedy.total_coverage()));
+}
+
+}  // namespace
+}  // namespace subsim

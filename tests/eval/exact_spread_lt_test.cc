@@ -1,0 +1,136 @@
+#include "subsim/eval/exact_spread_lt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/rrset/lt_generator.h"
+
+namespace subsim {
+namespace {
+
+Graph BuildWeighted(EdgeList list, double weight) {
+  for (Edge& e : list.edges) {
+    e.weight = weight;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list));
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(ExactSpreadLtTest, ChainMatchesHandComputation) {
+  // 0 -> 1 -> 2 with weight 0.4: I({0}) = 1 + 0.4 + 0.16.
+  const Graph graph = BuildWeighted(MakePath(3), 0.4);
+  const std::vector<NodeId> seeds = {0};
+  const Result<double> spread = ExactSpreadLt(graph, seeds);
+  ASSERT_TRUE(spread.ok()) << spread.status().ToString();
+  EXPECT_NEAR(*spread, 1.56, 1e-12);
+}
+
+TEST(ExactSpreadLtTest, SharedTargetAccumulates) {
+  // 0 -> 2 (0.5) and 1 -> 2 (0.5): seeding both, node 2's live edge comes
+  // from an active node with probability 0.5 + 0.5 = 1... careful: under
+  // live-edge LT node 2 keeps exactly one of the two edges (each w.p. 0.5)
+  // and both sources are active, so 2 activates with probability 1.
+  EdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 2, 0.5}, {1, 2, 0.5}};
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+
+  const std::vector<NodeId> both = {0, 1};
+  Result<double> spread = ExactSpreadLt(*graph, both);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 3.0, 1e-12);
+
+  const std::vector<NodeId> one = {0};
+  spread = ExactSpreadLt(*graph, one);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 1.5, 1e-12);
+}
+
+TEST(ExactSpreadLtTest, AgreesWithForwardMonteCarlo) {
+  EdgeList list;
+  list.num_nodes = 5;
+  list.edges = {{0, 1, 0.6}, {1, 2, 0.3}, {0, 2, 0.3}, {2, 3, 0.8},
+                {3, 4, 0.5}, {1, 4, 0.2}};
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+
+  const std::vector<NodeId> seeds = {0};
+  const Result<double> exact = ExactSpreadLt(*graph, seeds);
+  ASSERT_TRUE(exact.ok());
+
+  SpreadEstimator estimator(*graph, CascadeModel::kLinearThreshold);
+  Rng rng(1);
+  const SpreadEstimate mc = estimator.Estimate(seeds, 400000, rng);
+  EXPECT_NEAR(mc.spread, *exact, 5.0 * mc.std_error + 1e-3);
+}
+
+TEST(ExactSpreadLtTest, AgreesWithLtRrSetFrequencies) {
+  // Lemma 1 under LT: Pr[u in random RR set] * n = I({u}).
+  EdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 0.7}, {1, 2, 0.5}, {2, 3, 0.4}, {0, 3, 0.3}};
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+
+  auto generator = LtGenerator::Create(*graph);
+  ASSERT_TRUE(generator.ok());
+  constexpr int kTrials = 300000;
+  Rng rng(2);
+  std::vector<NodeId> out;
+  std::vector<int> counts(4, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    (*generator)->Generate(rng, &out);
+    for (NodeId v : out) {
+      ++counts[v];
+    }
+  }
+  for (NodeId u = 0; u < 4; ++u) {
+    const NodeId seed_array[1] = {u};
+    const Result<double> influence = ExactSpreadLt(*graph, seed_array);
+    ASSERT_TRUE(influence.ok());
+    const double expected = *influence / 4.0;
+    const double freq = static_cast<double>(counts[u]) / kTrials;
+    const double sigma = std::sqrt(expected * (1.0 - expected) / kTrials);
+    EXPECT_NEAR(freq, expected, 5.0 * sigma + 1e-4) << "node " << u;
+  }
+}
+
+TEST(ExactSpreadLtTest, RefusesOverweightedGraphs) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2, 0.9);
+  builder.AddEdge(1, 2, 0.9);
+  Result<Graph> graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_FALSE(ExactSpreadLt(*graph, seeds).ok());
+}
+
+TEST(ExactSpreadLtTest, RefusesHugeWorldCounts) {
+  EdgeList list = MakeComplete(12);
+  for (Edge& e : list.edges) {
+    e.weight = 1.0 / 11.0;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_FALSE(ExactSpreadLt(*graph, seeds, /*max_worlds=*/1000).ok());
+}
+
+TEST(ExactInfluenceProbabilityLtTest, HandComputedChain) {
+  const Graph graph = BuildWeighted(MakePath(3), 0.4);
+  Result<double> p = ExactInfluenceProbabilityLt(graph, 0, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.16, 1e-12);
+  p = ExactInfluenceProbabilityLt(graph, 2, 0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace subsim

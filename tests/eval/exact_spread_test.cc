@@ -1,0 +1,130 @@
+#include "subsim/eval/exact_spread.h"
+
+#include <gtest/gtest.h>
+
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+
+namespace subsim {
+namespace {
+
+Graph TinyGraph() {
+  EdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 0.5}, {1, 2, 0.5}, {0, 3, 0.25}, {3, 2, 1.0}};
+  Result<Graph> graph = BuildGraph(std::move(list));
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(ExactSpreadTest, HandComputedChain) {
+  // 0 -> 1 (0.5) -> 2 (0.5): I({0}) = 1 + 0.5 + 0.25.
+  EdgeList list = MakePath(3);
+  list.edges[0].weight = 0.5;
+  list.edges[1].weight = 0.5;
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  const std::vector<NodeId> seeds = {0};
+  const Result<double> spread = ExactSpreadIc(*graph, seeds);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 1.75, 1e-12);
+}
+
+TEST(ExactSpreadTest, HandComputedDiamond) {
+  // I({0}) on the tiny graph: node 0 always; node 1 w.p. 0.5; node 3 w.p.
+  // 0.25; node 2 = 1 - (1 - 0.25)(1 - 0.25) with paths 0-1-2 (0.25) and
+  // 0-3-2 (0.25), independent edges -> Pr = 1 - 0.75 * 0.75 = 0.4375.
+  const Graph graph = TinyGraph();
+  const std::vector<NodeId> seeds = {0};
+  const Result<double> spread = ExactSpreadIc(graph, seeds);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 1.0 + 0.5 + 0.25 + 0.4375, 1e-12);
+}
+
+TEST(ExactSpreadTest, AllSeedsCoverGraph) {
+  const Graph graph = TinyGraph();
+  const std::vector<NodeId> seeds = {0, 1, 2, 3};
+  const Result<double> spread = ExactSpreadIc(graph, seeds);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 4.0, 1e-12);
+}
+
+TEST(ExactSpreadTest, RefusesLargeGraphs) {
+  EdgeList list = MakeComplete(7);  // 42 edges > 24 limit
+  for (Edge& e : list.edges) {
+    e.weight = 0.1;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_FALSE(ExactSpreadIc(*graph, seeds).ok());
+}
+
+TEST(ExactInfluenceProbabilityTest, HandComputed) {
+  const Graph graph = TinyGraph();
+  Result<double> p = ExactInfluenceProbabilityIc(graph, 0, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.4375, 1e-12);
+
+  p = ExactInfluenceProbabilityIc(graph, 2, 0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.0, 1e-12);  // no reverse path
+
+  p = ExactInfluenceProbabilityIc(graph, 3, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 1.0, 1e-12);  // weight-1 edge
+
+  p = ExactInfluenceProbabilityIc(graph, 1, 1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 1.0, 1e-12);  // self-reachability
+}
+
+TEST(ExactSpreadTest, AgreesWithMonteCarlo) {
+  const Graph graph = TinyGraph();
+  SpreadEstimator estimator(graph, CascadeModel::kIndependentCascade);
+  Rng rng(1);
+  const std::vector<NodeId> seeds = {0, 3};
+  const Result<double> exact = ExactSpreadIc(graph, seeds);
+  ASSERT_TRUE(exact.ok());
+  const SpreadEstimate mc = estimator.Estimate(seeds, 300000, rng);
+  EXPECT_NEAR(mc.spread, *exact, 5.0 * mc.std_error + 1e-3);
+}
+
+TEST(ExactOptimalSeedSetTest, FindsObviousOptimum) {
+  // Star center dominates any leaf.
+  EdgeList list = MakeStar(4);
+  for (Edge& e : list.edges) {
+    e.weight = 0.9;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  const Result<ExactOptimum> best = ExactOptimalSeedSetIc(*graph, 1);
+  ASSERT_TRUE(best.ok());
+  ASSERT_EQ(best->seeds.size(), 1u);
+  EXPECT_EQ(best->seeds[0], 0u);
+  EXPECT_NEAR(best->spread, 1.0 + 4 * 0.9, 1e-12);
+}
+
+TEST(ExactOptimalSeedSetTest, KTwoPicksComplementaryNodes) {
+  // Two disjoint chains: optimum must take one node from each.
+  EdgeList list;
+  list.num_nodes = 4;
+  list.edges = {{0, 1, 1.0}, {2, 3, 1.0}};
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  const Result<ExactOptimum> best = ExactOptimalSeedSetIc(*graph, 2);
+  ASSERT_TRUE(best.ok());
+  EXPECT_NEAR(best->spread, 4.0, 1e-12);
+  ASSERT_EQ(best->seeds.size(), 2u);
+  EXPECT_TRUE((best->seeds[0] == 0 && best->seeds[1] == 2));
+}
+
+TEST(ExactOptimalSeedSetTest, ValidatesArguments) {
+  const Graph graph = TinyGraph();
+  EXPECT_FALSE(ExactOptimalSeedSetIc(graph, 0).ok());
+  EXPECT_FALSE(ExactOptimalSeedSetIc(graph, 5).ok());
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,145 @@
+#include "subsim/eval/spread_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+
+namespace subsim {
+namespace {
+
+Graph BuildWeighted(EdgeList list, double weight) {
+  for (Edge& e : list.edges) {
+    e.weight = weight;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list));
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(SpreadEstimatorIcTest, SeedsAlwaysCounted) {
+  const Graph graph = BuildWeighted(MakePath(5), 0.0);
+  SpreadEstimator estimator(graph, CascadeModel::kIndependentCascade);
+  Rng rng(1);
+  const std::vector<NodeId> seeds = {0, 3};
+  const SpreadEstimate estimate = estimator.Estimate(seeds, 100, rng);
+  EXPECT_DOUBLE_EQ(estimate.spread, 2.0);
+  EXPECT_DOUBLE_EQ(estimate.std_error, 0.0);
+}
+
+TEST(SpreadEstimatorIcTest, FullWeightPathSpreadsToEnd) {
+  const Graph graph = BuildWeighted(MakePath(6), 1.0);
+  SpreadEstimator estimator(graph, CascadeModel::kIndependentCascade);
+  Rng rng(2);
+  const std::vector<NodeId> seeds = {2};
+  const SpreadEstimate estimate = estimator.Estimate(seeds, 50, rng);
+  EXPECT_DOUBLE_EQ(estimate.spread, 4.0);  // nodes 2,3,4,5
+}
+
+TEST(SpreadEstimatorIcTest, MatchesClosedFormOnTwoNodeChain) {
+  // 0 -> 1 with p = 0.3: I({0}) = 1.3.
+  EdgeList list = MakePath(2);
+  list.edges[0].weight = 0.3;
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  SpreadEstimator estimator(*graph, CascadeModel::kIndependentCascade);
+  Rng rng(3);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate estimate = estimator.Estimate(seeds, 200000, rng);
+  EXPECT_NEAR(estimate.spread, 1.3, 5.0 * estimate.std_error + 1e-3);
+}
+
+TEST(SpreadEstimatorIcTest, MatchesClosedFormOnStar) {
+  // Star 0 -> {1..4} with p = 0.25: I({0}) = 1 + 4 * 0.25 = 2.
+  const Graph graph = BuildWeighted(MakeStar(4), 0.25);
+  SpreadEstimator estimator(graph, CascadeModel::kIndependentCascade);
+  Rng rng(4);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate estimate = estimator.Estimate(seeds, 200000, rng);
+  EXPECT_NEAR(estimate.spread, 2.0, 5.0 * estimate.std_error + 1e-3);
+}
+
+TEST(SpreadEstimatorIcTest, DuplicateSeedsCountOnce) {
+  const Graph graph = BuildWeighted(MakePath(3), 0.0);
+  SpreadEstimator estimator(graph, CascadeModel::kIndependentCascade);
+  Rng rng(5);
+  const std::vector<NodeId> seeds = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(estimator.Estimate(seeds, 10, rng).spread, 1.0);
+}
+
+TEST(SpreadEstimatorLtTest, SeedsAlwaysCounted) {
+  const Graph graph = BuildWeighted(MakePath(4), 0.0);
+  SpreadEstimator estimator(graph, CascadeModel::kLinearThreshold);
+  Rng rng(6);
+  const std::vector<NodeId> seeds = {1};
+  EXPECT_DOUBLE_EQ(estimator.Estimate(seeds, 50, rng).spread, 1.0);
+}
+
+TEST(SpreadEstimatorLtTest, MatchesClosedFormOnChain) {
+  // LT chain 0 -> 1 -> 2, weight 0.4 each: node 1 activates iff
+  // lambda_1 <= 0.4 (prob 0.4); then node 2 likewise.
+  // I({0}) = 1 + 0.4 + 0.16 = 1.56.
+  const Graph graph = BuildWeighted(MakePath(3), 0.4);
+  SpreadEstimator estimator(graph, CascadeModel::kLinearThreshold);
+  Rng rng(7);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate estimate = estimator.Estimate(seeds, 200000, rng);
+  EXPECT_NEAR(estimate.spread, 1.56, 5.0 * estimate.std_error + 2e-3);
+}
+
+TEST(SpreadEstimatorLtTest, ThresholdAccumulatesAcrossNeighbors) {
+  // Node 2 has in-edges from 0 and 1 with weight 0.5 each. Seeding both
+  // guarantees activation (sum = 1 >= lambda); seeding one gives 0.5.
+  EdgeList list;
+  list.num_nodes = 3;
+  list.edges = {{0, 2, 0.5}, {1, 2, 0.5}};
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  SpreadEstimator estimator(*graph, CascadeModel::kLinearThreshold);
+  Rng rng(8);
+
+  const std::vector<NodeId> both = {0, 1};
+  const SpreadEstimate with_both = estimator.Estimate(both, 20000, rng);
+  EXPECT_NEAR(with_both.spread, 3.0, 0.01);
+
+  const std::vector<NodeId> one = {0};
+  const SpreadEstimate with_one = estimator.Estimate(one, 200000, rng);
+  EXPECT_NEAR(with_one.spread, 1.5, 5.0 * with_one.std_error + 2e-3);
+}
+
+TEST(SpreadEstimatorTest, LargerSeedSetNeverHurts) {
+  Result<EdgeList> list = GenerateErdosRenyi(300, 2400, 9);
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  ASSERT_TRUE(graph.ok());
+  SpreadEstimator estimator(*graph, CascadeModel::kIndependentCascade);
+  Rng rng(10);
+  const std::vector<NodeId> small = {0, 1};
+  const std::vector<NodeId> large = {0, 1, 2, 3, 4, 5};
+  const double spread_small = estimator.Estimate(small, 20000, rng).spread;
+  const double spread_large = estimator.Estimate(large, 20000, rng).spread;
+  EXPECT_GE(spread_large, spread_small);
+}
+
+TEST(SpreadEstimatorTest, ZeroSimulationsGiveEmptyEstimate) {
+  const Graph graph = BuildWeighted(MakePath(3), 0.5);
+  SpreadEstimator estimator(graph, CascadeModel::kIndependentCascade);
+  Rng rng(11);
+  const std::vector<NodeId> seeds = {0};
+  const SpreadEstimate estimate = estimator.Estimate(seeds, 0, rng);
+  EXPECT_DOUBLE_EQ(estimate.spread, 0.0);
+  EXPECT_EQ(estimate.simulations, 0u);
+}
+
+TEST(CascadeModelTest, Names) {
+  EXPECT_STREQ(CascadeModelName(CascadeModel::kIndependentCascade), "IC");
+  EXPECT_STREQ(CascadeModelName(CascadeModel::kLinearThreshold), "LT");
+}
+
+}  // namespace
+}  // namespace subsim

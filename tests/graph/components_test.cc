@@ -1,0 +1,99 @@
+#include "subsim/graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+
+namespace subsim {
+namespace {
+
+Graph FromEdges(NodeId n, std::vector<Edge> edges) {
+  EdgeList list;
+  list.num_nodes = n;
+  list.edges = std::move(edges);
+  Result<Graph> graph = BuildGraph(std::move(list));
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  const Graph graph = FromEdges(0, {});
+  const ComponentInfo info = ComputeWeakComponents(graph);
+  EXPECT_EQ(info.num_components(), 0u);
+  EXPECT_DOUBLE_EQ(info.giant_fraction(0), 0.0);
+}
+
+TEST(ComponentsTest, IsolatedNodesAreSingletons) {
+  const Graph graph = FromEdges(4, {});
+  const ComponentInfo info = ComputeWeakComponents(graph);
+  EXPECT_EQ(info.num_components(), 4u);
+  for (NodeId size : info.sizes) {
+    EXPECT_EQ(size, 1u);
+  }
+}
+
+TEST(ComponentsTest, DirectionIsIgnored) {
+  // 0 -> 1 and 2 -> 1: all weakly connected even though 0 cannot reach 2.
+  const Graph graph = FromEdges(3, {{0, 1, 0.5}, {2, 1, 0.5}});
+  const ComponentInfo info = ComputeWeakComponents(graph);
+  EXPECT_EQ(info.num_components(), 1u);
+  EXPECT_EQ(info.sizes[0], 3u);
+}
+
+TEST(ComponentsTest, TwoComponentsSortedBySize) {
+  const Graph graph = FromEdges(
+      7, {{0, 1, 0.5}, {1, 2, 0.5}, {3, 4, 0.5}, {4, 5, 0.5}, {5, 6, 0.5}});
+  const ComponentInfo info = ComputeWeakComponents(graph);
+  ASSERT_EQ(info.num_components(), 2u);
+  EXPECT_EQ(info.sizes[0], 4u);  // {3,4,5,6}
+  EXPECT_EQ(info.sizes[1], 3u);  // {0,1,2}
+  EXPECT_EQ(info.component_of[3], 0u);
+  EXPECT_EQ(info.component_of[0], 1u);
+  EXPECT_NEAR(info.giant_fraction(7), 4.0 / 7.0, 1e-12);
+}
+
+TEST(ComponentsTest, LabelsAreConsistentWithinComponent) {
+  const Graph graph = FromEdges(
+      6, {{0, 1, 0.5}, {2, 3, 0.5}, {4, 5, 0.5}, {1, 2, 0.5}});
+  const ComponentInfo info = ComputeWeakComponents(graph);
+  ASSERT_EQ(info.num_components(), 2u);
+  EXPECT_EQ(info.component_of[0], info.component_of[3]);
+  EXPECT_EQ(info.component_of[4], info.component_of[5]);
+  EXPECT_NE(info.component_of[0], info.component_of[4]);
+}
+
+TEST(ComponentsTest, SizesSumToN) {
+  Result<EdgeList> list = GenerateErdosRenyi(500, 600, 3);
+  ASSERT_TRUE(list.ok());
+  for (Edge& e : list->edges) {
+    e.weight = 0.1;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  ASSERT_TRUE(graph.ok());
+  const ComponentInfo info = ComputeWeakComponents(*graph);
+  NodeId total = 0;
+  for (NodeId i = 1; i < info.num_components(); ++i) {
+    EXPECT_LE(info.sizes[i], info.sizes[i - 1]) << "sizes not sorted";
+  }
+  for (NodeId size : info.sizes) {
+    total += size;
+  }
+  EXPECT_EQ(total, graph->num_nodes());
+}
+
+TEST(ComponentsTest, BaGraphIsConnected) {
+  Result<EdgeList> list = GenerateBarabasiAlbert(2000, 3, false, 4);
+  ASSERT_TRUE(list.ok());
+  for (Edge& e : list->edges) {
+    e.weight = 0.1;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  ASSERT_TRUE(graph.ok());
+  const ComponentInfo info = ComputeWeakComponents(*graph);
+  EXPECT_EQ(info.num_components(), 1u);
+  EXPECT_DOUBLE_EQ(info.giant_fraction(graph->num_nodes()), 1.0);
+}
+
+}  // namespace
+}  // namespace subsim

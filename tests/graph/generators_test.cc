@@ -1,0 +1,187 @@
+#include "subsim/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/graph_stats.h"
+
+namespace subsim {
+namespace {
+
+GraphStats StatsOf(EdgeList list) {
+  for (Edge& e : list.edges) {
+    e.weight = 0.1;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list));
+  EXPECT_TRUE(graph.ok());
+  return ComputeGraphStats(*graph);
+}
+
+TEST(ErdosRenyiTest, ProducesRequestedCounts) {
+  const Result<EdgeList> list = GenerateErdosRenyi(500, 3000, 1);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->num_nodes, 500u);
+  EXPECT_EQ(list->edges.size(), 3000u);
+}
+
+TEST(ErdosRenyiTest, EdgesAreDistinctAndLoopFree) {
+  const Result<EdgeList> list = GenerateErdosRenyi(100, 2000, 2);
+  ASSERT_TRUE(list.ok());
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : list->edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second) << "duplicate edge";
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  const Result<EdgeList> a = GenerateErdosRenyi(100, 500, 7);
+  const Result<EdgeList> b = GenerateErdosRenyi(100, 500, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->edges.size(), b->edges.size());
+  for (std::size_t i = 0; i < a->edges.size(); ++i) {
+    EXPECT_EQ(a->edges[i].src, b->edges[i].src);
+    EXPECT_EQ(a->edges[i].dst, b->edges[i].dst);
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsInfeasibleDensity) {
+  EXPECT_FALSE(GenerateErdosRenyi(10, 100, 1).ok());  // > 0.5 * n * (n-1)
+  EXPECT_FALSE(GenerateErdosRenyi(1, 0, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, DirectedShape) {
+  const Result<EdgeList> list =
+      GenerateBarabasiAlbert(2000, 5, /*undirected=*/false, 3);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->num_nodes, 2000u);
+  // Seed clique contributes (m+1)m edges; each later node adds m.
+  const std::size_t expected = 6u * 5u + (2000u - 6u) * 5u;
+  EXPECT_EQ(list->edges.size(), expected);
+}
+
+TEST(BarabasiAlbertTest, UndirectedIsSymmetric) {
+  const Result<EdgeList> list =
+      GenerateBarabasiAlbert(500, 3, /*undirected=*/true, 4);
+  ASSERT_TRUE(list.ok());
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (const Edge& e : list->edges) {
+    edges.emplace(e.src, e.dst);
+  }
+  for (const auto& [s, d] : edges) {
+    EXPECT_TRUE(edges.count({d, s})) << s << "->" << d << " missing reverse";
+  }
+}
+
+TEST(BarabasiAlbertTest, ProducesHeavyTail) {
+  const Result<EdgeList> list =
+      GenerateBarabasiAlbert(5000, 4, /*undirected=*/false, 5);
+  ASSERT_TRUE(list.ok());
+  const GraphStats stats = StatsOf(*list);
+  // A hub should accumulate far more than the average in-degree.
+  EXPECT_GT(stats.max_in_degree, 20 * stats.average_degree);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParameters) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 0, false, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(5, 5, false, 1).ok());
+}
+
+TEST(PowerLawConfigurationTest, HitsTargetDensityApproximately) {
+  const Result<EdgeList> list =
+      GeneratePowerLawConfiguration(20000, 2.1, 2000, 10.0, 6);
+  ASSERT_TRUE(list.ok());
+  const double avg =
+      static_cast<double>(list->edges.size()) / list->num_nodes;
+  EXPECT_GT(avg, 7.0);
+  EXPECT_LT(avg, 13.0);
+}
+
+TEST(PowerLawConfigurationTest, HeavyTailExists) {
+  const Result<EdgeList> list =
+      GeneratePowerLawConfiguration(20000, 2.0, 2000, 10.0, 7);
+  ASSERT_TRUE(list.ok());
+  const GraphStats stats = StatsOf(*list);
+  EXPECT_GT(stats.max_in_degree, 100u);
+}
+
+TEST(PowerLawConfigurationTest, NoSelfLoops) {
+  const Result<EdgeList> list =
+      GeneratePowerLawConfiguration(1000, 2.2, 100, 5.0, 8);
+  ASSERT_TRUE(list.ok());
+  for (const Edge& e : list->edges) {
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(PowerLawConfigurationTest, RejectsBadParameters) {
+  EXPECT_FALSE(GeneratePowerLawConfiguration(1, 2.0, 10, 5.0, 1).ok());
+  EXPECT_FALSE(GeneratePowerLawConfiguration(100, 0.9, 10, 5.0, 1).ok());
+  EXPECT_FALSE(GeneratePowerLawConfiguration(100, 2.0, 10, 50.0, 1).ok());
+}
+
+TEST(WattsStrogatzTest, RingShapeWithoutRewiring) {
+  const Result<EdgeList> list = GenerateWattsStrogatz(100, 2, 0.0, 9);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->edges.size(), 100u * 2u * 2u);
+  const GraphStats stats = StatsOf(*list);
+  EXPECT_EQ(stats.max_out_degree, 4u);  // 2 per side, both directions
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsEdgeCount) {
+  const Result<EdgeList> list = GenerateWattsStrogatz(100, 3, 0.3, 10);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->edges.size(), 100u * 3u * 2u);
+}
+
+TEST(WattsStrogatzTest, RejectsBadParameters) {
+  EXPECT_FALSE(GenerateWattsStrogatz(2, 1, 0.1, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 5, 0.1, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 2, 1.5, 1).ok());
+}
+
+TEST(DeterministicShapesTest, Path) {
+  const EdgeList list = MakePath(4);
+  EXPECT_EQ(list.num_nodes, 4u);
+  ASSERT_EQ(list.edges.size(), 3u);
+  EXPECT_EQ(list.edges[0].src, 0u);
+  EXPECT_EQ(list.edges[2].dst, 3u);
+}
+
+TEST(DeterministicShapesTest, Cycle) {
+  const EdgeList list = MakeCycle(4);
+  EXPECT_EQ(list.edges.size(), 4u);
+  EXPECT_EQ(list.edges.back().src, 3u);
+  EXPECT_EQ(list.edges.back().dst, 0u);
+}
+
+TEST(DeterministicShapesTest, Star) {
+  const EdgeList list = MakeStar(5);
+  EXPECT_EQ(list.num_nodes, 6u);
+  EXPECT_EQ(list.edges.size(), 5u);
+  for (const Edge& e : list.edges) {
+    EXPECT_EQ(e.src, 0u);
+  }
+}
+
+TEST(DeterministicShapesTest, Complete) {
+  const EdgeList list = MakeComplete(5);
+  EXPECT_EQ(list.edges.size(), 20u);
+}
+
+TEST(DeterministicShapesTest, Bipartite) {
+  const EdgeList list = MakeBipartite(2, 3);
+  EXPECT_EQ(list.num_nodes, 5u);
+  EXPECT_EQ(list.edges.size(), 6u);
+  for (const Edge& e : list.edges) {
+    EXPECT_LT(e.src, 2u);
+    EXPECT_GE(e.dst, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace subsim

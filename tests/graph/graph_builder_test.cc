@@ -1,0 +1,215 @@
+#include "subsim/graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "subsim/graph/generators.h"
+
+namespace subsim {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(0);
+  Result<Graph> graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 0u);
+  EXPECT_EQ(graph->num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(graph->average_degree(), 0.0);
+}
+
+TEST(GraphBuilderTest, NodesWithoutEdges) {
+  GraphBuilder builder(5);
+  Result<Graph> graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 5u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(graph->OutDegree(v), 0u);
+    EXPECT_EQ(graph->InDegree(v), 0u);
+    EXPECT_DOUBLE_EQ(graph->InWeightSum(v), 0.0);
+  }
+}
+
+TEST(GraphBuilderTest, AdjacencyIsConsistentBothDirections) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 0.5);
+  builder.AddEdge(0, 2, 0.25);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(3, 0, 0.1);
+  Result<Graph> graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+
+  EXPECT_EQ(graph->num_edges(), 4u);
+  EXPECT_EQ(graph->OutDegree(0), 2u);
+  EXPECT_EQ(graph->InDegree(2), 2u);
+  EXPECT_EQ(graph->InDegree(0), 1u);
+
+  // Out view of node 0.
+  const auto out0 = graph->OutNeighbors(0);
+  const auto w0 = graph->OutWeights(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_DOUBLE_EQ(w0[0], 0.5);
+  EXPECT_EQ(out0[1], 2u);
+  EXPECT_DOUBLE_EQ(w0[1], 0.25);
+
+  // In view of node 2: sources {0, 1} with weights {0.25, 1.0}.
+  const auto in2 = graph->InNeighbors(2);
+  const auto iw2 = graph->InWeights(2);
+  ASSERT_EQ(in2.size(), 2u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < in2.size(); ++i) {
+    if (in2[i] == 0) {
+      EXPECT_DOUBLE_EQ(iw2[i], 0.25);
+    } else {
+      EXPECT_EQ(in2[i], 1u);
+      EXPECT_DOUBLE_EQ(iw2[i], 1.0);
+    }
+    sum += iw2[i];
+  }
+  EXPECT_DOUBLE_EQ(graph->InWeightSum(2), sum);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 3, 0.5);  // 3 is out of range
+  const Result<Graph> graph = std::move(builder).Build();
+  EXPECT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsWeightAboveOne) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 1.5);
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsNegativeWeight) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, -0.1);
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsNonFiniteWeight) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(GraphBuilderTest, SelfLoopsRemovedByDefault) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 0, 0.5);
+  builder.AddEdge(0, 1, 0.5);
+  Result<Graph> graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsKeptWhenRequested) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 0, 0.5);
+  GraphBuildOptions options;
+  options.remove_self_loops = false;
+  Result<Graph> graph = std::move(builder).Build(options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 1u);
+  EXPECT_EQ(graph->InDegree(0), 1u);
+}
+
+TEST(GraphBuilderTest, MergeParallelEdgesKeepsMaxWeight) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.3);
+  builder.AddEdge(0, 1, 0.8);
+  builder.AddEdge(0, 1, 0.5);
+  GraphBuildOptions options;
+  options.merge_parallel_edges = true;
+  Result<Graph> graph = std::move(builder).Build(options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(graph->OutWeights(0)[0], 0.8);
+}
+
+TEST(GraphBuilderTest, UndirectedEdgeAddsBothDirections) {
+  GraphBuilder builder(2);
+  builder.AddUndirectedEdge(0, 1, 0.4);
+  Result<Graph> graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 2u);
+  EXPECT_EQ(graph->OutDegree(0), 1u);
+  EXPECT_EQ(graph->OutDegree(1), 1u);
+}
+
+TEST(GraphBuilderTest, SortInEdgesByWeightDescending) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 3, 0.2);
+  builder.AddEdge(1, 3, 0.9);
+  builder.AddEdge(2, 3, 0.5);
+  GraphBuildOptions options;
+  options.sort_in_edges_by_weight = true;
+  Result<Graph> graph = std::move(builder).Build(options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->in_sorted_by_weight());
+  const auto weights = graph->InWeights(3);
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(weights[0], 0.9);
+  EXPECT_DOUBLE_EQ(weights[1], 0.5);
+  EXPECT_DOUBLE_EQ(weights[2], 0.2);
+  const auto sources = graph->InNeighbors(3);
+  EXPECT_EQ(sources[0], 1u);
+  EXPECT_EQ(sources[1], 2u);
+  EXPECT_EQ(sources[2], 0u);
+}
+
+TEST(GraphBuilderTest, UniformInWeightsDetection) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 2, 0.5);
+  builder.AddEdge(1, 2, 0.5);
+  builder.AddEdge(0, 3, 0.5);
+  builder.AddEdge(1, 3, 0.25);
+  Result<Graph> graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->HasUniformInWeights(2));
+  EXPECT_FALSE(graph->HasUniformInWeights(3));
+  EXPECT_TRUE(graph->HasUniformInWeights(0));  // no in-edges: trivially true
+}
+
+TEST(GraphBuilderTest, ToEdgeListRoundTrips) {
+  EdgeList original;
+  original.num_nodes = 5;
+  original.edges = {{0, 1, 0.1}, {1, 2, 0.2}, {2, 0, 0.3}, {4, 3, 0.4}};
+  Result<Graph> graph = BuildGraph(original);
+  ASSERT_TRUE(graph.ok());
+  EdgeList round = graph->ToEdgeList();
+  EXPECT_EQ(round.num_nodes, original.num_nodes);
+  ASSERT_EQ(round.edges.size(), original.edges.size());
+
+  auto key = [](const Edge& e) {
+    return std::tuple(e.src, e.dst, e.weight);
+  };
+  std::sort(original.edges.begin(), original.edges.end(),
+            [&](const Edge& a, const Edge& b) { return key(a) < key(b); });
+  std::sort(round.edges.begin(), round.edges.end(),
+            [&](const Edge& a, const Edge& b) { return key(a) < key(b); });
+  for (std::size_t i = 0; i < round.edges.size(); ++i) {
+    EXPECT_EQ(key(round.edges[i]), key(original.edges[i]));
+  }
+}
+
+TEST(GraphBuilderTest, BuildGraphFromGeneratedShapes) {
+  for (EdgeList list : {MakePath(6), MakeCycle(5), MakeStar(7),
+                        MakeComplete(4), MakeBipartite(3, 4)}) {
+    for (Edge& e : list.edges) {
+      e.weight = 0.5;
+    }
+    const NodeId n = list.num_nodes;
+    const std::size_t m = list.edges.size();
+    Result<Graph> graph = BuildGraph(std::move(list));
+    ASSERT_TRUE(graph.ok());
+    EXPECT_EQ(graph->num_nodes(), n);
+    EXPECT_EQ(graph->num_edges(), m);
+  }
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,69 @@
+#include "subsim/graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+
+namespace subsim {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  Result<Graph> graph = BuildGraph(EdgeList{});
+  ASSERT_TRUE(graph.ok());
+  const GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 0.0);
+  EXPECT_DOUBLE_EQ(stats.isolated_in_fraction, 0.0);
+}
+
+TEST(GraphStatsTest, StarStatistics) {
+  EdgeList list = MakeStar(4);  // 0 -> {1,2,3,4}
+  for (Edge& e : list.edges) {
+    e.weight = 0.25;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  const GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 0.8);
+  EXPECT_EQ(stats.max_out_degree, 4u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  // Only the center has in-degree 0.
+  EXPECT_DOUBLE_EQ(stats.isolated_in_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(stats.max_in_weight_sum, 0.25);
+  EXPECT_DOUBLE_EQ(stats.avg_in_weight_sum, 4 * 0.25 / 5.0);
+}
+
+TEST(GraphStatsTest, WcWeightsGiveUnitInSums) {
+  Result<EdgeList> list = GenerateErdosRenyi(200, 1500, 5);
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  ASSERT_TRUE(graph.ok());
+  const GraphStats stats = ComputeGraphStats(*graph);
+  EXPECT_NEAR(stats.max_in_weight_sum, 1.0, 1e-9);
+  // avg = fraction of nodes with at least one in-edge.
+  EXPECT_LE(stats.avg_in_weight_sum, 1.0 + 1e-9);
+  EXPECT_GT(stats.avg_in_weight_sum, 0.9);  // ER(200,1500): few isolated
+}
+
+TEST(GraphStatsTest, ToStringMentionsCoreFields) {
+  EdgeList list = MakePath(3);
+  for (Edge& e : list.edges) {
+    e.weight = 0.5;
+  }
+  Result<Graph> graph = BuildGraph(std::move(list));
+  ASSERT_TRUE(graph.ok());
+  const std::string text = ComputeGraphStats(*graph).ToString();
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("m=2"), std::string::npos);
+  EXPECT_NE(text.find("avg_deg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,230 @@
+// Property-style parameterized sweeps across the (weight model x generator
+// x graph shape) matrix: structural invariants of RR sets, determinism,
+// greedy-vs-exhaustive coverage on small instances, and bound ordering on
+// randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "subsim/coverage/bounds.h"
+#include "subsim/coverage/max_coverage.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/rrset/generator_factory.h"
+
+namespace subsim {
+namespace {
+
+struct SweepCase {
+  std::string graph_shape;   // "er" | "ba" | "plc" | "ws"
+  WeightModel weight_model;
+  GeneratorKind generator;
+};
+
+std::string CaseName(const SweepCase& c) {
+  std::string name = c.graph_shape;
+  name += "_";
+  name += WeightModelName(c.weight_model);
+  name += "_";
+  name += GeneratorKindName(c.generator);
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+std::vector<SweepCase> SweepCases() {
+  std::vector<SweepCase> cases;
+  const WeightModel models[] = {
+      WeightModel::kWeightedCascade, WeightModel::kUniformIc,
+      WeightModel::kWcVariant,       WeightModel::kExponential,
+      WeightModel::kWeibull,         WeightModel::kTrivalency,
+  };
+  for (const char* shape : {"er", "ba", "plc", "ws"}) {
+    for (WeightModel model : models) {
+      cases.push_back({shape, model, GeneratorKind::kVanillaIc});
+      cases.push_back({shape, model, GeneratorKind::kSubsimIc});
+    }
+    // LT requires per-node weight sums <= 1: WC qualifies.
+    cases.push_back({shape, WeightModel::kWeightedCascade,
+                     GeneratorKind::kLt});
+  }
+  return cases;
+}
+
+Graph BuildSweepGraph(const SweepCase& c, std::uint64_t seed) {
+  Result<EdgeList> list = Status::Internal("unset");
+  if (c.graph_shape == "er") {
+    list = GenerateErdosRenyi(300, 2400, seed);
+  } else if (c.graph_shape == "ba") {
+    list = GenerateBarabasiAlbert(300, 4, /*undirected=*/true, seed);
+  } else if (c.graph_shape == "plc") {
+    list = GeneratePowerLawConfiguration(300, 2.1, 60, 8.0, seed);
+  } else {
+    list = GenerateWattsStrogatz(300, 3, 0.2, seed);
+  }
+  EXPECT_TRUE(list.ok());
+  WeightModelParams params;
+  params.seed = seed;
+  params.uniform_p = 0.05;
+  params.wc_variant_theta = 1.5;
+  EXPECT_TRUE(AssignWeights(c.weight_model, params, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+class RrSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RrSweepTest, GenerationInvariants) {
+  const Graph graph = BuildSweepGraph(GetParam(), 42);
+  auto generator = MakeRrGenerator(GetParam().generator, graph);
+  ASSERT_TRUE(generator.ok()) << generator.status().ToString();
+
+  Rng rng(1);
+  std::vector<NodeId> out;
+  std::uint64_t total = 0;
+  for (int i = 0; i < 300; ++i) {
+    const bool hit = (*generator)->Generate(rng, &out);
+    EXPECT_FALSE(hit);
+    ASSERT_GE(out.size(), 1u);
+    total += out.size();
+    const std::set<NodeId> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), out.size()) << "duplicate node in RR set";
+    for (NodeId v : out) {
+      EXPECT_LT(v, graph.num_nodes());
+    }
+  }
+  EXPECT_EQ((*generator)->stats().sets_generated, 300u);
+  EXPECT_EQ((*generator)->stats().nodes_added, total);
+}
+
+TEST_P(RrSweepTest, DeterministicGivenSeed) {
+  const Graph graph = BuildSweepGraph(GetParam(), 42);
+  auto generator_a = MakeRrGenerator(GetParam().generator, graph);
+  auto generator_b = MakeRrGenerator(GetParam().generator, graph);
+  ASSERT_TRUE(generator_a.ok());
+  ASSERT_TRUE(generator_b.ok());
+  Rng rng_a(7);
+  Rng rng_b(7);
+  std::vector<NodeId> out_a;
+  std::vector<NodeId> out_b;
+  for (int i = 0; i < 100; ++i) {
+    (*generator_a)->Generate(rng_a, &out_a);
+    (*generator_b)->Generate(rng_b, &out_b);
+    EXPECT_EQ(out_a, out_b) << "iteration " << i;
+  }
+}
+
+TEST_P(RrSweepTest, SentinelTruncationNeverGrowsSets) {
+  const Graph graph = BuildSweepGraph(GetParam(), 42);
+  auto generator = MakeRrGenerator(GetParam().generator, graph);
+  ASSERT_TRUE(generator.ok());
+
+  // Sets generated with sentinels are prefixes of what the same RNG stream
+  // would have produced without; statistically their mean size must not
+  // exceed the unrestricted mean.
+  auto mean_size = [&](bool with_sentinels) {
+    if (with_sentinels) {
+      std::vector<NodeId> sentinels;
+      for (NodeId v = 0; v < graph.num_nodes(); v += 7) {
+        sentinels.push_back(v);
+      }
+      (*generator)->SetSentinels(sentinels);
+    } else {
+      (*generator)->SetSentinels({});
+    }
+    Rng rng(11);
+    std::vector<NodeId> out;
+    std::uint64_t total = 0;
+    for (int i = 0; i < 500; ++i) {
+      (*generator)->Generate(rng, &out);
+      total += out.size();
+    }
+    return static_cast<double>(total) / 500.0;
+  };
+
+  const double plain = mean_size(false);
+  const double truncated = mean_size(true);
+  EXPECT_LE(truncated, plain + 0.5);
+}
+
+TEST_P(RrSweepTest, GreedyMatchesExhaustiveTopPairCoverage) {
+  // Greedy coverage with k = 2 must reach >= (1 - 1/e) of the best pair's
+  // coverage (it actually achieves >= 3/4 for k = 2, but we assert the
+  // theorem's bound). Exhaustive search over all pairs is feasible at
+  // n = 300.
+  const Graph graph = BuildSweepGraph(GetParam(), 42);
+  auto generator = MakeRrGenerator(GetParam().generator, graph);
+  ASSERT_TRUE(generator.ok());
+
+  RrCollection collection(graph.num_nodes());
+  Rng rng(13);
+  (*generator)->Fill(rng, 400, &collection);
+
+  CoverageGreedyOptions options;
+  options.k = 2;
+  const CoverageGreedyResult greedy = RunCoverageGreedy(collection, options);
+
+  std::uint64_t best_pair = 0;
+  const NodeId n = graph.num_nodes();
+  // Candidate pruning: only nodes appearing in some RR set matter.
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!collection.SetsContaining(v).empty()) {
+      candidates.push_back(v);
+    }
+  }
+  std::vector<std::uint8_t> covered(collection.num_sets());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      const NodeId pair[2] = {candidates[i], candidates[j]};
+      const std::uint64_t coverage = ComputeCoverage(collection, pair);
+      best_pair = std::max(best_pair, coverage);
+    }
+  }
+  (void)covered;
+  EXPECT_GE(static_cast<double>(greedy.total_coverage()),
+            (1.0 - 1.0 / 2.718281828) * static_cast<double>(best_pair) - 1e-9)
+      << "greedy " << greedy.total_coverage() << " vs best pair "
+      << best_pair;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, RrSweepTest,
+                         ::testing::ValuesIn(SweepCases()),
+                         [](const auto& info) { return CaseName(info.param); });
+
+class BoundOrderingTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BoundOrderingTest, LowerEstimateUpperAreOrdered) {
+  // For any coverage count and sample size, Eq (1) <= unbiased estimate
+  // and the Eq (2) value at the same coverage >= the estimate.
+  const auto [coverage_scale, theta_scale] = GetParam();
+  const std::uint64_t theta = 100ull * theta_scale;
+  const std::uint64_t coverage =
+      std::min<std::uint64_t>(theta, 7ull * coverage_scale * theta_scale);
+  const NodeId n = 100000;
+  for (double delta : {0.5, 0.1, 1e-3, 1e-9}) {
+    const double estimate = static_cast<double>(coverage) * n /
+                            static_cast<double>(theta);
+    EXPECT_LE(OpimLowerBound(coverage, theta, n, delta), estimate + 1e-9);
+    EXPECT_GE(OpimUpperBound(static_cast<double>(coverage), theta, n, delta),
+              estimate - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BoundOrderingTest,
+                         ::testing::Combine(::testing::Values(1, 3, 10),
+                                            ::testing::Values(1, 8, 64,
+                                                              512)));
+
+}  // namespace
+}  // namespace subsim

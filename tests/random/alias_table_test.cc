@@ -1,0 +1,109 @@
+#include "subsim/random/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace subsim {
+namespace {
+
+void ExpectEmpiricalMatches(const AliasTable& table,
+                            const std::vector<double>& weights,
+                            std::uint64_t seed, int trials = 200000) {
+  Rng rng(seed);
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < trials; ++i) {
+    const std::uint32_t s = table.Sample(rng);
+    ASSERT_LT(s, weights.size());
+    ++counts[s];
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double p = weights[i] / total;
+    const double expected = trials * p;
+    const double sigma = std::sqrt(trials * p * (1.0 - p));
+    EXPECT_NEAR(counts[i], expected, 5.0 * sigma + 1.0) << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, SingleElement) {
+  AliasTable table({3.5});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Sample(rng), 0u);
+  }
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  ExpectEmpiricalMatches(AliasTable({1, 1, 1, 1}), {1, 1, 1, 1}, 2);
+}
+
+TEST(AliasTableTest, SkewedWeights) {
+  const std::vector<double> weights = {0.7, 0.2, 0.05, 0.05};
+  ExpectEmpiricalMatches(AliasTable(weights), weights, 3);
+}
+
+TEST(AliasTableTest, ExtremeSkew) {
+  const std::vector<double> weights = {1000.0, 1.0, 1.0};
+  Rng rng(4);
+  AliasTable table(weights);
+  int heavy = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (table.Sample(rng) == 0) {
+      ++heavy;
+    }
+  }
+  EXPECT_GT(heavy, trials * 0.99);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 2.0};
+  Rng rng(5);
+  AliasTable table(weights);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, TotalWeightPreserved) {
+  AliasTable table({0.25, 0.5, 0.25});
+  EXPECT_DOUBLE_EQ(table.total_weight(), 1.0);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(AliasTableTest, UnnormalizedWeightsWork) {
+  const std::vector<double> weights = {5, 10, 25, 60};
+  ExpectEmpiricalMatches(AliasTable(weights), weights, 6);
+}
+
+TEST(AliasTableTest, ManyElements) {
+  std::vector<double> weights(257);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>(i % 7 + 1);
+  }
+  Rng rng(7);
+  AliasTable table(weights);
+  // Spot-check range validity over many draws.
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(table.Sample(rng), weights.size());
+  }
+}
+
+TEST(AliasTableTest, RebuildReplacesDistribution) {
+  AliasTable table({1.0, 0.0});
+  table.Build({0.0, 1.0});
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.Sample(rng), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace subsim

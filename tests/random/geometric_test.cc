@@ -1,0 +1,109 @@
+#include "subsim/random/geometric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace subsim {
+namespace {
+
+TEST(GeometricTest, PEqualsOneAlwaysReturnsOne) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleGeometric(rng, 1.0), 1u);
+  }
+}
+
+TEST(GeometricTest, AlwaysAtLeastOne) {
+  Rng rng(2);
+  for (double p : {0.999, 0.5, 0.1, 0.001}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_GE(SampleGeometric(rng, p), 1u) << "p=" << p;
+    }
+  }
+}
+
+TEST(GeometricTest, MeanMatchesOneOverP) {
+  Rng rng(3);
+  for (double p : {0.5, 0.2, 0.05}) {
+    const int trials = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      sum += static_cast<double>(SampleGeometric(rng, p));
+    }
+    const double mean = sum / trials;
+    const double expected = 1.0 / p;
+    // Variance (1-p)/p^2; 5-sigma window on the mean.
+    const double sigma =
+        std::sqrt((1.0 - p) / (p * p) / static_cast<double>(trials));
+    EXPECT_NEAR(mean, expected, 5.0 * sigma) << "p=" << p;
+  }
+}
+
+TEST(GeometricTest, PmfMatchesGeometricLaw) {
+  Rng rng(4);
+  const double p = 0.3;
+  const int trials = 300000;
+  std::vector<int> counts(12, 0);
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t x = SampleGeometric(rng, p);
+    if (x < counts.size()) {
+      ++counts[x];
+    }
+  }
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    const double expected_p = std::pow(1.0 - p, i - 1) * p;
+    const double expected = trials * expected_p;
+    const double sigma = std::sqrt(expected * (1.0 - expected_p));
+    EXPECT_NEAR(counts[i], expected, 5.0 * sigma) << "i=" << i;
+  }
+}
+
+TEST(GeometricTest, TinyProbabilityDoesNotOverflow) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = SampleGeometric(rng, 1e-12);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, kGeometricCap);
+  }
+}
+
+TEST(GeometricTest, FastPathAgreesWithSlowPathDistribution) {
+  const double p = 0.25;
+  const double inv_log_q = GeometricInvLogQ(p);
+  Rng rng_fast(6);
+  Rng rng_slow(6);  // same seed -> same uniforms -> identical outputs
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(SampleGeometricFast(rng_fast, inv_log_q),
+              SampleGeometric(rng_slow, p));
+  }
+}
+
+TEST(GeometricInvLogQTest, IsNegative) {
+  EXPECT_LT(GeometricInvLogQ(0.5), 0.0);
+  EXPECT_LT(GeometricInvLogQ(1e-9), 0.0);
+  EXPECT_LT(GeometricInvLogQ(0.999999), 0.0);
+}
+
+class GeometricMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricMeanSweep, MeanWithinFiveSigma) {
+  const double p = GetParam();
+  Rng rng(1234);
+  const int trials = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(SampleGeometric(rng, p));
+  }
+  const double sigma =
+      std::sqrt((1.0 - p) / (p * p) / static_cast<double>(trials));
+  EXPECT_NEAR(sum / trials, 1.0 / p, 5.0 * sigma + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeometricMeanSweep,
+                         ::testing::Values(0.9, 0.7, 0.5, 0.3, 0.1, 0.03,
+                                           0.01));
+
+}  // namespace
+}  // namespace subsim

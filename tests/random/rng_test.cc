@@ -1,0 +1,157 @@
+#include "subsim/random/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace subsim {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenNeverZeroOrOne) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDoubleOpen();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    sum += rng.NextDouble();
+  }
+  // Std error ~ 1/sqrt(12*trials) ~ 0.0009; allow 5 sigma.
+  EXPECT_NEAR(sum / trials, 0.5, 0.005);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kTrials = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[rng.UniformInt(kBound)];
+  }
+  const double expected = static_cast<double>(kTrials) / kBound;
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    // 5-sigma window around the binomial mean.
+    const double sigma = std::sqrt(expected * (1.0 - 1.0 / kBound));
+    EXPECT_NEAR(counts[v], expected, 5.0 * sigma) << "value " << v;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(11);
+  constexpr int kTrials = 100000;
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      hits += rng.Bernoulli(p) ? 1 : 0;
+    }
+    const double sigma = std::sqrt(kTrials * p * (1 - p));
+    EXPECT_NEAR(hits, kTrials * p, 5.0 * sigma) << "p=" << p;
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng base(17);
+  Rng fork1 = base.Fork(1);
+  Rng fork2 = base.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (fork1.NextU64() == fork2.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng a(29);
+  Rng b(29);
+  (void)a.Fork(1);
+  (void)a.Fork(2);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(29);
+  Rng b(29);
+  Rng fa = a.Fork(9);
+  Rng fb = b.Fork(9);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fa.NextU64(), fb.NextU64());
+  }
+}
+
+TEST(SplitMix64Test, KnownSequenceProperties) {
+  std::uint64_t state = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(SplitMix64(&state));
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions in a short run
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(1);
+  (void)rng();  // callable
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,147 @@
+#include "subsim/rrset/parallel_fill.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+
+namespace subsim {
+namespace {
+
+Graph TestGraph() {
+  Result<EdgeList> list = GenerateBarabasiAlbert(1000, 4, true, 3);
+  EXPECT_TRUE(list.ok());
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(ParallelFillTest, ProducesRequestedCount) {
+  const Graph graph = TestGraph();
+  RrCollection collection(graph.num_nodes());
+  Rng rng(1);
+  ParallelFillOptions options;
+  options.num_threads = 4;
+  ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, 1000,
+                           options, &collection)
+                  .ok());
+  EXPECT_EQ(collection.num_sets(), 1000u);
+  EXPECT_GE(collection.total_nodes(), 1000u);
+}
+
+TEST(ParallelFillTest, DeterministicPerSeedAndThreadCount) {
+  const Graph graph = TestGraph();
+  auto run = [&](std::uint64_t seed) {
+    RrCollection collection(graph.num_nodes());
+    Rng rng(seed);
+    ParallelFillOptions options;
+    options.num_threads = 3;
+    EXPECT_TRUE(ParallelFill(GeneratorKind::kVanillaIc, graph, rng, 500,
+                             options, &collection)
+                    .ok());
+    return collection;
+  };
+  const RrCollection a = run(7);
+  const RrCollection b = run(7);
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  EXPECT_EQ(a.total_nodes(), b.total_nodes());
+  for (RrId id = 0; id < a.num_sets(); ++id) {
+    const auto sa = a.Set(id);
+    const auto sb = b.Set(id);
+    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i], sb[i]);
+    }
+  }
+}
+
+TEST(ParallelFillTest, DistributionMatchesSerialFill) {
+  // Different RNG stream layout than serial Fill, but the same
+  // distribution: compare average set sizes.
+  const Graph graph = TestGraph();
+  const std::size_t count = 20000;
+
+  RrCollection parallel(graph.num_nodes());
+  {
+    Rng rng(11);
+    ParallelFillOptions options;
+    options.num_threads = 8;
+    ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, count,
+                             options, &parallel)
+                    .ok());
+  }
+  RrCollection serial(graph.num_nodes());
+  {
+    Rng rng(12);
+    auto generator = MakeRrGenerator(GeneratorKind::kSubsimIc, graph);
+    ASSERT_TRUE(generator.ok());
+    (*generator)->Fill(rng, count, &serial);
+  }
+  const double diff =
+      std::abs(parallel.average_size() - serial.average_size());
+  EXPECT_LT(diff, 0.15 * serial.average_size() + 0.5)
+      << parallel.average_size() << " vs " << serial.average_size();
+}
+
+TEST(ParallelFillTest, SentinelsApplyInEveryWorker) {
+  const Graph graph = TestGraph();
+  RrCollection collection(graph.num_nodes());
+  Rng rng(13);
+  ParallelFillOptions options;
+  options.num_threads = 4;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    options.sentinels.push_back(v);  // everything is a sentinel
+  }
+  ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, 200,
+                           options, &collection)
+                  .ok());
+  EXPECT_EQ(collection.num_hit_sentinel(), 200u);
+  for (RrId id = 0; id < collection.num_sets(); ++id) {
+    EXPECT_EQ(collection.Set(id).size(), 1u);  // root-only sets
+  }
+}
+
+TEST(ParallelFillTest, ZeroCountIsNoop) {
+  const Graph graph = TestGraph();
+  RrCollection collection(graph.num_nodes());
+  Rng rng(14);
+  ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, 0, {},
+                           &collection)
+                  .ok());
+  EXPECT_EQ(collection.num_sets(), 0u);
+}
+
+TEST(ParallelFillTest, PropagatesGeneratorConstructionFailure) {
+  // LT requires in-weight sums <= 1; violate it.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2, 0.9);
+  builder.AddEdge(1, 2, 0.9);
+  Result<Graph> graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  RrCollection collection(graph->num_nodes());
+  Rng rng(15);
+  const Status status =
+      ParallelFill(GeneratorKind::kLt, *graph, rng, 10, {}, &collection);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(collection.num_sets(), 0u);
+}
+
+TEST(ParallelFillTest, MoreThreadsThanSetsStillWorks) {
+  const Graph graph = TestGraph();
+  RrCollection collection(graph.num_nodes());
+  Rng rng(16);
+  ParallelFillOptions options;
+  options.num_threads = 64;
+  ASSERT_TRUE(ParallelFill(GeneratorKind::kVanillaIc, graph, rng, 5, options,
+                           &collection)
+                  .ok());
+  EXPECT_EQ(collection.num_sets(), 5u);
+}
+
+}  // namespace
+}  // namespace subsim

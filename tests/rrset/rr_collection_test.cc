@@ -1,0 +1,96 @@
+#include "subsim/rrset/rr_collection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace subsim {
+namespace {
+
+TEST(RrCollectionTest, StartsEmpty) {
+  RrCollection collection(10);
+  EXPECT_EQ(collection.num_sets(), 0u);
+  EXPECT_EQ(collection.total_nodes(), 0u);
+  EXPECT_DOUBLE_EQ(collection.average_size(), 0.0);
+  EXPECT_EQ(collection.num_graph_nodes(), 10u);
+}
+
+TEST(RrCollectionTest, AddAndRetrieve) {
+  RrCollection collection(5);
+  const std::vector<NodeId> a = {0, 2, 4};
+  const std::vector<NodeId> b = {1};
+  EXPECT_EQ(collection.Add(a, false), 0u);
+  EXPECT_EQ(collection.Add(b, true), 1u);
+
+  EXPECT_EQ(collection.num_sets(), 2u);
+  EXPECT_EQ(collection.total_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(collection.average_size(), 2.0);
+
+  const auto set0 = collection.Set(0);
+  ASSERT_EQ(set0.size(), 3u);
+  EXPECT_EQ(set0[0], 0u);
+  EXPECT_EQ(set0[2], 4u);
+  EXPECT_FALSE(collection.HitSentinel(0));
+  EXPECT_TRUE(collection.HitSentinel(1));
+  EXPECT_EQ(collection.num_hit_sentinel(), 1u);
+}
+
+TEST(RrCollectionTest, InvertedIndexTracksMembership) {
+  RrCollection collection(4);
+  collection.Add(std::vector<NodeId>{0, 1}, false);
+  collection.Add(std::vector<NodeId>{1, 2}, false);
+  collection.Add(std::vector<NodeId>{1}, false);
+
+  EXPECT_EQ(collection.SetsContaining(0).size(), 1u);
+  EXPECT_EQ(collection.SetsContaining(1).size(), 3u);
+  EXPECT_EQ(collection.SetsContaining(2).size(), 1u);
+  EXPECT_EQ(collection.SetsContaining(3).size(), 0u);
+
+  const auto containing1 = collection.SetsContaining(1);
+  EXPECT_EQ(containing1[0], 0u);
+  EXPECT_EQ(containing1[1], 1u);
+  EXPECT_EQ(containing1[2], 2u);
+}
+
+TEST(RrCollectionTest, EmptySetAllowed) {
+  RrCollection collection(3);
+  collection.Add(std::vector<NodeId>{}, false);
+  EXPECT_EQ(collection.num_sets(), 1u);
+  EXPECT_EQ(collection.Set(0).size(), 0u);
+}
+
+TEST(RrCollectionTest, ClearResetsEverything) {
+  RrCollection collection(3);
+  collection.Add(std::vector<NodeId>{0, 1}, true);
+  collection.Clear();
+  EXPECT_EQ(collection.num_sets(), 0u);
+  EXPECT_EQ(collection.total_nodes(), 0u);
+  EXPECT_EQ(collection.num_hit_sentinel(), 0u);
+  EXPECT_EQ(collection.SetsContaining(0).size(), 0u);
+  EXPECT_EQ(collection.num_graph_nodes(), 3u);
+
+  collection.Add(std::vector<NodeId>{2}, false);
+  EXPECT_EQ(collection.num_sets(), 1u);
+  EXPECT_EQ(collection.SetsContaining(2).size(), 1u);
+}
+
+TEST(RrCollectionTest, ManySetsKeepOffsetsConsistent) {
+  RrCollection collection(100);
+  std::uint64_t expected_total = 0;
+  for (NodeId i = 0; i < 100; ++i) {
+    std::vector<NodeId> set;
+    for (NodeId j = 0; j <= i % 5; ++j) {
+      set.push_back((i + j) % 100);
+    }
+    collection.Add(set, i % 7 == 0);
+    expected_total += set.size();
+  }
+  EXPECT_EQ(collection.num_sets(), 100u);
+  EXPECT_EQ(collection.total_nodes(), expected_total);
+  for (RrId id = 0; id < 100; ++id) {
+    EXPECT_EQ(collection.Set(id).size(), id % 5 + 1u);
+  }
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,168 @@
+// Statistical correctness of every subset sampler: each element's empirical
+// inclusion frequency must match its specified probability, and sampling of
+// distinct elements must be (pairwise) independent. These are the properties
+// the SUBSIM analysis (Lemma 3 / Lemma 5) relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "subsim/sampling/sampler_factory.h"
+
+namespace subsim {
+namespace {
+
+struct StatCase {
+  std::string label;
+  SamplerKind kind;
+  std::vector<double> probs;
+};
+
+std::vector<StatCase> StatCases() {
+  const std::vector<double> uniform_small(20, 0.15);
+  const std::vector<double> uniform_tiny(64, 0.02);
+  const std::vector<double> descending = {0.95, 0.6,  0.6,  0.3, 0.25,
+                                          0.2,  0.12, 0.05, 0.02, 0.01};
+  const std::vector<double> mixed = {0.02, 0.9, 0.001, 0.45, 0.25,
+                                     0.13, 0.7, 0.08,  0.3,  0.6};
+  const std::vector<double> with_extremes = {1.0, 0.5, 0.0, 0.25, 1.0, 0.0};
+
+  return {
+      {"naive/uniform", SamplerKind::kNaive, uniform_small},
+      {"naive/mixed", SamplerKind::kNaive, mixed},
+      {"geometric/uniform", SamplerKind::kGeometric, uniform_small},
+      {"geometric/tiny", SamplerKind::kGeometric, uniform_tiny},
+      {"bucket/mixed", SamplerKind::kBucket, mixed},
+      {"bucket/descending", SamplerKind::kBucket, descending},
+      {"bucket/extremes", SamplerKind::kBucket, with_extremes},
+      {"sorted/descending", SamplerKind::kSorted, descending},
+  };
+}
+
+class SamplerStatisticalTest : public ::testing::TestWithParam<StatCase> {};
+
+TEST_P(SamplerStatisticalTest, InclusionFrequenciesMatchProbabilities) {
+  const StatCase& test_case = GetParam();
+  const auto sampler =
+      MakeSubsetSampler(test_case.kind, test_case.probs);
+  ASSERT_TRUE(sampler.ok()) << sampler.status().ToString();
+
+  constexpr int kTrials = 120000;
+  Rng rng(0xC0FFEE);
+  std::vector<int> counts(test_case.probs.size(), 0);
+  std::vector<std::uint32_t> out;
+  for (int t = 0; t < kTrials; ++t) {
+    out.clear();
+    (*sampler)->Sample(rng, &out);
+    for (std::uint32_t i : out) {
+      ASSERT_LT(i, counts.size());
+      ++counts[i];
+    }
+  }
+
+  for (std::size_t i = 0; i < test_case.probs.size(); ++i) {
+    const double p = test_case.probs[i];
+    const double expected = kTrials * p;
+    const double sigma = std::sqrt(kTrials * p * (1.0 - p));
+    EXPECT_NEAR(counts[i], expected, 5.0 * sigma + 1.0)
+        << test_case.label << " element " << i << " p=" << p;
+  }
+}
+
+TEST_P(SamplerStatisticalTest, PairwiseJointFrequencyMatchesIndependence) {
+  const StatCase& test_case = GetParam();
+  // Pick the two highest-probability elements with p in (0, 1) so joint
+  // counts are well populated.
+  int first = -1;
+  int second = -1;
+  for (std::size_t i = 0; i < test_case.probs.size(); ++i) {
+    const double p = test_case.probs[i];
+    if (p <= 0.0 || p >= 1.0) {
+      continue;
+    }
+    if (first < 0 || p > test_case.probs[first]) {
+      second = first;
+      first = static_cast<int>(i);
+    } else if (second < 0 || p > test_case.probs[second]) {
+      second = static_cast<int>(i);
+    }
+  }
+  if (first < 0 || second < 0) {
+    GTEST_SKIP() << "not enough fractional-probability elements";
+  }
+
+  const auto sampler =
+      MakeSubsetSampler(test_case.kind, test_case.probs);
+  ASSERT_TRUE(sampler.ok());
+
+  constexpr int kTrials = 120000;
+  Rng rng(0xFEEDFACE);
+  int joint = 0;
+  std::vector<std::uint32_t> out;
+  for (int t = 0; t < kTrials; ++t) {
+    out.clear();
+    (*sampler)->Sample(rng, &out);
+    bool has_first = false;
+    bool has_second = false;
+    for (std::uint32_t i : out) {
+      has_first |= (static_cast<int>(i) == first);
+      has_second |= (static_cast<int>(i) == second);
+    }
+    joint += (has_first && has_second) ? 1 : 0;
+  }
+
+  const double p_joint =
+      test_case.probs[first] * test_case.probs[second];
+  const double expected = kTrials * p_joint;
+  const double sigma = std::sqrt(kTrials * p_joint * (1.0 - p_joint));
+  EXPECT_NEAR(joint, expected, 5.0 * sigma + 1.0)
+      << test_case.label << " joint of elements " << first << "," << second;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSamplers, SamplerStatisticalTest, ::testing::ValuesIn(StatCases()),
+    [](const ::testing::TestParamInfo<StatCase>& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// The sampled-count distribution should also match across samplers: compare
+// the mean subset size of the bucket sampler against the naive sampler on
+// the same probabilities (both estimate mu).
+TEST(SamplerCrossValidationTest, BucketAndNaiveAgreeOnMeanSize) {
+  const std::vector<double> probs = {0.02, 0.9, 0.001, 0.45, 0.25,
+                                     0.13, 0.7, 0.08,  0.3,  0.6};
+  const auto naive = MakeSubsetSampler(SamplerKind::kNaive, probs);
+  const auto bucket = MakeSubsetSampler(SamplerKind::kBucket, probs);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(bucket.ok());
+
+  constexpr int kTrials = 200000;
+  auto mean_size = [&](const SubsetSampler& sampler, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint32_t> out;
+    std::uint64_t total = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      out.clear();
+      sampler.Sample(rng, &out);
+      total += out.size();
+    }
+    return static_cast<double>(total) / kTrials;
+  };
+
+  const double mu = (*naive)->expected_count();
+  EXPECT_NEAR(mean_size(**naive, 1), mu, 0.02);
+  EXPECT_NEAR(mean_size(**bucket, 2), mu, 0.02);
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,212 @@
+#include "subsim/sampling/subset_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "subsim/sampling/bucket_sampler.h"
+#include "subsim/sampling/geometric_sampler.h"
+#include "subsim/sampling/inline_sampling.h"
+#include "subsim/sampling/naive_sampler.h"
+#include "subsim/sampling/sampler_factory.h"
+#include "subsim/sampling/sorted_sampler.h"
+
+namespace subsim {
+namespace {
+
+TEST(NaiveSamplerTest, ZeroProbabilityNeverSampled) {
+  NaiveSubsetSampler sampler({0.0, 1.0, 0.0});
+  Rng rng(1);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 100; ++i) {
+    out.clear();
+    sampler.Sample(rng, &out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 1u);
+  }
+}
+
+TEST(NaiveSamplerTest, ExpectedCountIsSum) {
+  NaiveSubsetSampler sampler({0.25, 0.5, 0.75});
+  EXPECT_DOUBLE_EQ(sampler.expected_count(), 1.5);
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_STREQ(sampler.name(), "naive");
+}
+
+TEST(GeometricSamplerTest, ProbabilityOneSamplesEverything) {
+  GeometricSubsetSampler sampler(10, 1.0);
+  Rng rng(2);
+  std::vector<std::uint32_t> out;
+  sampler.Sample(rng, &out);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i], i);
+  }
+}
+
+TEST(GeometricSamplerTest, ProbabilityZeroSamplesNothing) {
+  GeometricSubsetSampler sampler(10, 0.0);
+  Rng rng(3);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 100; ++i) {
+    sampler.Sample(rng, &out);
+  }
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GeometricSamplerTest, EmptySetYieldsNothing) {
+  GeometricSubsetSampler sampler(0, 0.5);
+  Rng rng(4);
+  std::vector<std::uint32_t> out;
+  sampler.Sample(rng, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GeometricSamplerTest, IndicesInRangeAndStrictlyIncreasing) {
+  GeometricSubsetSampler sampler(50, 0.3);
+  Rng rng(5);
+  std::vector<std::uint32_t> out;
+  for (int trial = 0; trial < 200; ++trial) {
+    out.clear();
+    sampler.Sample(rng, &out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_LT(out[i], 50u);
+      if (i > 0) {
+        EXPECT_GT(out[i], out[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(BucketSamplerTest, HandlesMixedMagnitudes) {
+  BucketSubsetSampler sampler({0.9, 0.5, 0.1, 0.01, 0.001, 1e-6});
+  EXPECT_EQ(sampler.size(), 6u);
+  EXPECT_NEAR(sampler.expected_count(), 1.511001, 1e-6);
+  EXPECT_GE(sampler.num_buckets(), 4u);
+  Rng rng(6);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 1000; ++i) {
+    out.clear();
+    sampler.Sample(rng, &out);
+    std::set<std::uint32_t> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), out.size()) << "duplicate emission";
+    for (std::uint32_t v : out) {
+      EXPECT_LT(v, 6u);
+    }
+  }
+}
+
+TEST(BucketSamplerTest, AllZeroProbabilitiesYieldNothing) {
+  BucketSubsetSampler sampler({0.0, 0.0, 0.0});
+  Rng rng(7);
+  std::vector<std::uint32_t> out;
+  sampler.Sample(rng, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BucketSamplerTest, CertainElementsAlwaysSampled) {
+  BucketSubsetSampler sampler({1.0, 0.0, 1.0});
+  Rng rng(8);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 50; ++i) {
+    out.clear();
+    sampler.Sample(rng, &out);
+    std::sort(out.begin(), out.end());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 2u);
+  }
+}
+
+TEST(SortedSamplerTest, RequiresNonIncreasing) {
+  // Construction with increasing probabilities must die (checked).
+  EXPECT_DEATH(SortedSubsetSampler({0.1, 0.9}), "non-increasing");
+}
+
+TEST(SortedSamplerTest, SamplesValidIndices) {
+  SortedSubsetSampler sampler({0.9, 0.4, 0.4, 0.2, 0.05, 0.01});
+  Rng rng(9);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 500; ++i) {
+    out.clear();
+    sampler.Sample(rng, &out);
+    std::set<std::uint32_t> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), out.size());
+    for (std::uint32_t v : out) {
+      EXPECT_LT(v, 6u);
+    }
+  }
+}
+
+TEST(SortedSamplerTest, LeadingOnesAlwaysIncluded) {
+  SortedSubsetSampler sampler({1.0, 1.0, 0.5});
+  Rng rng(10);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 50; ++i) {
+    out.clear();
+    sampler.Sample(rng, &out);
+    ASSERT_GE(out.size(), 2u);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 1u);
+  }
+}
+
+TEST(SamplerFactoryTest, AutoPicksGeometricForUniform) {
+  const auto sampler =
+      MakeSubsetSampler(SamplerKind::kAuto, {0.5, 0.5, 0.5});
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_STREQ((*sampler)->name(), "geometric");
+}
+
+TEST(SamplerFactoryTest, AutoPicksSortedForDescending) {
+  const auto sampler =
+      MakeSubsetSampler(SamplerKind::kAuto, {0.5, 0.4, 0.3});
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_STREQ((*sampler)->name(), "sorted");
+}
+
+TEST(SamplerFactoryTest, AutoPicksBucketForUnsorted) {
+  const auto sampler =
+      MakeSubsetSampler(SamplerKind::kAuto, {0.3, 0.4, 0.2});
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_STREQ((*sampler)->name(), "bucket");
+}
+
+TEST(SamplerFactoryTest, GeometricRejectsNonUniform) {
+  EXPECT_FALSE(
+      MakeSubsetSampler(SamplerKind::kGeometric, {0.5, 0.1}).ok());
+}
+
+TEST(SamplerFactoryTest, SortedRejectsIncreasing) {
+  EXPECT_FALSE(MakeSubsetSampler(SamplerKind::kSorted, {0.1, 0.9}).ok());
+}
+
+TEST(SamplerFactoryTest, ParseRoundTrip) {
+  for (SamplerKind kind :
+       {SamplerKind::kNaive, SamplerKind::kGeometric, SamplerKind::kBucket,
+        SamplerKind::kSorted, SamplerKind::kAuto}) {
+    const auto parsed = ParseSamplerKind(SamplerKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseSamplerKind("nope").ok());
+}
+
+TEST(InlineSamplingTest, UniformSkipsCoverFullRangeAtHighP) {
+  Rng rng(11);
+  std::vector<std::uint32_t> out;
+  SampleUniformSubsetSkips(100, GeometricInvLogQ(0.99), rng,
+                           [&](std::uint32_t i) { out.push_back(i); });
+  EXPECT_GT(out.size(), 90u);
+  EXPECT_LT(out.back(), 100u);
+}
+
+TEST(InlineSamplingTest, SampleAllElements) {
+  std::vector<std::uint32_t> out;
+  SampleAllElements(5, [&](std::uint32_t i) { out.push_back(i); });
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace subsim

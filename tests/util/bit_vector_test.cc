@@ -1,0 +1,81 @@
+#include "subsim/util/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace subsim {
+namespace {
+
+TEST(BitVectorTest, StartsAllClear) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_FALSE(bits.Get(i)) << "bit " << i;
+  }
+}
+
+TEST(BitVectorTest, SetReturnsTrueOnlyOnTransition) {
+  BitVector bits(64);
+  EXPECT_TRUE(bits.Set(7));
+  EXPECT_TRUE(bits.Get(7));
+  EXPECT_FALSE(bits.Set(7));  // already set
+  EXPECT_TRUE(bits.Get(7));
+}
+
+TEST(BitVectorTest, WorksAcrossWordBoundaries) {
+  BitVector bits(200);
+  for (std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 199u}) {
+    EXPECT_TRUE(bits.Set(i));
+  }
+  for (std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 199u}) {
+    EXPECT_TRUE(bits.Get(i));
+  }
+  EXPECT_FALSE(bits.Get(1));
+  EXPECT_FALSE(bits.Get(62));
+  EXPECT_FALSE(bits.Get(129));
+}
+
+TEST(BitVectorTest, ResetTouchedClearsOnlySetBits) {
+  BitVector bits(100);
+  bits.Set(3);
+  bits.Set(99);
+  EXPECT_EQ(bits.touched_count(), 2u);
+  bits.ResetTouched();
+  EXPECT_EQ(bits.touched_count(), 0u);
+  EXPECT_FALSE(bits.Get(3));
+  EXPECT_FALSE(bits.Get(99));
+}
+
+TEST(BitVectorTest, ReusableAcrossManyEpochs) {
+  BitVector bits(32);
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    const std::size_t a = epoch % 32;
+    const std::size_t b = (epoch * 7) % 32;
+    bits.Set(a);
+    bits.Set(b);
+    EXPECT_TRUE(bits.Get(a));
+    EXPECT_TRUE(bits.Get(b));
+    bits.ResetTouched();
+    EXPECT_FALSE(bits.Get(a));
+    EXPECT_FALSE(bits.Get(b));
+  }
+}
+
+TEST(BitVectorTest, ResizeClearsState) {
+  BitVector bits(10);
+  bits.Set(5);
+  bits.Resize(20);
+  EXPECT_EQ(bits.size(), 20u);
+  EXPECT_FALSE(bits.Get(5));
+  EXPECT_EQ(bits.touched_count(), 0u);
+}
+
+TEST(BitVectorTest, DuplicateSetRecordsOneTouch) {
+  BitVector bits(8);
+  bits.Set(2);
+  bits.Set(2);
+  bits.Set(2);
+  EXPECT_EQ(bits.touched_count(), 1u);
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,41 @@
+#include "subsim/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace subsim {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, ThresholdFiltersLowerLevels) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(internal_logging::ShouldLog(LogLevel::kDebug));
+  EXPECT_FALSE(internal_logging::ShouldLog(LogLevel::kInfo));
+  EXPECT_TRUE(internal_logging::ShouldLog(LogLevel::kWarning));
+  EXPECT_TRUE(internal_logging::ShouldLog(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, MacroCompilesAndRespectsLevel) {
+  SetLogLevel(LogLevel::kError);
+  // These must not crash; the first two are filtered.
+  SUBSIM_LOG(kDebug) << "invisible " << 1;
+  SUBSIM_LOG(kInfo) << "invisible " << 2;
+  SUBSIM_LOG(kError) << "visible " << 3;
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,36 @@
+#include "subsim/util/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace subsim {
+namespace {
+
+TEST(ResourceTest, CurrentRssIsPositive) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+}
+
+TEST(ResourceTest, PeakRssIsAtLeastCurrent) {
+  const std::uint64_t current = CurrentRssBytes();
+  const std::uint64_t peak = PeakRssBytes();
+  EXPECT_GT(peak, 0u);
+  // Peak can lag current by page-accounting granularity; allow 20% slack.
+  EXPECT_GE(peak, current / 5 * 4);
+}
+
+TEST(ResourceTest, AllocationMovesPeak) {
+  const std::uint64_t before = PeakRssBytes();
+  // Touch 64 MB so it is actually resident.
+  std::vector<char> block(64 * 1024 * 1024, 1);
+  for (std::size_t i = 0; i < block.size(); i += 4096) {
+    block[i] = static_cast<char>(i);
+  }
+  const std::uint64_t after = PeakRssBytes();
+  EXPECT_GE(after, before + 32 * 1024 * 1024)
+      << "peak RSS did not register a 64MB allocation";
+  EXPECT_GT(block[123], -128);  // keep the buffer alive
+}
+
+}  // namespace
+}  // namespace subsim

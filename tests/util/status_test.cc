@@ -1,0 +1,99 @@
+#include "subsim/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace subsim {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  const Status invalid = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(invalid.message(), "bad k");
+  EXPECT_EQ(invalid.ToString(), "InvalidArgument: bad k");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(StatusTest, CopyAndMovePreserveContents) {
+  Status original = Status::Internal("boom");
+  Status copy = original;
+  EXPECT_EQ(copy.code(), StatusCode::kInternal);
+  EXPECT_EQ(copy.message(), "boom");
+
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+  EXPECT_EQ(moved.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultTest, MutableValueReference) {
+  Result<std::string> result(std::string("a"));
+  result.value() += "b";
+  EXPECT_EQ(*result, "ab");
+}
+
+Status FailingStep() { return Status::IoError("disk"); }
+
+Status PipelineUsingReturnIfError() {
+  SUBSIM_RETURN_IF_ERROR(Status::Ok());
+  SUBSIM_RETURN_IF_ERROR(FailingStep());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesFirstFailure) {
+  const Status status = PipelineUsingReturnIfError();
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "disk");
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,331 @@
+// subsim command-line tool: generate graphs, assign weights, run influence
+// maximization, evaluate seed sets, and calibrate influence levels without
+// writing any C++.
+//
+// Subcommands:
+//   generate  --type=ba|er|plc|ws --nodes=N [--degree=D] [--undirected]
+//             [--seed=S] --out=FILE
+//   weight    --in=FILE --model=wc|uniform|wc-variant|exponential|weibull|
+//             trivalency|lt [--p=P] [--theta=T] [--seed=S] --out=FILE
+//   stats     --in=FILE
+//   run       --in=FILE --algo=imm|opim-c|ssa|hist|celf-mc [--k=K]
+//             [--eps=E] [--generator=vanilla|subsim|lt] [--seed=S]
+//             [--evaluate[=SIMS]]
+//   calibrate --in=FILE --model=wc-variant|uniform --target=AVG [--seed=S]
+//
+// Files are whitespace-separated edge lists ("src dst [weight]"); lines
+// starting with '#' or '%' are comments. `weight` writes the third column.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "subsim/algo/registry.h"
+#include "subsim/benchsup/calibration.h"
+#include "subsim/eval/spread_estimator.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/graph_io.h"
+#include "subsim/graph/graph_stats.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/util/string_util.h"
+
+namespace subsim {
+namespace {
+
+/// Parsed "--key=value" flags (value "true" for bare "--key").
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      if (!StartsWith(arg, "--")) {
+        return Status::InvalidArgument("expected --flag, got " +
+                                       std::string(arg));
+      }
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        flags.values_[std::string(arg.substr(2))] = "true";
+      } else {
+        flags.values_[std::string(arg.substr(2, eq - 2))] =
+            std::string(arg.substr(eq + 1));
+      }
+    }
+    return flags;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  Result<std::uint64_t> GetUint(const std::string& key,
+                                std::uint64_t fallback) const {
+    if (!Has(key)) {
+      return fallback;
+    }
+    std::uint64_t value = 0;
+    if (!ParseUint64(Get(key, ""), &value)) {
+      return Status::InvalidArgument("--" + key + " must be an integer");
+    }
+    return value;
+  }
+
+  Result<double> GetDouble(const std::string& key, double fallback) const {
+    if (!Has(key)) {
+      return fallback;
+    }
+    double value = 0;
+    if (!ParseDouble(Get(key, ""), &value)) {
+      return Status::InvalidArgument("--" + key + " must be a number");
+    }
+    return value;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string type = flags.Get("type", "ba");
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("generate requires --out=FILE"));
+  }
+  const auto nodes = flags.GetUint("nodes", 10000);
+  const auto degree = flags.GetUint("degree", 8);
+  const auto seed = flags.GetUint("seed", 1);
+  if (!nodes.ok() || !degree.ok() || !seed.ok()) {
+    return Fail(!nodes.ok() ? nodes.status()
+                            : !degree.ok() ? degree.status() : seed.status());
+  }
+  const NodeId n = static_cast<NodeId>(*nodes);
+  const bool undirected = flags.Has("undirected");
+
+  Result<EdgeList> list = Status::InvalidArgument(
+      "unknown --type (expected ba | er | plc | ws)");
+  if (type == "ba") {
+    list = GenerateBarabasiAlbert(
+        n, static_cast<NodeId>(std::max<std::uint64_t>(1, *degree / 2)),
+        undirected, *seed);
+  } else if (type == "er") {
+    list = GenerateErdosRenyi(n, *degree * static_cast<EdgeIndex>(n), *seed);
+  } else if (type == "plc") {
+    list = GeneratePowerLawConfiguration(n, 2.1, n / 10,
+                                         static_cast<double>(*degree), *seed);
+  } else if (type == "ws") {
+    list = GenerateWattsStrogatz(
+        n, static_cast<NodeId>(std::max<std::uint64_t>(1, *degree / 4)), 0.1,
+        *seed);
+  }
+  if (!list.ok()) {
+    return Fail(list.status());
+  }
+  if (const Status status = WriteEdgeListText(*list, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %s: %u nodes, %zu edges\n", out.c_str(),
+              list->num_nodes, list->edges.size());
+  return 0;
+}
+
+int CmdWeight(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  const std::string out = flags.Get("out", "");
+  if (in.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("weight requires --in and --out"));
+  }
+  const auto model = ParseWeightModel(flags.Get("model", "wc"));
+  if (!model.ok()) {
+    return Fail(model.status());
+  }
+  auto list = ReadEdgeListText(in);
+  if (!list.ok()) {
+    return Fail(list.status());
+  }
+  WeightModelParams params;
+  const auto p = flags.GetDouble("p", params.uniform_p);
+  const auto theta = flags.GetDouble("theta", params.wc_variant_theta);
+  const auto seed = flags.GetUint("seed", params.seed);
+  if (!p.ok() || !theta.ok() || !seed.ok()) {
+    return Fail(!p.ok() ? p.status()
+                        : !theta.ok() ? theta.status() : seed.status());
+  }
+  params.uniform_p = *p;
+  params.wc_variant_theta = *theta;
+  params.seed = *seed;
+  if (const Status status = AssignWeights(*model, params, &list.value());
+      !status.ok()) {
+    return Fail(status);
+  }
+  if (const Status status = WriteEdgeListText(*list, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %s with %s weights\n", out.c_str(),
+              WeightModelName(*model));
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  if (in.empty()) {
+    return Fail(Status::InvalidArgument("stats requires --in=FILE"));
+  }
+  auto list = ReadEdgeListText(in);
+  if (!list.ok()) {
+    return Fail(list.status());
+  }
+  auto graph = BuildGraph(std::move(list).value());
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+  std::printf("%s\n", ComputeGraphStats(*graph).ToString().c_str());
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  if (in.empty()) {
+    return Fail(Status::InvalidArgument("run requires --in=FILE"));
+  }
+  auto list = ReadEdgeListText(in);
+  if (!list.ok()) {
+    return Fail(list.status());
+  }
+  auto graph = BuildGraph(std::move(list).value());
+  if (!graph.ok()) {
+    return Fail(graph.status());
+  }
+
+  const auto algorithm = MakeImAlgorithm(flags.Get("algo", "opim-c"));
+  if (!algorithm.ok()) {
+    return Fail(algorithm.status());
+  }
+  const auto generator = ParseGeneratorKind(flags.Get("generator", "subsim"));
+  if (!generator.ok()) {
+    return Fail(generator.status());
+  }
+  ImOptions options;
+  const auto k = flags.GetUint("k", 50);
+  const auto eps = flags.GetDouble("eps", 0.1);
+  const auto seed = flags.GetUint("seed", 1);
+  if (!k.ok() || !eps.ok() || !seed.ok()) {
+    return Fail(!k.ok() ? k.status() : !eps.ok() ? eps.status()
+                                                 : seed.status());
+  }
+  options.k = static_cast<std::uint32_t>(*k);
+  options.epsilon = *eps;
+  options.rng_seed = *seed;
+  options.generator = *generator;
+
+  const auto result = (*algorithm)->Run(*graph, options);
+  if (!result.ok()) {
+    return Fail(result.status());
+  }
+
+  std::printf("seeds:");
+  for (NodeId v : result->seeds) {
+    std::printf(" %u", v);
+  }
+  std::printf("\ntime: %s   rr_sets: %llu   avg_rr_size: %.1f\n",
+              HumanSeconds(result->seconds).c_str(),
+              static_cast<unsigned long long>(result->num_rr_sets),
+              result->average_rr_size());
+  if (result->optimal_upper_bound > 0.0) {
+    std::printf("certified: I(S) >= %.1f, OPT <= %.1f (ratio %.3f)\n",
+                result->influence_lower_bound, result->optimal_upper_bound,
+                result->approx_ratio);
+  }
+  if (result->sentinel_size > 0) {
+    std::printf("sentinels: %u (phase1 %llu RR sets, phase2 %llu)\n",
+                result->sentinel_size,
+                static_cast<unsigned long long>(result->phase1_rr_sets),
+                static_cast<unsigned long long>(result->phase2_rr_sets));
+  }
+
+  if (flags.Has("evaluate")) {
+    const std::string sims_text = flags.Get("evaluate", "10000");
+    std::uint64_t sims = 10000;
+    if (sims_text != "true" && !ParseUint64(sims_text, &sims)) {
+      return Fail(Status::InvalidArgument("--evaluate expects a count"));
+    }
+    const CascadeModel model = *generator == GeneratorKind::kLt
+                                   ? CascadeModel::kLinearThreshold
+                                   : CascadeModel::kIndependentCascade;
+    SpreadEstimator estimator(*graph, model);
+    Rng rng(*seed + 1);
+    const SpreadEstimate estimate =
+        estimator.Estimate(result->seeds, sims, rng);
+    std::printf("monte-carlo spread (%llu sims, %s): %.1f +- %.1f\n",
+                static_cast<unsigned long long>(sims),
+                CascadeModelName(model), estimate.spread,
+                2.0 * estimate.std_error);
+  }
+  return 0;
+}
+
+int CmdCalibrate(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  if (in.empty()) {
+    return Fail(Status::InvalidArgument("calibrate requires --in=FILE"));
+  }
+  const auto list = ReadEdgeListText(in);
+  if (!list.ok()) {
+    return Fail(list.status());
+  }
+  const auto target = flags.GetDouble("target", 1000.0);
+  const auto seed = flags.GetUint("seed", 1);
+  if (!target.ok() || !seed.ok()) {
+    return Fail(!target.ok() ? target.status() : seed.status());
+  }
+  const std::string model = flags.Get("model", "wc-variant");
+  Result<CalibrationResult> calibration =
+      model == "uniform" ? CalibrateUniformP(*list, *target, *seed)
+                         : CalibrateWcVariantTheta(*list, *target, *seed);
+  if (!calibration.ok()) {
+    return Fail(calibration.status());
+  }
+  std::printf("%s = %.6f  (achieved avg RR size %.1f%s)\n",
+              model == "uniform" ? "p" : "theta", calibration->parameter,
+              calibration->achieved_avg_size,
+              calibration->saturated ? ", saturated" : "");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: subsim_cli <generate|weight|stats|run|calibrate> [--flags]\n"
+      "       see the header comment of tools/subsim_cli.cc for details\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  const auto flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) {
+    return Fail(flags.status());
+  }
+  if (command == "generate") return CmdGenerate(*flags);
+  if (command == "weight") return CmdWeight(*flags);
+  if (command == "stats") return CmdStats(*flags);
+  if (command == "run") return CmdRun(*flags);
+  if (command == "calibrate") return CmdCalibrate(*flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace subsim
+
+int main(int argc, char** argv) { return subsim::Main(argc, argv); }
