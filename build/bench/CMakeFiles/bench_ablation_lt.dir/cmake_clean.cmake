@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lt.dir/bench_ablation_lt.cc.o"
+  "CMakeFiles/bench_ablation_lt.dir/bench_ablation_lt.cc.o.d"
+  "bench_ablation_lt"
+  "bench_ablation_lt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_skewed_rrgen.dir/bench_fig2_skewed_rrgen.cc.o"
+  "CMakeFiles/bench_fig2_skewed_rrgen.dir/bench_fig2_skewed_rrgen.cc.o.d"
+  "bench_fig2_skewed_rrgen"
+  "bench_fig2_skewed_rrgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_skewed_rrgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

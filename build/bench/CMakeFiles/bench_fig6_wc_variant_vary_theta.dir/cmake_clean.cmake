@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wc_variant_vary_theta.dir/bench_fig6_wc_variant_vary_theta.cc.o"
+  "CMakeFiles/bench_fig6_wc_variant_vary_theta.dir/bench_fig6_wc_variant_vary_theta.cc.o.d"
+  "bench_fig6_wc_variant_vary_theta"
+  "bench_fig6_wc_variant_vary_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wc_variant_vary_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_wc_variant_vary_theta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_uniform_ic_vary_p.dir/bench_fig7_uniform_ic_vary_p.cc.o"
+  "CMakeFiles/bench_fig7_uniform_ic_vary_p.dir/bench_fig7_uniform_ic_vary_p.cc.o.d"
+  "bench_fig7_uniform_ic_vary_p"
+  "bench_fig7_uniform_ic_vary_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_uniform_ic_vary_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

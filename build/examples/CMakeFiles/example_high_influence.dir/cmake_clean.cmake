@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_high_influence.dir/high_influence.cpp.o"
+  "CMakeFiles/example_high_influence.dir/high_influence.cpp.o.d"
+  "example_high_influence"
+  "example_high_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_high_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

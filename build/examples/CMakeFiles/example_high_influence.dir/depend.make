@@ -1,0 +1,2 @@
+# Empty dependencies file for example_high_influence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_viral_marketing.dir/viral_marketing.cpp.o"
+  "CMakeFiles/example_viral_marketing.dir/viral_marketing.cpp.o.d"
+  "example_viral_marketing"
+  "example_viral_marketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_viral_marketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

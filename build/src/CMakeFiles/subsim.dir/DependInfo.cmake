@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subsim/algo/celf_greedy.cc" "src/CMakeFiles/subsim.dir/subsim/algo/celf_greedy.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/celf_greedy.cc.o.d"
+  "/root/repo/src/subsim/algo/degree_heuristics.cc" "src/CMakeFiles/subsim.dir/subsim/algo/degree_heuristics.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/degree_heuristics.cc.o.d"
+  "/root/repo/src/subsim/algo/hist.cc" "src/CMakeFiles/subsim.dir/subsim/algo/hist.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/hist.cc.o.d"
+  "/root/repo/src/subsim/algo/im_algorithm.cc" "src/CMakeFiles/subsim.dir/subsim/algo/im_algorithm.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/im_algorithm.cc.o.d"
+  "/root/repo/src/subsim/algo/imm.cc" "src/CMakeFiles/subsim.dir/subsim/algo/imm.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/imm.cc.o.d"
+  "/root/repo/src/subsim/algo/opim_c.cc" "src/CMakeFiles/subsim.dir/subsim/algo/opim_c.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/opim_c.cc.o.d"
+  "/root/repo/src/subsim/algo/registry.cc" "src/CMakeFiles/subsim.dir/subsim/algo/registry.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/registry.cc.o.d"
+  "/root/repo/src/subsim/algo/ssa.cc" "src/CMakeFiles/subsim.dir/subsim/algo/ssa.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/ssa.cc.o.d"
+  "/root/repo/src/subsim/algo/theta.cc" "src/CMakeFiles/subsim.dir/subsim/algo/theta.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/theta.cc.o.d"
+  "/root/repo/src/subsim/algo/tim_plus.cc" "src/CMakeFiles/subsim.dir/subsim/algo/tim_plus.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/algo/tim_plus.cc.o.d"
+  "/root/repo/src/subsim/benchsup/calibration.cc" "src/CMakeFiles/subsim.dir/subsim/benchsup/calibration.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/benchsup/calibration.cc.o.d"
+  "/root/repo/src/subsim/benchsup/datasets.cc" "src/CMakeFiles/subsim.dir/subsim/benchsup/datasets.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/benchsup/datasets.cc.o.d"
+  "/root/repo/src/subsim/benchsup/experiment.cc" "src/CMakeFiles/subsim.dir/subsim/benchsup/experiment.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/benchsup/experiment.cc.o.d"
+  "/root/repo/src/subsim/benchsup/reporting.cc" "src/CMakeFiles/subsim.dir/subsim/benchsup/reporting.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/benchsup/reporting.cc.o.d"
+  "/root/repo/src/subsim/coverage/bounds.cc" "src/CMakeFiles/subsim.dir/subsim/coverage/bounds.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/coverage/bounds.cc.o.d"
+  "/root/repo/src/subsim/coverage/max_coverage.cc" "src/CMakeFiles/subsim.dir/subsim/coverage/max_coverage.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/coverage/max_coverage.cc.o.d"
+  "/root/repo/src/subsim/coverage/reference_greedy.cc" "src/CMakeFiles/subsim.dir/subsim/coverage/reference_greedy.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/coverage/reference_greedy.cc.o.d"
+  "/root/repo/src/subsim/eval/exact_spread.cc" "src/CMakeFiles/subsim.dir/subsim/eval/exact_spread.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/eval/exact_spread.cc.o.d"
+  "/root/repo/src/subsim/eval/exact_spread_lt.cc" "src/CMakeFiles/subsim.dir/subsim/eval/exact_spread_lt.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/eval/exact_spread_lt.cc.o.d"
+  "/root/repo/src/subsim/eval/spread_estimator.cc" "src/CMakeFiles/subsim.dir/subsim/eval/spread_estimator.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/eval/spread_estimator.cc.o.d"
+  "/root/repo/src/subsim/graph/components.cc" "src/CMakeFiles/subsim.dir/subsim/graph/components.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/graph/components.cc.o.d"
+  "/root/repo/src/subsim/graph/generators.cc" "src/CMakeFiles/subsim.dir/subsim/graph/generators.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/graph/generators.cc.o.d"
+  "/root/repo/src/subsim/graph/graph.cc" "src/CMakeFiles/subsim.dir/subsim/graph/graph.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/graph/graph.cc.o.d"
+  "/root/repo/src/subsim/graph/graph_builder.cc" "src/CMakeFiles/subsim.dir/subsim/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/graph/graph_builder.cc.o.d"
+  "/root/repo/src/subsim/graph/graph_io.cc" "src/CMakeFiles/subsim.dir/subsim/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/graph/graph_io.cc.o.d"
+  "/root/repo/src/subsim/graph/graph_stats.cc" "src/CMakeFiles/subsim.dir/subsim/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/graph/graph_stats.cc.o.d"
+  "/root/repo/src/subsim/graph/weight_models.cc" "src/CMakeFiles/subsim.dir/subsim/graph/weight_models.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/graph/weight_models.cc.o.d"
+  "/root/repo/src/subsim/random/alias_table.cc" "src/CMakeFiles/subsim.dir/subsim/random/alias_table.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/random/alias_table.cc.o.d"
+  "/root/repo/src/subsim/random/geometric.cc" "src/CMakeFiles/subsim.dir/subsim/random/geometric.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/random/geometric.cc.o.d"
+  "/root/repo/src/subsim/random/rng.cc" "src/CMakeFiles/subsim.dir/subsim/random/rng.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/random/rng.cc.o.d"
+  "/root/repo/src/subsim/rrset/generator_factory.cc" "src/CMakeFiles/subsim.dir/subsim/rrset/generator_factory.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/rrset/generator_factory.cc.o.d"
+  "/root/repo/src/subsim/rrset/lt_generator.cc" "src/CMakeFiles/subsim.dir/subsim/rrset/lt_generator.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/rrset/lt_generator.cc.o.d"
+  "/root/repo/src/subsim/rrset/parallel_fill.cc" "src/CMakeFiles/subsim.dir/subsim/rrset/parallel_fill.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/rrset/parallel_fill.cc.o.d"
+  "/root/repo/src/subsim/rrset/rr_collection.cc" "src/CMakeFiles/subsim.dir/subsim/rrset/rr_collection.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/rrset/rr_collection.cc.o.d"
+  "/root/repo/src/subsim/rrset/subsim_ic_generator.cc" "src/CMakeFiles/subsim.dir/subsim/rrset/subsim_ic_generator.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/rrset/subsim_ic_generator.cc.o.d"
+  "/root/repo/src/subsim/rrset/vanilla_ic_generator.cc" "src/CMakeFiles/subsim.dir/subsim/rrset/vanilla_ic_generator.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/rrset/vanilla_ic_generator.cc.o.d"
+  "/root/repo/src/subsim/sampling/bucket_sampler.cc" "src/CMakeFiles/subsim.dir/subsim/sampling/bucket_sampler.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/sampling/bucket_sampler.cc.o.d"
+  "/root/repo/src/subsim/sampling/geometric_sampler.cc" "src/CMakeFiles/subsim.dir/subsim/sampling/geometric_sampler.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/sampling/geometric_sampler.cc.o.d"
+  "/root/repo/src/subsim/sampling/naive_sampler.cc" "src/CMakeFiles/subsim.dir/subsim/sampling/naive_sampler.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/sampling/naive_sampler.cc.o.d"
+  "/root/repo/src/subsim/sampling/sampler_factory.cc" "src/CMakeFiles/subsim.dir/subsim/sampling/sampler_factory.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/sampling/sampler_factory.cc.o.d"
+  "/root/repo/src/subsim/sampling/sorted_sampler.cc" "src/CMakeFiles/subsim.dir/subsim/sampling/sorted_sampler.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/sampling/sorted_sampler.cc.o.d"
+  "/root/repo/src/subsim/util/logging.cc" "src/CMakeFiles/subsim.dir/subsim/util/logging.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/util/logging.cc.o.d"
+  "/root/repo/src/subsim/util/math.cc" "src/CMakeFiles/subsim.dir/subsim/util/math.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/util/math.cc.o.d"
+  "/root/repo/src/subsim/util/resource.cc" "src/CMakeFiles/subsim.dir/subsim/util/resource.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/util/resource.cc.o.d"
+  "/root/repo/src/subsim/util/status.cc" "src/CMakeFiles/subsim.dir/subsim/util/status.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/util/status.cc.o.d"
+  "/root/repo/src/subsim/util/string_util.cc" "src/CMakeFiles/subsim.dir/subsim/util/string_util.cc.o" "gcc" "src/CMakeFiles/subsim.dir/subsim/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_degree_heuristics_test.dir/algo/degree_heuristics_test.cc.o"
+  "CMakeFiles/algo_degree_heuristics_test.dir/algo/degree_heuristics_test.cc.o.d"
+  "algo_degree_heuristics_test"
+  "algo_degree_heuristics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_degree_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

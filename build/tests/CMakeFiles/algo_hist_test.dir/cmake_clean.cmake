@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_hist_test.dir/algo/hist_test.cc.o"
+  "CMakeFiles/algo_hist_test.dir/algo/hist_test.cc.o.d"
+  "algo_hist_test"
+  "algo_hist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_hist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

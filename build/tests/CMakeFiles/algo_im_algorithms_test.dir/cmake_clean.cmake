@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_im_algorithms_test.dir/algo/im_algorithms_test.cc.o"
+  "CMakeFiles/algo_im_algorithms_test.dir/algo/im_algorithms_test.cc.o.d"
+  "algo_im_algorithms_test"
+  "algo_im_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_im_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

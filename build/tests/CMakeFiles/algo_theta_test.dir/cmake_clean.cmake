@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_theta_test.dir/algo/theta_test.cc.o"
+  "CMakeFiles/algo_theta_test.dir/algo/theta_test.cc.o.d"
+  "algo_theta_test"
+  "algo_theta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_theta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

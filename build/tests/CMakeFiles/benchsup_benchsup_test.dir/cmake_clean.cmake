@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchsup_benchsup_test.dir/benchsup/benchsup_test.cc.o"
+  "CMakeFiles/benchsup_benchsup_test.dir/benchsup/benchsup_test.cc.o.d"
+  "benchsup_benchsup_test"
+  "benchsup_benchsup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchsup_benchsup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

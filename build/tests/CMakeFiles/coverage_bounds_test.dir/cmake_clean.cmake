@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_bounds_test.dir/coverage/bounds_test.cc.o"
+  "CMakeFiles/coverage_bounds_test.dir/coverage/bounds_test.cc.o.d"
+  "coverage_bounds_test"
+  "coverage_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

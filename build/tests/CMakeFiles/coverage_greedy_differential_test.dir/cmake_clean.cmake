@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_greedy_differential_test.dir/coverage/greedy_differential_test.cc.o"
+  "CMakeFiles/coverage_greedy_differential_test.dir/coverage/greedy_differential_test.cc.o.d"
+  "coverage_greedy_differential_test"
+  "coverage_greedy_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_greedy_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

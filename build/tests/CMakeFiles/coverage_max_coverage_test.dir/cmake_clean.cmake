@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_max_coverage_test.dir/coverage/max_coverage_test.cc.o"
+  "CMakeFiles/coverage_max_coverage_test.dir/coverage/max_coverage_test.cc.o.d"
+  "coverage_max_coverage_test"
+  "coverage_max_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_max_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_exact_spread_test.dir/eval/exact_spread_test.cc.o"
+  "CMakeFiles/eval_exact_spread_test.dir/eval/exact_spread_test.cc.o.d"
+  "eval_exact_spread_test"
+  "eval_exact_spread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_exact_spread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_spread_estimator_test.dir/eval/spread_estimator_test.cc.o"
+  "CMakeFiles/eval_spread_estimator_test.dir/eval/spread_estimator_test.cc.o.d"
+  "eval_spread_estimator_test"
+  "eval_spread_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_spread_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_components_test.dir/graph/components_test.cc.o"
+  "CMakeFiles/graph_components_test.dir/graph/components_test.cc.o.d"
+  "graph_components_test"
+  "graph_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

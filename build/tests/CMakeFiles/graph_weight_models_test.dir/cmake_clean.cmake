@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_weight_models_test.dir/graph/weight_models_test.cc.o"
+  "CMakeFiles/graph_weight_models_test.dir/graph/weight_models_test.cc.o.d"
+  "graph_weight_models_test"
+  "graph_weight_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_weight_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_alias_table_test.dir/random/alias_table_test.cc.o"
+  "CMakeFiles/random_alias_table_test.dir/random/alias_table_test.cc.o.d"
+  "random_alias_table_test"
+  "random_alias_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_alias_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_geometric_test.dir/random/geometric_test.cc.o"
+  "CMakeFiles/random_geometric_test.dir/random/geometric_test.cc.o.d"
+  "random_geometric_test"
+  "random_geometric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_geometric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_rng_test.dir/random/rng_test.cc.o"
+  "CMakeFiles/random_rng_test.dir/random/rng_test.cc.o.d"
+  "random_rng_test"
+  "random_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrset_parallel_fill_test.dir/rrset/parallel_fill_test.cc.o"
+  "CMakeFiles/rrset_parallel_fill_test.dir/rrset/parallel_fill_test.cc.o.d"
+  "rrset_parallel_fill_test"
+  "rrset_parallel_fill_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrset_parallel_fill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

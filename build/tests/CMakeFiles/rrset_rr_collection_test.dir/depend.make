@@ -1,0 +1,2 @@
+# Empty dependencies file for rrset_rr_collection_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrset_rr_distribution_test.dir/rrset/rr_distribution_test.cc.o"
+  "CMakeFiles/rrset_rr_distribution_test.dir/rrset/rr_distribution_test.cc.o.d"
+  "rrset_rr_distribution_test"
+  "rrset_rr_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrset_rr_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

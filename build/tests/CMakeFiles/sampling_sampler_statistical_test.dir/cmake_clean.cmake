@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_sampler_statistical_test.dir/sampling/sampler_statistical_test.cc.o"
+  "CMakeFiles/sampling_sampler_statistical_test.dir/sampling/sampler_statistical_test.cc.o.d"
+  "sampling_sampler_statistical_test"
+  "sampling_sampler_statistical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_sampler_statistical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_subset_sampler_test.dir/sampling/subset_sampler_test.cc.o"
+  "CMakeFiles/sampling_subset_sampler_test.dir/sampling/subset_sampler_test.cc.o.d"
+  "sampling_subset_sampler_test"
+  "sampling_subset_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_subset_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

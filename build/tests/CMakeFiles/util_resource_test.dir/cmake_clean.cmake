@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_resource_test.dir/util/resource_test.cc.o"
+  "CMakeFiles/util_resource_test.dir/util/resource_test.cc.o.d"
+  "util_resource_test"
+  "util_resource_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

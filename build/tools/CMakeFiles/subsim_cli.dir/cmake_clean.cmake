@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsim_cli.dir/subsim_cli.cc.o"
+  "CMakeFiles/subsim_cli.dir/subsim_cli.cc.o.d"
+  "subsim_cli"
+  "subsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
