@@ -1,0 +1,88 @@
+# Sanitizer preset plumbing for every subsim target.
+#
+# Usage:
+#   cmake -B build-asan -S . -DSUBSIM_SANITIZE="address;undefined"
+#   cmake -B build-tsan -S . -DSUBSIM_SANITIZE=thread
+#   cmake -B build-msan -S . -DSUBSIM_SANITIZE=memory   (clang only)
+#
+# Each subdirectory CMakeLists calls subsim_apply_sanitizers(<target>) on
+# every target it defines, so the whole tree — library, tests, benches,
+# examples, tools — is instrumented consistently. Mixing instrumented and
+# uninstrumented translation units is a link error at best and a silent
+# false-negative at worst, which is why this is a per-target function rather
+# than a directory-scoped add_compile_options: a target that forgets the
+# call fails to link against the instrumented library instead of quietly
+# skipping instrumentation.
+
+set(SUBSIM_SANITIZE "" CACHE STRING
+    "Semicolon- or comma-separated sanitizers: address, undefined, thread, leak, memory")
+
+# Accept comma separators so `-DSUBSIM_SANITIZE=address,undefined` works
+# without shell quoting gymnastics.
+string(REPLACE "," ";" _subsim_sanitize_list "${SUBSIM_SANITIZE}")
+
+set(_subsim_san_flags "")
+set(_subsim_san_has_thread OFF)
+set(_subsim_san_has_addr_or_leak OFF)
+set(_subsim_san_has_memory OFF)
+
+foreach(_san IN LISTS _subsim_sanitize_list)
+  string(STRIP "${_san}" _san)
+  string(TOLOWER "${_san}" _san)
+  if(_san STREQUAL "")
+    continue()
+  elseif(_san STREQUAL "address")
+    list(APPEND _subsim_san_flags -fsanitize=address)
+    set(_subsim_san_has_addr_or_leak ON)
+  elseif(_san STREQUAL "undefined")
+    # Abort on any UB report instead of recovering, so ctest runs fail loudly.
+    list(APPEND _subsim_san_flags -fsanitize=undefined
+         -fno-sanitize-recover=all)
+  elseif(_san STREQUAL "thread")
+    list(APPEND _subsim_san_flags -fsanitize=thread)
+    set(_subsim_san_has_thread ON)
+  elseif(_san STREQUAL "leak")
+    list(APPEND _subsim_san_flags -fsanitize=leak)
+    set(_subsim_san_has_addr_or_leak ON)
+  elseif(_san STREQUAL "memory")
+    if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      message(FATAL_ERROR
+              "SUBSIM_SANITIZE=memory requires clang (current compiler: "
+              "${CMAKE_CXX_COMPILER_ID}). Reconfigure with "
+              "-DCMAKE_CXX_COMPILER=clang++.")
+    endif()
+    list(APPEND _subsim_san_flags -fsanitize=memory
+         -fsanitize-memory-track-origins)
+    set(_subsim_san_has_memory ON)
+  else()
+    message(FATAL_ERROR "Unknown SUBSIM_SANITIZE entry '${_san}' "
+            "(expected address, undefined, thread, leak, or memory)")
+  endif()
+endforeach()
+
+if(_subsim_san_has_thread AND _subsim_san_has_addr_or_leak)
+  message(FATAL_ERROR
+          "SUBSIM_SANITIZE: thread cannot be combined with address/leak")
+endif()
+if(_subsim_san_has_memory AND (_subsim_san_has_thread OR
+                               _subsim_san_has_addr_or_leak))
+  message(FATAL_ERROR
+          "SUBSIM_SANITIZE: memory cannot be combined with other sanitizers")
+endif()
+
+if(_subsim_san_flags)
+  list(REMOVE_DUPLICATES _subsim_san_flags)
+  # Frame pointers keep sanitizer stack traces usable under optimization.
+  list(APPEND _subsim_san_flags -fno-omit-frame-pointer -g)
+  message(STATUS "subsim: sanitizers enabled: ${SUBSIM_SANITIZE}")
+endif()
+
+# Applies the configured sanitizer flags to `target` (compile and link).
+# A no-op when SUBSIM_SANITIZE is empty, so every CMakeLists can call it
+# unconditionally.
+function(subsim_apply_sanitizers target)
+  if(_subsim_san_flags)
+    target_compile_options(${target} PRIVATE ${_subsim_san_flags})
+    target_link_options(${target} PRIVATE ${_subsim_san_flags})
+  endif()
+endfunction()

@@ -1,5 +1,6 @@
 #include "subsim/graph/graph_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -112,25 +113,63 @@ Result<EdgeList> ReadEdgeListBinary(const std::string& path) {
   if (!in) {
     return Status::IoError("cannot open " + path);
   }
+  // The header is untrusted input: every field is validated against the
+  // actual file size before a single byte drives an allocation.
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (!in || file_size < 0) {
+    return Status::IoError(path + ": cannot determine file size");
+  }
+  constexpr std::streamoff kHeaderBytes = 3 * sizeof(std::uint64_t);
+  if (file_size < kHeaderBytes) {
+    return Status::InvalidArgument(path + ": not a subsim binary edge list");
+  }
+
+  const auto read_u64 = [&in](std::uint64_t* out) {
+    in.read(reinterpret_cast<char*>(out), sizeof(*out));
+    return in.gcount() == static_cast<std::streamsize>(sizeof(*out)) &&
+           static_cast<bool>(in);
+  };
   std::uint64_t magic = 0;
   std::uint64_t n = 0;
   std::uint64_t m = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  if (!in || magic != kBinaryMagic) {
+  if (!read_u64(&magic) || magic != kBinaryMagic) {
     return Status::InvalidArgument(path + ": not a subsim binary edge list");
+  }
+  if (!read_u64(&n) || !read_u64(&m)) {
+    return Status::IoError(path + ": truncated header");
   }
   if (n > 0xFFFFFFFFull) {
     return Status::InvalidArgument(path + ": node count exceeds 32-bit range");
   }
+  const std::uint64_t payload_bytes =
+      static_cast<std::uint64_t>(file_size - kHeaderBytes);
+  // Divide instead of multiplying so a huge m cannot overflow, then be
+  // "within bounds", and drive a giant resize.
+  if (m > payload_bytes / sizeof(Edge)) {
+    return Status::InvalidArgument(
+        path + ": edge count " + std::to_string(m) +
+        " exceeds file payload (" + std::to_string(payload_bytes) + " bytes)");
+  }
+
   EdgeList list;
   list.num_nodes = static_cast<NodeId>(n);
   list.edges.resize(m);
-  in.read(reinterpret_cast<char*>(list.edges.data()),
-          static_cast<std::streamsize>(m * sizeof(Edge)));
-  if (!in) {
+  const std::streamsize payload =
+      static_cast<std::streamsize>(m * sizeof(Edge));
+  in.read(reinterpret_cast<char*>(list.edges.data()), payload);
+  if (in.gcount() != payload || !in) {
     return Status::IoError(path + ": truncated edge payload");
+  }
+  for (std::size_t i = 0; i < list.edges.size(); ++i) {
+    const Edge& e = list.edges[i];
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument(
+          path + ": edge " + std::to_string(i) + " references node " +
+          std::to_string(std::max(e.src, e.dst)) + " outside [0, " +
+          std::to_string(n) + ")");
+    }
   }
   return list;
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -159,6 +160,74 @@ TEST_F(GraphIoTest, BinaryRejectsWrongMagic) {
   WriteFile(path, "this is not a subsim binary file at all");
   const Result<EdgeList> loaded = ReadEdgeListBinary(path);
   EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsEmptyFile) {
+  const std::string path = TempPath("empty.bin");
+  WriteFile(path, "");
+  const Result<EdgeList> loaded = ReadEdgeListBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncatedHeader) {
+  // Valid magic but the file ends before the counts.
+  const std::string path = TempPath("header_only.bin");
+  const std::uint64_t magic = 0x53554253494d4731ull;
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.close();
+  const Result<EdgeList> loaded = ReadEdgeListBinary(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(GraphIoTest, BinaryRejectsEdgeCountBeyondFileSize) {
+  // A header claiming 2^56 edges in a 3-edge file must fail fast with
+  // InvalidArgument instead of attempting a petabyte allocation.
+  EdgeList original;
+  original.num_nodes = 4;
+  original.edges = {{0, 1, 0.5}, {1, 2, 0.5}, {2, 3, 0.5}};
+  const std::string path = TempPath("liar.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(original, path).ok());
+  std::fstream patch(path,
+                     std::ios::binary | std::ios::in | std::ios::out);
+  patch.seekp(2 * sizeof(std::uint64_t));
+  const std::uint64_t huge_m = 1ull << 56;
+  patch.write(reinterpret_cast<const char*>(&huge_m), sizeof(huge_m));
+  patch.close();
+  const Result<EdgeList> loaded = ReadEdgeListBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsNodeCountOverflow) {
+  EdgeList original;
+  original.num_nodes = 2;
+  original.edges = {{0, 1, 0.5}};
+  const std::string path = TempPath("big_n.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(original, path).ok());
+  std::fstream patch(path,
+                     std::ios::binary | std::ios::in | std::ios::out);
+  patch.seekp(sizeof(std::uint64_t));
+  const std::uint64_t huge_n = 1ull << 40;
+  patch.write(reinterpret_cast<const char*>(&huge_n), sizeof(huge_n));
+  patch.close();
+  const Result<EdgeList> loaded = ReadEdgeListBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsEdgeReferencingNodeOutOfRange) {
+  // Payload is well-formed bytes-wise but one edge points past num_nodes;
+  // trusting it would corrupt every CSR build downstream.
+  EdgeList original;
+  original.num_nodes = 3;
+  original.edges = {{0, 1, 0.5}, {7, 2, 0.5}};
+  const std::string path = TempPath("bad_id.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(original, path).ok());
+  const Result<EdgeList> loaded = ReadEdgeListBinary(path);
+  ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 

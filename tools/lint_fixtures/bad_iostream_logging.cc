@@ -1,0 +1,15 @@
+// Fixture: console output outside util/logging must be flagged. Never
+// compiled — linted only by subsim_lint.py --self-test.
+#include <iostream>  // LINT-EXPECT: iostream-logging
+#include <cstdio>
+
+void Report(int n) {
+  std::cout << n << "\n";  // LINT-EXPECT: iostream-logging
+  std::cerr << "warning" << "\n";  // LINT-EXPECT: iostream-logging
+  printf("%d\n", n);  // LINT-EXPECT: iostream-logging
+  std::fprintf(stderr, "%d\n", n);  // LINT-EXPECT: iostream-logging
+  fputs("done\n", stderr);  // LINT-EXPECT: iostream-logging
+}
+
+// Formatting into a buffer is not logging; snprintf stays legal.
+void Format(char* buf, unsigned long size, int n);

@@ -1,0 +1,15 @@
+// Fixture: SUBSIM-NOLINT without a reason is itself a violation; with a
+// reason it suppresses. Never compiled — linted by --self-test only.
+#include <cstdio>
+
+void Emit(int n) {
+  printf("%d\n", n);  // SUBSIM-NOLINT(iostream-logging) LINT-EXPECT: nolint-needs-reason
+  printf("%d\n", n);  // SUBSIM-NOLINT(iostream-logging): CLI result rows go to stdout by design
+}
+
+void EmitNextline(int n) {
+  // SUBSIM-NOLINT-NEXTLINE(iostream-logging) LINT-EXPECT: nolint-needs-reason
+  printf("%d\n", n);
+  // SUBSIM-NOLINT-NEXTLINE(iostream-logging): progress bar writes straight to the terminal
+  printf("%d\n", n);
+}

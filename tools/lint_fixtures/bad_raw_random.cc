@@ -1,0 +1,18 @@
+// Fixture: raw libc/std randomness outside src/subsim/random/ must be
+// flagged. Never compiled — linted only by subsim_lint.py --self-test.
+#include <cstdlib>
+#include <random>
+
+int NoisySeed() {
+  std::random_device rd;  // LINT-EXPECT: raw-random
+  return static_cast<int>(rd());
+}
+
+int LibcDraw() {
+  srand(42);  // LINT-EXPECT: raw-random
+  return std::rand();  // LINT-EXPECT: raw-random
+}
+
+// Mentioning rand() in a comment is fine; identifiers merely containing the
+// word, like operand_count or rand_index, are fine too.
+int operand_count(int rand_index);

@@ -1,0 +1,15 @@
+// Fixture: thread management outside rrset/parallel_fill.cc must be
+// flagged. Never compiled — linted only by subsim_lint.py --self-test.
+#include <thread>  // LINT-EXPECT: raw-thread
+
+void SpawnWorker() {
+  std::thread t([] {});  // LINT-EXPECT: raw-thread
+  t.join();
+}
+
+void SpawnJWorker() {
+  std::jthread u([] {});  // LINT-EXPECT: raw-thread
+}
+
+// std::thread in a comment is fine, as is this_thread-free code below.
+int threads_configured();

@@ -1,0 +1,37 @@
+// Fixture: dropped Status/Result returns must be flagged; consumed ones
+// must not. Never compiled — linted only by subsim_lint.py --self-test.
+#include <string>
+
+struct Status {
+  bool ok() const;
+};
+
+template <typename T>
+struct Result {
+  bool ok() const;
+};
+
+Status SaveCheckpoint(const std::string& path);
+Status Flush();
+Result<int> CountEdges(const std::string& path);
+
+namespace writer {
+Status Sync();
+}  // namespace writer
+
+void Caller(const std::string& path) {
+  SaveCheckpoint(path);  // LINT-EXPECT: status-discarded
+  Flush();  // LINT-EXPECT: status-discarded
+  CountEdges(path);  // LINT-EXPECT: status-discarded
+  writer::Sync();  // LINT-EXPECT: status-discarded
+
+  // All consumed: no findings.
+  Status s = SaveCheckpoint(path);
+  (void)s;
+  (void)Flush();
+  if (!writer::Sync().ok()) {
+    return;
+  }
+  const Status again = Flush();
+  (void)again;
+}

@@ -1,0 +1,402 @@
+#!/usr/bin/env python3
+"""subsim_lint: repo-specific invariant linter for the subsim C++ tree.
+
+Enforces rules that clang-tidy cannot express because they encode *this*
+repository's architecture:
+
+  status-discarded     Every call to a function returning Status/Result must
+                       consume the result (assign it, test it, return it, or
+                       explicitly discard with a (void) cast). A dropped
+                       Status is a silently ignored error.
+  raw-random           No std::rand / srand / std::random_device outside
+                       src/subsim/random/. All randomness must flow through
+                       explicitly seeded subsim::Rng instances so every run
+                       is reproducible from a single 64-bit seed.
+  raw-thread           No std::thread / std::jthread / <thread> outside
+                       rrset/parallel_fill.cc. Thread management is
+                       centralized so TSan coverage and determinism
+                       arguments stay local to one translation unit.
+  iostream-logging     No std::cout / std::cerr / printf-family output
+                       outside util/logging and util/check.h. Ad-hoc stderr
+                       writes bypass the log-level filter and interleave
+                       badly under concurrency.
+  nolint-needs-reason  A subsim NOLINT suppression must carry a reason:
+                       `// SUBSIM-NOLINT(<rule>): <why>`.
+
+Usage:
+  tools/subsim_lint.py <path>...        lint files or directories
+  tools/subsim_lint.py --self-test      run against tools/lint_fixtures/
+
+Suppression: append `// SUBSIM-NOLINT(<rule>): <reason>` to the offending
+line. Suppressions without a reason are themselves findings.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp"}
+
+# Paths (matched against POSIX-style path suffixes) exempt from each rule.
+RAW_RANDOM_ALLOWED = ("src/subsim/random/",)
+RAW_THREAD_ALLOWED = ("rrset/parallel_fill.cc",)
+IOSTREAM_ALLOWED = ("util/logging.h", "util/logging.cc", "util/check.h")
+
+NOLINT_RE = re.compile(
+    r"SUBSIM-NOLINT\((?P<rules>[\w,\- ]+)\)(?::\s*(?P<reason>\S[^\n]*))?")
+NOLINT_NEXTLINE_RE = re.compile(
+    r"SUBSIM-NOLINT-NEXTLINE\((?P<rules>[\w,\- ]+)\)"
+    r"(?::\s*(?P<reason>\S[^\n]*))?")
+
+# Function declarations returning Status or Result<...>, e.g.
+#   Status WriteEdgeListText(...)
+#   [[nodiscard]] Result<EdgeList> ReadEdgeListText(...)
+DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|inline\s+|virtual\s+)*"
+    r"(?:::)?(?:subsim::)?(?:Status|Result<[\w:<>,\s*&]+>)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(",
+    re.MULTILINE,
+)
+
+# Same-name declarations with a different return type (e.g. void Build vs
+# Result<Graph> Build). Matching is name-based and file-blind, so ambiguous
+# names are dropped from enforcement rather than risking false positives.
+NON_STATUS_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|inline\s+|virtual\s+|constexpr\s+|explicit\s+)*"
+    r"(?:void|bool|int|unsigned|float|double|std::size_t|size_t)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(",
+    re.MULTILINE,
+)
+
+# A discarded call statement: `Foo(...)` or `obj.Foo(...)` / `ptr->Foo(...)`
+# / `ns::Foo(...)` appearing at the start of a statement.
+CALL_HEAD_RE = re.compile(
+    r"^(?:[A-Za-z_]\w*(?:\s*(?:::|\.|->)\s*))*(?P<name>[A-Za-z_]\w*)\s*\("
+)
+
+STMT_KEYWORDS = {
+    "return", "co_return", "if", "else", "while", "for", "do", "switch",
+    "case", "goto", "new", "delete", "throw", "using", "namespace",
+    "template", "typedef", "static_assert", "sizeof",
+}
+
+RAW_RANDOM_RE = re.compile(r"\b(?:std::)?(?:s?rand|random_device)\b")
+RAW_THREAD_RE = re.compile(
+    r"\bstd::j?thread\b|^[ \t]*#[ \t]*include[ \t]*<thread>", re.MULTILINE
+)
+IOSTREAM_RE = re.compile(
+    r"\bstd::(?:cout|cerr|clog)\b"
+    r"|^[ \t]*#[ \t]*include[ \t]*<iostream>"
+    r"|\b(?:std::)?(?:printf|fprintf|puts|fputs)\s*\(",
+    re.MULTILINE,
+)
+
+ALL_RULES = (
+    "status-discarded",
+    "raw-random",
+    "raw-thread",
+    "iostream-logging",
+    "nolint-needs-reason",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self, root: pathlib.Path) -> str:
+        try:
+            shown = self.path.relative_to(root)
+        except ValueError:
+            shown = self.path
+        return f"{shown}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving layout.
+
+    Newlines inside block comments and raw strings are kept so that offsets
+    still map to the original line numbers.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif ch == '"' and text[max(0, i - 1) : i] == "R":
+            # Raw string literal: R"delim( ... )delim"
+            m = re.match(r'R"([^(\s]*)\(', text[i - 1 :])
+            if m:
+                closer = ")" + m.group(1) + '"'
+                j = text.find(closer, i + m.end() - 1)
+                j = n if j < 0 else j + len(closer)
+                out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+                i = j
+            else:
+                out.append(ch)
+                i += 1
+        elif ch in "\"'":
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(ch + " " * (j - i - 2) + (ch if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def collect_status_functions(files: list[pathlib.Path]) -> set[str]:
+    names: set[str] = set()
+    ambiguous: set[str] = set()
+    for path in files:
+        text = strip_comments_and_strings(read_text(path))
+        for m in DECL_RE.finditer(text):
+            name = m.group("name")
+            if name not in STMT_KEYWORDS and not name.startswith("operator"):
+                names.add(name)
+        for m in NON_STATUS_DECL_RE.finditer(text):
+            ambiguous.add(m.group("name"))
+    return names - ambiguous
+
+
+def read_text(path: pathlib.Path) -> str:
+    return path.read_text(encoding="utf-8", errors="replace")
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def allowed(path: pathlib.Path, patterns: tuple[str, ...]) -> bool:
+    """True if `path` is exempt: a trailing-slash pattern matches any
+    directory component prefix, otherwise the path suffix must match."""
+    posix = path.as_posix()
+    return any(s in posix if s.endswith("/") else posix.endswith(s)
+               for s in patterns)
+
+
+def iter_statements(code: str):
+    """Yields (offset, statement) pairs, splitting on ';' and '{' / '}'.
+
+    Crude but sufficient: statement boundaries inside for(;;) headers and
+    initializer lists produce fragments that simply fail the call-head match.
+    """
+    start = 0
+    for i, ch in enumerate(code):
+        if ch in ";{}":
+            yield start, code[start:i]
+            start = i + 1
+    yield start, code[start:]
+
+
+def find_nolint(raw_lines: list[str], lineno: int):
+    """Returns (rules, has_reason, marker_line) for a suppression covering
+    `lineno`: a SUBSIM-NOLINT on the line itself or a
+    SUBSIM-NOLINT-NEXTLINE on the line above."""
+    if lineno - 1 < len(raw_lines):
+        m = NOLINT_RE.search(raw_lines[lineno - 1])
+        # Guard against NOLINT-NEXTLINE also matching the plain-NOLINT regex.
+        if m and "SUBSIM-NOLINT-NEXTLINE" not in raw_lines[lineno - 1]:
+            rules = {r.strip() for r in m.group("rules").split(",")}
+            return rules, m.group("reason") is not None, lineno
+    if lineno >= 2:
+        m = NOLINT_NEXTLINE_RE.search(raw_lines[lineno - 2])
+        if m:
+            rules = {r.strip() for r in m.group("rules").split(",")}
+            return rules, m.group("reason") is not None, lineno - 1
+    return None
+
+
+def lint_file(
+    path: pathlib.Path, status_functions: set[str]
+) -> list[Finding]:
+    raw = read_text(path)
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+    findings: list[Finding] = []
+
+    def report(lineno: int, rule: str, message: str) -> None:
+        nolint = find_nolint(raw_lines, lineno)
+        if nolint is not None:
+            rules, has_reason, marker_line = nolint
+            if rule in rules or "*" in rules:
+                if not has_reason:
+                    findings.append(
+                        Finding(path, marker_line, "nolint-needs-reason",
+                                "SUBSIM-NOLINT must state a reason: "
+                                "`// SUBSIM-NOLINT(rule): <why>`"))
+                return
+        findings.append(Finding(path, lineno, rule, message))
+
+    # Rule: raw-random.
+    if not allowed(path, RAW_RANDOM_ALLOWED):
+        for m in RAW_RANDOM_RE.finditer(code):
+            report(line_of(code, m.start()), "raw-random",
+                   "raw libc/std randomness is forbidden outside "
+                   "src/subsim/random/; use an explicitly seeded subsim::Rng")
+
+    # Rule: raw-thread.
+    if not allowed(path, RAW_THREAD_ALLOWED):
+        for m in RAW_THREAD_RE.finditer(code):
+            report(line_of(code, m.start()), "raw-thread",
+                   "std::thread is forbidden outside rrset/parallel_fill.cc;"
+                   " route parallelism through ParallelFill")
+
+    # Rule: iostream-logging.
+    if not allowed(path, IOSTREAM_ALLOWED):
+        for m in IOSTREAM_RE.finditer(code):
+            report(line_of(code, m.start()), "iostream-logging",
+                   "direct console output is forbidden outside util/logging;"
+                   " use SUBSIM_LOG(level)")
+
+    # Rule: status-discarded.
+    for offset, stmt in iter_statements(code):
+        body = stmt.strip()
+        if not body or "=" in body.split("(", 1)[0]:
+            continue
+        m = CALL_HEAD_RE.match(body)
+        if not m:
+            continue
+        first_token = re.match(r"[A-Za-z_]\w*", body)
+        if first_token and first_token.group(0) in STMT_KEYWORDS:
+            continue
+        name = m.group("name")
+        if name in status_functions:
+            body_start = offset + len(stmt) - len(stmt.lstrip())
+            lineno = line_of(code, body_start + m.start("name"))
+            report(lineno, "status-discarded",
+                   f"result of {name}() (Status/Result) is discarded; "
+                   "check it, propagate it, or cast to (void) with a "
+                   "SUBSIM-NOLINT reason")
+
+    # A NEXTLINE marker shielding a line with several findings would report
+    # nolint-needs-reason once per finding; dedupe, preserving order.
+    return list(dict.fromkeys(findings))
+
+
+def gather_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(
+                sorted(q for q in p.rglob("*") if q.suffix in CXX_SUFFIXES))
+        elif p.suffix in CXX_SUFFIXES:
+            files.append(p)
+    return files
+
+
+def run_lint(paths: list[pathlib.Path], root: pathlib.Path) -> int:
+    files = gather_files(paths)
+    if not files:
+        print(f"subsim_lint: no C++ sources under {paths}", file=sys.stderr)
+        return 2
+    status_functions = collect_status_functions(files)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, status_functions))
+    for finding in findings:
+        print(finding.render(root))
+    if findings:
+        print(f"subsim_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"subsim_lint: OK ({len(files)} files clean)")
+    return 0
+
+
+EXPECT_RE = re.compile(r"LINT-EXPECT:\s*(?P<rules>[\w,\- ]+)")
+
+
+def run_self_test(fixtures: pathlib.Path, root: pathlib.Path) -> int:
+    """Lints the fixture corpus and diffs findings against LINT-EXPECT marks.
+
+    Every line carrying `// LINT-EXPECT: <rule>[, <rule>...]` must produce
+    exactly those findings; any unexpected or missing finding fails. Each
+    rule must be exercised by at least one fixture so the corpus cannot rot.
+    """
+    files = gather_files([fixtures])
+    if not files:
+        print(f"subsim_lint: no fixtures under {fixtures}", file=sys.stderr)
+        return 2
+    status_functions = collect_status_functions(files)
+
+    expected: set[tuple[str, int, str]] = set()
+    for f in files:
+        for lineno, line in enumerate(read_text(f).splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in m.group("rules").split(","):
+                    rule = rule.strip()
+                    if rule not in ALL_RULES:
+                        print(f"{f}:{lineno}: unknown rule in LINT-EXPECT: "
+                              f"{rule}", file=sys.stderr)
+                        return 2
+                    expected.add((f.as_posix(), lineno, rule))
+
+    actual: set[tuple[str, int, str]] = set()
+    for f in files:
+        for finding in lint_file(f, status_functions):
+            actual.add((finding.path.as_posix(), finding.line, finding.rule))
+
+    missing = expected - actual
+    unexpected = actual - expected
+    for path, lineno, rule in sorted(missing):
+        print(f"SELF-TEST MISS {path}:{lineno}: expected [{rule}]")
+    for path, lineno, rule in sorted(unexpected):
+        print(f"SELF-TEST FALSE-POSITIVE {path}:{lineno}: [{rule}]")
+
+    covered = {rule for _, _, rule in expected}
+    uncovered = [r for r in ALL_RULES if r not in covered]
+    for rule in uncovered:
+        print(f"SELF-TEST GAP: no fixture exercises [{rule}]")
+
+    if missing or unexpected or uncovered:
+        return 1
+    print(f"subsim_lint self-test: OK ({len(expected)} seeded violations "
+          f"across {len(files)} fixtures, all {len(ALL_RULES)} rules)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="subsim_lint.py",
+        description="subsim repo-specific invariant linter")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories to lint")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter against tools/lint_fixtures/")
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    if args.self_test:
+        return run_self_test(repo_root / "tools" / "lint_fixtures", repo_root)
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+    return run_lint([p.resolve() for p in args.paths], repo_root)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
