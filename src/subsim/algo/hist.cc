@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "subsim/algo/theta.h"
 #include "subsim/coverage/bounds.h"
 #include "subsim/coverage/max_coverage.h"
+#include "subsim/rrset/parallel_fill.h"
 #include "subsim/util/math.h"
 #include "subsim/util/timer.h"
 
@@ -31,10 +33,11 @@ struct SentinelPhase {
 };
 
 /// Algorithm 7: SentinelSet(G, k, eps1, delta1).
-SentinelPhase RunSentinelSet(const Graph& graph, RrGenerator& generator,
-                             RrGenerator& sentinel_generator,
-                             const ImOptions& options, double eps1,
-                             double delta1, Rng& rng1, Rng& rng2) {
+Result<SentinelPhase> RunSentinelSet(const Graph& graph,
+                                     RrGenerator& generator,
+                                     RrGenerator& sentinel_generator,
+                                     const ImOptions& options, double eps1,
+                                     double delta1, Rng& rng1, Rng& rng2) {
   const NodeId n = graph.num_nodes();
   const std::uint32_t k = options.k;
 
@@ -46,7 +49,9 @@ SentinelPhase RunSentinelSet(const Graph& graph, RrGenerator& generator,
 
   SentinelPhase phase;
   RrCollection r1(n);
-  generator.Fill(rng1, theta0, &r1);
+  SUBSIM_RETURN_IF_ERROR(FillCollection(options.generator, graph, generator,
+                                        rng1, theta0, options.num_threads, {},
+                                        &r1));
 
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k;
@@ -85,7 +90,9 @@ SentinelPhase RunSentinelSet(const Graph& graph, RrGenerator& generator,
       // Lines 9-12: verify on an independent sentinel-truncated R2.
       sentinel_generator.SetSentinels(candidate);
       RrCollection r2(n);
-      sentinel_generator.Fill(rng2, r1.num_sets(), &r2);
+      SUBSIM_RETURN_IF_ERROR(
+          FillCollection(options.generator, graph, sentinel_generator, rng2,
+                         r1.num_sets(), options.num_threads, candidate, &r2));
       std::uint64_t cov = ComputeCoverage(r2, candidate);
       double lower = OpimLowerBound(cov, r2.num_sets(), n, delta_l);
       if (upper > 0.0 && lower / upper > target) {
@@ -96,7 +103,11 @@ SentinelPhase RunSentinelSet(const Graph& graph, RrGenerator& generator,
       }
 
       // Lines 13-15: tighten the lower bound once with |R2| = 4 |R1|.
-      sentinel_generator.Fill(rng2, 3 * r1.num_sets(), &r2);
+      SUBSIM_RETURN_IF_ERROR(FillCollection(options.generator, graph,
+                                            sentinel_generator, rng2,
+                                            3 * r1.num_sets(),
+                                            options.num_threads, candidate,
+                                            &r2));
       cov = ComputeCoverage(r2, candidate);
       lower = OpimLowerBound(cov, r2.num_sets(), n, delta_l);
       phase.stats.Absorb(r2);
@@ -110,7 +121,9 @@ SentinelPhase RunSentinelSet(const Graph& graph, RrGenerator& generator,
 
     // Line 16: double R1 and retry.
     if (i < i_max) {
-      generator.Fill(rng1, r1.num_sets(), &r1);
+      SUBSIM_RETURN_IF_ERROR(
+          FillCollection(options.generator, graph, generator, rng1,
+                         r1.num_sets(), options.num_threads, {}, &r1));
     }
   }
 
@@ -167,8 +180,13 @@ Result<ImResult> Hist::Run(const Graph& graph,
 
   SentinelPhase phase1;
   if (sentinel_phase_useful) {
-    phase1 = RunSentinelSet(graph, **gen_plain, **gen_sentinel, options,
-                            eps1, delta1, rng1, rng2);
+    Result<SentinelPhase> sentinel_result = RunSentinelSet(
+        graph, **gen_plain, **gen_sentinel, options, eps1, delta1, rng1,
+        rng2);
+    if (!sentinel_result.ok()) {
+      return sentinel_result.status();
+    }
+    phase1 = std::move(*sentinel_result);
   }
   std::vector<NodeId>& sentinels = phase1.sentinels;
   const std::uint32_t b = static_cast<std::uint32_t>(sentinels.size());
@@ -196,8 +214,12 @@ Result<ImResult> Hist::Run(const Graph& graph,
 
   RrCollection r1(n);
   RrCollection r2(n);
-  (*gen_sentinel)->Fill(rng3, theta0, &r1);
-  (*gen_sentinel)->Fill(rng4, theta0, &r2);
+  SUBSIM_RETURN_IF_ERROR(
+      FillCollection(options.generator, graph, **gen_sentinel, rng3, theta0,
+                     options.num_threads, sentinels, &r1));
+  SUBSIM_RETURN_IF_ERROR(
+      FillCollection(options.generator, graph, **gen_sentinel, rng4, theta0,
+                     options.num_threads, sentinels, &r2));
 
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k - b;
@@ -241,8 +263,12 @@ Result<ImResult> Hist::Run(const Graph& graph,
     if (result.approx_ratio > target_ratio || i == i_max) {
       break;
     }
-    (*gen_sentinel)->Fill(rng3, r1.num_sets(), &r1);
-    (*gen_sentinel)->Fill(rng4, r2.num_sets(), &r2);
+    SUBSIM_RETURN_IF_ERROR(
+        FillCollection(options.generator, graph, **gen_sentinel, rng3,
+                       r1.num_sets(), options.num_threads, sentinels, &r1));
+    SUBSIM_RETURN_IF_ERROR(
+        FillCollection(options.generator, graph, **gen_sentinel, rng4,
+                       r2.num_sets(), options.num_threads, sentinels, &r2));
   }
 
   result.phase2_rr_sets = r1.num_sets() + r2.num_sets();

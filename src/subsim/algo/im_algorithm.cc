@@ -6,6 +6,19 @@
 
 namespace subsim {
 
+Result<std::unique_ptr<SampleStore>> ImAlgorithm::MakeSampleStore(
+    const Graph& /*graph*/, const ImOptions& /*options*/) const {
+  return Status::FailedPrecondition(std::string(name()) +
+                                    " does not support sample reuse");
+}
+
+Result<ImResult> ImAlgorithm::RunWithStore(const Graph& /*graph*/,
+                                           const ImOptions& /*options*/,
+                                           SampleStore* /*store*/) const {
+  return Status::FailedPrecondition(std::string(name()) +
+                                    " does not support sample reuse");
+}
+
 Status ValidateImOptions(const Graph& graph, const ImOptions& options) {
   if (graph.num_nodes() == 0) {
     return Status::InvalidArgument("graph has no nodes");
@@ -25,6 +38,21 @@ Status ValidateImOptions(const Graph& graph, const ImOptions& options) {
   }
   if (options.delta < 0.0 || options.delta >= 1.0) {
     return Status::InvalidArgument("delta must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+Status ValidateSampleStore(const Graph& graph, const ImOptions& options,
+                           const SampleStore& store) {
+  if (store.num_graph_nodes() != graph.num_nodes()) {
+    return Status::FailedPrecondition(
+        "sample store was built over a different graph (" +
+        std::to_string(store.num_graph_nodes()) + " vs " +
+        std::to_string(graph.num_nodes()) + " nodes)");
+  }
+  if (store.generator_kind() != options.generator) {
+    return Status::FailedPrecondition(
+        "sample store generator does not match the query's generator");
   }
   return Status::Ok();
 }

@@ -5,8 +5,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "subsim/graph/graph.h"
 #include "subsim/rrset/generator_factory.h"
+#include "subsim/rrset/sample_store.h"
 #include "subsim/util/status.h"
 
 namespace subsim {
@@ -30,6 +33,13 @@ struct ImOptions {
   /// OPIM-C + kSubsimIc is the paper's "SUBSIM" algorithm, HIST + kSubsimIc
   /// its "HIST+SUBSIM".
   GeneratorKind generator = GeneratorKind::kVanillaIc;
+
+  /// Worker threads for RR-set generation (`ParallelFill`): 1 (default)
+  /// keeps the sequential reference path — byte-identical across machines
+  /// and required for cross-query sample reuse; 0 = hardware concurrency;
+  /// N = N workers. Parallel runs are deterministic for a fixed
+  /// (rng_seed, thread count) but not comparable to sequential runs.
+  unsigned num_threads = 1;
 
   /// Resolves delta == 0 to 1/n.
   double EffectiveDelta(NodeId num_nodes) const {
@@ -84,11 +94,39 @@ class ImAlgorithm {
   virtual Result<ImResult> Run(const Graph& graph,
                                const ImOptions& options) const = 0;
 
+  /// True when the algorithm can run against a shared `SampleStore` whose
+  /// RR streams persist across queries (see `RunWithStore`). False for
+  /// algorithms whose samples are not reusable — notably HIST, whose
+  /// sentinel-truncated sets must never be served to another query.
+  virtual bool SupportsSampleReuse() const { return false; }
+
+  /// Creates a store whose rng stream lineage matches this algorithm's
+  /// cold run over `graph`, suitable for `RunWithStore`. Only the
+  /// generator kind, rng seed, and num_threads fields of `options` shape
+  /// the store — k/epsilon/delta may differ between the queries it serves.
+  virtual Result<std::unique_ptr<SampleStore>> MakeSampleStore(
+      const Graph& graph, const ImOptions& options) const;
+
+  /// Runs against a pre-seeded store created by `MakeSampleStore` over the
+  /// same (graph, generator, rng seed): committed sets are reused and only
+  /// what the schedule still misses is generated. For sequential stores
+  /// the result is identical to a cold `Run` with the same options, no
+  /// matter what other queries the store served before.
+  virtual Result<ImResult> RunWithStore(const Graph& graph,
+                                        const ImOptions& options,
+                                        SampleStore* store) const;
+
   virtual const char* name() const = 0;
 };
 
 /// Validates the option invariants shared by all algorithms.
 Status ValidateImOptions(const Graph& graph, const ImOptions& options);
+
+/// Validates that `store` matches (graph, options.generator) before a
+/// `RunWithStore`. The rng seed lineage is not recoverable from a store;
+/// callers must key stores by seed (the serving cache does).
+Status ValidateSampleStore(const Graph& graph, const ImOptions& options,
+                           const SampleStore& store);
 
 }  // namespace subsim
 

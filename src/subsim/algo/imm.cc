@@ -9,9 +9,35 @@
 
 namespace subsim {
 
+Result<std::unique_ptr<SampleStore>> Imm::MakeSampleStore(
+    const Graph& graph, const ImOptions& options) const {
+  // Stream 0 carries the single IMM collection (fork 1, matching the cold
+  // run); stream 1 (fork 2) exists for the store's fixed shape and stays
+  // empty.
+  Rng master(options.rng_seed);
+  SampleStore::Options store_options;
+  store_options.num_threads = options.num_threads;
+  return SampleStore::Create(graph, options.generator,
+                             {master.Fork(1), master.Fork(2)},
+                             store_options);
+}
+
 Result<ImResult> Imm::Run(const Graph& graph,
                           const ImOptions& options) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
+  Result<std::unique_ptr<SampleStore>> store =
+      MakeSampleStore(graph, options);
+  if (!store.ok()) {
+    return store.status();
+  }
+  return RunWithStore(graph, options, store->get());
+}
+
+Result<ImResult> Imm::RunWithStore(const Graph& graph,
+                                   const ImOptions& options,
+                                   SampleStore* store) const {
+  SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
+  SUBSIM_RETURN_IF_ERROR(ValidateSampleStore(graph, options, *store));
   WallTimer timer;
 
   const NodeId n = graph.num_nodes();
@@ -20,12 +46,6 @@ Result<ImResult> Imm::Run(const Graph& graph,
   const double delta = options.EffectiveDelta(n);
   const double ln_n = std::log(std::max<double>(n, 2));
 
-  Result<std::unique_ptr<RrGenerator>> generator =
-      MakeRrGenerator(options.generator, graph);
-  if (!generator.ok()) {
-    return generator.status();
-  }
-
   // delta = n^-l  =>  l = ln(1/delta)/ln(n); bumped by ln2/ln n so the
   // union bound over both phases still lands at n^-l (IMM Section 4.3).
   double l = std::log(1.0 / delta) / ln_n;
@@ -33,12 +53,13 @@ Result<ImResult> Imm::Run(const Graph& graph,
 
   const double log_nk = LogNChooseK(n, k);
 
-  Rng master(options.rng_seed);
-  Rng gen_rng = master.Fork(1);
-  RrCollection collection(n);
-
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k;
+
+  // `cold_sets` tracks how many sets a cold run's collection would hold at
+  // each point; the store may be longer (warmed by other queries), so every
+  // evaluation happens on a prefix view of exactly this size.
+  std::uint64_t cold_sets = 0;
 
   // ---- Phase 1: estimate a lower bound LB of OPT. ----
   const double eps_prime = std::sqrt(2.0) * eps;
@@ -53,16 +74,16 @@ Result<ImResult> Imm::Run(const Graph& graph,
     const double x = static_cast<double>(n) / std::pow(2.0, i);
     const std::uint64_t theta_i =
         static_cast<std::uint64_t>(std::ceil(lambda_prime / x));
-    if (theta_i > collection.num_sets()) {
-      (*generator)->Fill(gen_rng, theta_i - collection.num_sets(),
-                         &collection);
-    }
+    cold_sets = std::max(cold_sets, theta_i);
+    SUBSIM_RETURN_IF_ERROR(store->EnsureSets(0, cold_sets));
+    const SampleStore::ReadGuard read = store->Read();
+    const RrCollectionView view = read.View(0, cold_sets);
     const CoverageGreedyResult greedy =
-        RunCoverageGreedy(collection, greedy_options);
+        RunCoverageGreedy(view, greedy_options);
     const double estimated =
         static_cast<double>(n) *
         static_cast<double>(greedy.total_coverage()) /
-        static_cast<double>(collection.num_sets());
+        static_cast<double>(view.num_sets());
     if (estimated >= (1.0 + eps_prime) * x) {
       lower_bound_opt = estimated / (1.0 + eps_prime);
       break;
@@ -71,6 +92,8 @@ Result<ImResult> Imm::Run(const Graph& graph,
   lower_bound_opt = std::max(lower_bound_opt, static_cast<double>(k));
 
   // ---- Phase 2: theta = lambda* / LB, then final greedy. ----
+  // The final greedy runs over max(theta, phase-1 watermark) sets — a cold
+  // run never discards phase-1 sets even when theta is smaller.
   const double alpha = std::sqrt(l * ln_n + std::log(2.0));
   const double beta =
       std::sqrt(kOneMinusInvE * (log_nk + l * ln_n + std::log(2.0)));
@@ -79,20 +102,20 @@ Result<ImResult> Imm::Run(const Graph& graph,
                              (kOneMinusInvE * alpha + beta) / (eps * eps);
   const std::uint64_t theta =
       static_cast<std::uint64_t>(std::ceil(lambda_star / lower_bound_opt));
-  if (theta > collection.num_sets()) {
-    (*generator)->Fill(gen_rng, theta - collection.num_sets(), &collection);
-  }
+  cold_sets = std::max(cold_sets, theta);
+  SUBSIM_RETURN_IF_ERROR(store->EnsureSets(0, cold_sets));
 
-  const CoverageGreedyResult greedy =
-      RunCoverageGreedy(collection, greedy_options);
+  const SampleStore::ReadGuard read = store->Read();
+  const RrCollectionView view = read.View(0, cold_sets);
+  const CoverageGreedyResult greedy = RunCoverageGreedy(view, greedy_options);
 
   ImResult result;
   result.seeds = greedy.seeds;
   result.estimated_spread = static_cast<double>(n) *
                             static_cast<double>(greedy.total_coverage()) /
-                            static_cast<double>(collection.num_sets());
-  result.num_rr_sets = collection.num_sets();
-  result.total_rr_nodes = collection.total_nodes();
+                            static_cast<double>(view.num_sets());
+  result.num_rr_sets = view.num_sets();
+  result.total_rr_nodes = view.total_nodes();
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

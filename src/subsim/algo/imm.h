@@ -16,10 +16,22 @@ namespace subsim {
 ///
 /// IMM reuses phase-1 RR sets in phase 2 — the weak dependence the
 /// martingale bounds (Lemma 2 of the reproduced paper) are there to absorb.
+///
+/// The single RR stream lives in a `SampleStore` (stream 0; stream 1 is
+/// left untouched), so a run can resume sampling done by earlier queries.
+/// `RunWithStore` replays the cold schedule against prefix views of exactly
+/// the sizes a cold run would have reached — including phase 2's quirk that
+/// the final greedy runs over max(theta, the phase-1 watermark) sets — so
+/// warm results are bit-identical to cold ones for a fixed rng seed.
 class Imm final : public ImAlgorithm {
  public:
   Result<ImResult> Run(const Graph& graph,
                        const ImOptions& options) const override;
+  bool SupportsSampleReuse() const override { return true; }
+  Result<std::unique_ptr<SampleStore>> MakeSampleStore(
+      const Graph& graph, const ImOptions& options) const override;
+  Result<ImResult> RunWithStore(const Graph& graph, const ImOptions& options,
+                                SampleStore* store) const override;
   const char* name() const override { return "imm"; }
 };
 

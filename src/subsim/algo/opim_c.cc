@@ -1,6 +1,7 @@
 #include "subsim/algo/opim_c.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "subsim/algo/theta.h"
 #include "subsim/coverage/bounds.h"
@@ -10,9 +11,34 @@
 
 namespace subsim {
 
+Result<std::unique_ptr<SampleStore>> OpimC::MakeSampleStore(
+    const Graph& graph, const ImOptions& options) const {
+  // Same stream lineage as the original cold run: R1 and R2 are fed by
+  // independent forks 1 and 2 of the master seed.
+  Rng master(options.rng_seed);
+  SampleStore::Options store_options;
+  store_options.num_threads = options.num_threads;
+  return SampleStore::Create(graph, options.generator,
+                             {master.Fork(1), master.Fork(2)},
+                             store_options);
+}
+
 Result<ImResult> OpimC::Run(const Graph& graph,
                             const ImOptions& options) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
+  Result<std::unique_ptr<SampleStore>> store =
+      MakeSampleStore(graph, options);
+  if (!store.ok()) {
+    return store.status();
+  }
+  return RunWithStore(graph, options, store->get());
+}
+
+Result<ImResult> OpimC::RunWithStore(const Graph& graph,
+                                     const ImOptions& options,
+                                     SampleStore* store) const {
+  SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
+  SUBSIM_RETURN_IF_ERROR(ValidateSampleStore(graph, options, *store));
   WallTimer timer;
 
   const NodeId n = graph.num_nodes();
@@ -20,30 +46,24 @@ Result<ImResult> OpimC::Run(const Graph& graph,
   const double eps = options.epsilon;
   const double delta = options.EffectiveDelta(n);
 
-  Result<std::unique_ptr<RrGenerator>> generator =
-      MakeRrGenerator(options.generator, graph);
-  if (!generator.ok()) {
-    return generator.status();
-  }
-
   const std::uint64_t theta0 = InitialTheta(delta);
   const std::uint64_t theta_max = OpimThetaMax(n, k, eps, delta);
   const std::uint32_t i_max = DoublingIterations(theta0, theta_max);
   const double delta_iter = delta / (3.0 * i_max);
-
-  Rng master(options.rng_seed);
-  Rng rng1 = master.Fork(1);
-  Rng rng2 = master.Fork(2);
-  RrCollection r1(n);
-  RrCollection r2(n);
 
   ImResult result;
   const double target_ratio = kOneMinusInvE - eps;
 
   for (std::uint32_t i = 1; i <= i_max; ++i) {
     const std::uint64_t target = theta0 << (i - 1);
-    (*generator)->Fill(rng1, target - r1.num_sets(), &r1);
-    (*generator)->Fill(rng2, target - r2.num_sets(), &r2);
+    SUBSIM_RETURN_IF_ERROR(store->EnsureSets(0, target));
+    SUBSIM_RETURN_IF_ERROR(store->EnsureSets(1, target));
+
+    // Evaluate on prefixes of exactly `target` sets — with a warm store the
+    // streams may be longer, and using more would diverge from a cold run.
+    const SampleStore::ReadGuard read = store->Read();
+    const RrCollectionView r1 = read.View(0, target);
+    const RrCollectionView r2 = read.View(1, target);
 
     CoverageGreedyOptions greedy_options;
     greedy_options.k = k;
@@ -66,13 +86,13 @@ Result<ImResult> OpimC::Run(const Graph& graph,
     result.estimated_spread = static_cast<double>(cov2) *
                               static_cast<double>(n) /
                               static_cast<double>(r2.num_sets());
+    result.num_rr_sets = r1.num_sets() + r2.num_sets();
+    result.total_rr_nodes = r1.total_nodes() + r2.total_nodes();
     if (result.approx_ratio >= target_ratio || i == i_max) {
       break;
     }
   }
 
-  result.num_rr_sets = r1.num_sets() + r2.num_sets();
-  result.total_rr_nodes = r1.total_nodes() + r2.total_nodes();
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

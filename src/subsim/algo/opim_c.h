@@ -15,10 +15,21 @@ namespace subsim {
 /// Equation (1) lower bound on the selected set. The run stops as soon as
 /// lower / upper exceeds 1 - 1/e - epsilon, or after i_max doublings
 /// (theta_max per the OPIM analysis, with OPT conservatively >= k).
+///
+/// Both collections live in a `SampleStore` (streams 0 = R1, 1 = R2), so a
+/// run can resume someone else's sampling: `RunWithStore` against a warm
+/// store reuses its committed sets and evaluates every round on a prefix
+/// view of exactly the size a cold run would have had — which is why warm
+/// results are bit-identical to cold ones for a fixed rng seed.
 class OpimC final : public ImAlgorithm {
  public:
   Result<ImResult> Run(const Graph& graph,
                        const ImOptions& options) const override;
+  bool SupportsSampleReuse() const override { return true; }
+  Result<std::unique_ptr<SampleStore>> MakeSampleStore(
+      const Graph& graph, const ImOptions& options) const override;
+  Result<ImResult> RunWithStore(const Graph& graph, const ImOptions& options,
+                                SampleStore* store) const override;
   const char* name() const override { return "opim-c"; }
 };
 

@@ -6,6 +6,7 @@
 #include "subsim/algo/theta.h"
 #include "subsim/coverage/bounds.h"
 #include "subsim/coverage/max_coverage.h"
+#include "subsim/rrset/parallel_fill.h"
 #include "subsim/util/math.h"
 #include "subsim/util/timer.h"
 
@@ -59,7 +60,9 @@ Result<ImResult> Ssa::Run(const Graph& graph,
   ImResult result;
   for (std::uint32_t i = 1; i <= i_max; ++i) {
     const std::uint64_t target = theta0 << (i - 1);
-    (*generator)->Fill(rng1, target - r1.num_sets(), &r1);
+    SUBSIM_RETURN_IF_ERROR(
+        FillCollection(options.generator, graph, **generator, rng1,
+                       target - r1.num_sets(), options.num_threads, {}, &r1));
 
     const CoverageGreedyResult greedy = RunCoverageGreedy(r1, greedy_options);
     const double selection_estimate =
@@ -68,7 +71,9 @@ Result<ImResult> Ssa::Run(const Graph& graph,
         static_cast<double>(r1.num_sets());
 
     // Stare: validate on the independent collection.
-    (*generator)->Fill(rng2, target - r2.num_sets(), &r2);
+    SUBSIM_RETURN_IF_ERROR(
+        FillCollection(options.generator, graph, **generator, rng2,
+                       target - r2.num_sets(), options.num_threads, {}, &r2));
     const std::uint64_t cov2 = ComputeCoverage(r2, greedy.seeds);
     const double validated_estimate = static_cast<double>(n) *
                                       static_cast<double>(cov2) /

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "subsim/coverage/max_coverage.h"
+#include "subsim/rrset/parallel_fill.h"
 #include "subsim/util/math.h"
 #include "subsim/util/timer.h"
 
@@ -86,7 +87,9 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
     // Cap the refinement effort; it is a heuristic tightener.
     const std::uint64_t capped =
         std::min<std::uint64_t>(refine_batch, 1u << 18);
-    (*generator)->Fill(refine_rng, capped, &refine);
+    SUBSIM_RETURN_IF_ERROR(
+        FillCollection(options.generator, graph, **generator, refine_rng,
+                       capped, options.num_threads, {}, &refine));
     const std::uint64_t cov = ComputeCoverage(refine, candidate.seeds);
     const double estimate = static_cast<double>(cov) * n /
                             static_cast<double>(refine.num_sets());
@@ -107,7 +110,9 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
   // analysis needs independence from the estimation phase).
   RrCollection selection(n);
   Rng selection_rng = master.Fork(3);
-  (*generator)->Fill(selection_rng, theta, &selection);
+  SUBSIM_RETURN_IF_ERROR(
+      FillCollection(options.generator, graph, **generator, selection_rng,
+                     theta, options.num_threads, {}, &selection));
   const CoverageGreedyResult greedy =
       RunCoverageGreedy(selection, greedy_options);
 

@@ -28,7 +28,7 @@ struct HeapEntry {
 
 }  // namespace
 
-CoverageGreedyResult RunCoverageGreedy(const RrCollection& collection,
+CoverageGreedyResult RunCoverageGreedy(RrCollectionView collection,
                                        const CoverageGreedyOptions& options) {
   SUBSIM_CHECK(!options.tie_break_by_out_degree || options.graph != nullptr,
                "tie_break_by_out_degree requires options.graph");
@@ -142,7 +142,7 @@ CoverageGreedyResult RunCoverageGreedy(const RrCollection& collection,
   return result;
 }
 
-std::uint64_t ComputeCoverage(const RrCollection& collection,
+std::uint64_t ComputeCoverage(RrCollectionView collection,
                               std::span<const NodeId> seeds) {
   std::vector<std::uint8_t> covered(collection.num_sets(), 0);
   std::uint64_t total = 0;

@@ -65,12 +65,16 @@ struct CoverageGreedyResult {
 /// refreshed key still dominates the heap top is an exact argmax under that
 /// order — so the selected sequence is identical to the textbook greedy,
 /// including the out-degree tie-break, at a fraction of the cost.
-CoverageGreedyResult RunCoverageGreedy(const RrCollection& collection,
+///
+/// Takes a prefix view so cache-backed runs (`serve/`) can evaluate exactly
+/// the sets a cold run would have had; a plain `RrCollection` converts
+/// implicitly to its full-length view.
+CoverageGreedyResult RunCoverageGreedy(RrCollectionView collection,
                                        const CoverageGreedyOptions& options);
 
 /// Λ_R(S): number of RR sets in `collection` intersecting `seeds`.
 /// O(sum of inverted-index lists of the seeds).
-std::uint64_t ComputeCoverage(const RrCollection& collection,
+std::uint64_t ComputeCoverage(RrCollectionView collection,
                               std::span<const NodeId> seeds);
 
 }  // namespace subsim

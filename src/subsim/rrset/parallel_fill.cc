@@ -98,4 +98,19 @@ Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
   return Status::Ok();
 }
 
+Status FillCollection(GeneratorKind kind, const Graph& graph,
+                      RrGenerator& sequential, Rng& rng, std::size_t count,
+                      unsigned num_threads,
+                      std::span<const NodeId> sentinels,
+                      RrCollection* collection) {
+  if (num_threads == 1) {
+    sequential.Fill(rng, count, collection);
+    return Status::Ok();
+  }
+  ParallelFillOptions options;
+  options.num_threads = num_threads;
+  options.sentinels.assign(sentinels.begin(), sentinels.end());
+  return ParallelFill(kind, graph, rng, count, options, collection);
+}
+
 }  // namespace subsim

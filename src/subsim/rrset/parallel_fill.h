@@ -36,6 +36,21 @@ Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
                     std::size_t count, const ParallelFillOptions& options,
                     RrCollection* collection);
 
+/// Routes a fill through `sequential` when `num_threads == 1` (the
+/// byte-reproducible single-stream reference path — `rng` is consumed in
+/// place exactly as a plain `Fill`) or through `ParallelFill` otherwise
+/// (0 = hardware concurrency). `sentinels` configures the parallel workers;
+/// the sequential generator keeps whatever sentinels it already has, so
+/// pass the same set the caller installed on it.
+///
+/// This is how `ImOptions::num_threads` reaches the algorithms' sampling
+/// loops without disturbing the sequential behavior existing tests pin.
+Status FillCollection(GeneratorKind kind, const Graph& graph,
+                      RrGenerator& sequential, Rng& rng, std::size_t count,
+                      unsigned num_threads,
+                      std::span<const NodeId> sentinels,
+                      RrCollection* collection);
+
 }  // namespace subsim
 
 #endif  // SUBSIM_RRSET_PARALLEL_FILL_H_

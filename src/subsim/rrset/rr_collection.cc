@@ -1,5 +1,7 @@
 #include "subsim/rrset/rr_collection.h"
 
+#include <algorithm>
+
 namespace subsim {
 
 RrId RrCollection::Add(std::span<const NodeId> nodes, bool hit_sentinel) {
@@ -7,9 +9,7 @@ RrId RrCollection::Add(std::span<const NodeId> nodes, bool hit_sentinel) {
   arena_.insert(arena_.end(), nodes.begin(), nodes.end());
   offsets_.push_back(arena_.size());
   hit_sentinel_.push_back(hit_sentinel ? 1 : 0);
-  if (hit_sentinel) {
-    ++num_hit_;
-  }
+  hit_prefix_.push_back(hit_prefix_.back() + (hit_sentinel ? 1 : 0));
   for (NodeId v : nodes) {
     SUBSIM_DCHECK(v < index_.size(), "RR member out of node range");
     index_[v].push_back(id);
@@ -17,14 +17,36 @@ RrId RrCollection::Add(std::span<const NodeId> nodes, bool hit_sentinel) {
   return id;
 }
 
+std::uint64_t RrCollection::ApproxMemoryBytes() const {
+  // The inverted index holds exactly one RrId per node membership, plus one
+  // vector header per graph node; per-vector slack is ignored.
+  return arena_.size() * sizeof(NodeId) +
+         offsets_.size() * sizeof(std::uint64_t) +
+         hit_sentinel_.size() * sizeof(std::uint8_t) +
+         hit_prefix_.size() * sizeof(std::uint32_t) +
+         arena_.size() * sizeof(RrId) +
+         index_.size() * sizeof(std::vector<RrId>);
+}
+
 void RrCollection::Clear() {
   offsets_.assign(1, 0);
   arena_.clear();
   hit_sentinel_.clear();
-  num_hit_ = 0;
+  hit_prefix_.assign(1, 0);
   for (auto& list : index_) {
     list.clear();
   }
+}
+
+std::span<const RrId> RrCollectionView::SetsContaining(NodeId v) const {
+  const std::span<const RrId> full = collection_->SetsContaining(v);
+  if (num_sets_ == collection_->num_sets()) {
+    return full;
+  }
+  // Index lists are sorted ascending; keep ids < num_sets_.
+  const auto end = std::lower_bound(full.begin(), full.end(),
+                                    static_cast<RrId>(num_sets_));
+  return full.first(static_cast<std::size_t>(end - full.begin()));
 }
 
 }  // namespace subsim

@@ -13,6 +13,8 @@ namespace subsim {
 /// Identifier of an RR set inside an `RrCollection`.
 using RrId = std::uint32_t;
 
+class RrCollectionView;
+
 /// A growable pool of reverse-reachable sets with an inverted index.
 ///
 /// Storage is a single arena (offsets + node array), so appending RR sets
@@ -24,6 +26,12 @@ using RrId = std::uint32_t;
 /// by a sentinel hit (Algorithm 5). Such sets are covered by the sentinel
 /// set by construction; `IM-Sentinel` (Algorithm 8 line 5) excludes them
 /// from the residual greedy.
+///
+/// Growth is strictly append-only (ids are stable, index lists stay sorted
+/// ascending), which is what makes the prefix-snapshot API (`Prefix`)
+/// meaningful: the first N sets never change once added, so a consumer can
+/// keep evaluating a fixed prefix while the collection keeps growing —
+/// the property the serving cache (`serve/rr_sketch_cache`) is built on.
 class RrCollection {
  public:
   explicit RrCollection(NodeId num_nodes) : index_(num_nodes) {}
@@ -37,6 +45,12 @@ class RrCollection {
 
   /// Total number of node memberships across all sets.
   std::uint64_t total_nodes() const { return arena_.size(); }
+
+  /// Node memberships across the first `num_sets` sets.
+  std::uint64_t total_nodes_in_prefix(std::size_t num_sets) const {
+    SUBSIM_DCHECK(num_sets < offsets_.size(), "prefix out of range");
+    return offsets_[num_sets];
+  }
 
   /// Average RR-set size (0 when empty) — the quantity Figure 3(b) reports.
   double average_size() const {
@@ -56,9 +70,16 @@ class RrCollection {
   }
 
   /// Number of sets with the sentinel-hit flag.
-  std::size_t num_hit_sentinel() const { return num_hit_; }
+  std::size_t num_hit_sentinel() const { return hit_prefix_.back(); }
 
-  /// Ids of the RR sets that contain `v`.
+  /// Sentinel-hit sets among the first `num_sets` sets.
+  std::size_t num_hit_sentinel_in_prefix(std::size_t num_sets) const {
+    SUBSIM_DCHECK(num_sets < hit_prefix_.size(), "prefix out of range");
+    return hit_prefix_[num_sets];
+  }
+
+  /// Ids of the RR sets that contain `v`, sorted ascending (sets are
+  /// appended with increasing ids).
   std::span<const RrId> SetsContaining(NodeId v) const {
     SUBSIM_DCHECK(v < index_.size(), "node out of range");
     return index_[v];
@@ -68,6 +89,13 @@ class RrCollection {
     return static_cast<NodeId>(index_.size());
   }
 
+  /// Snapshot of the first `num_sets` sets (see `RrCollectionView`).
+  RrCollectionView Prefix(std::size_t num_sets) const;
+
+  /// Approximate heap footprint in bytes (arena, offsets, flags, and the
+  /// inverted index). Used by the serving cache's byte-budget eviction.
+  std::uint64_t ApproxMemoryBytes() const;
+
   /// Removes all sets but keeps the node capacity.
   void Clear();
 
@@ -75,9 +103,70 @@ class RrCollection {
   std::vector<std::uint64_t> offsets_{0};
   std::vector<NodeId> arena_;
   std::vector<std::uint8_t> hit_sentinel_;
-  std::size_t num_hit_ = 0;
+  /// hit_prefix_[i] = sentinel-hit sets among the first i sets; maintained
+  /// on Add so any prefix count is O(1).
+  std::vector<std::uint32_t> hit_prefix_{0};
   std::vector<std::vector<RrId>> index_;
 };
+
+/// A read-only snapshot of the first `num_sets()` sets of an `RrCollection`.
+///
+/// The view stores only (parent, prefix length) and resolves every read
+/// through the parent, so it stays valid while the parent grows — appends
+/// never mutate existing sets. It is NOT valid across `Clear()` or parent
+/// destruction, and concurrent use requires the reader/writer discipline of
+/// `SampleStore` (reads and appends must be externally ordered).
+///
+/// Implicitly constructible from a collection (full-length view), so APIs
+/// taking a view accept a plain `RrCollection` unchanged.
+class RrCollectionView {
+ public:
+  /* implicit */ RrCollectionView(  // NOLINT(runtime/explicit)
+      const RrCollection& collection)
+      : collection_(&collection), num_sets_(collection.num_sets()) {}
+
+  RrCollectionView(const RrCollection& collection, std::size_t num_sets)
+      : collection_(&collection), num_sets_(num_sets) {
+    SUBSIM_DCHECK(num_sets <= collection.num_sets(),
+                  "view prefix exceeds collection size");
+  }
+
+  std::size_t num_sets() const { return num_sets_; }
+
+  std::uint64_t total_nodes() const {
+    return collection_->total_nodes_in_prefix(num_sets_);
+  }
+
+  std::span<const NodeId> Set(RrId id) const {
+    SUBSIM_DCHECK(id < num_sets_, "RR id outside view prefix");
+    return collection_->Set(id);
+  }
+
+  bool HitSentinel(RrId id) const {
+    SUBSIM_DCHECK(id < num_sets_, "RR id outside view prefix");
+    return collection_->HitSentinel(id);
+  }
+
+  std::size_t num_hit_sentinel() const {
+    return collection_->num_hit_sentinel_in_prefix(num_sets_);
+  }
+
+  /// Ids < num_sets() of the RR sets containing `v`. O(log) to trim the
+  /// parent's (ascending) list to the prefix; O(1) for full-length views.
+  std::span<const RrId> SetsContaining(NodeId v) const;
+
+  NodeId num_graph_nodes() const { return collection_->num_graph_nodes(); }
+
+  const RrCollection& collection() const { return *collection_; }
+
+ private:
+  const RrCollection* collection_;
+  std::size_t num_sets_;
+};
+
+inline RrCollectionView RrCollection::Prefix(std::size_t num_sets) const {
+  return RrCollectionView(*this, num_sets);
+}
 
 }  // namespace subsim
 

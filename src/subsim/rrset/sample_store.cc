@@ -1,0 +1,74 @@
+#include "subsim/rrset/sample_store.h"
+
+#include <mutex>
+#include <utility>
+
+#include "subsim/rrset/parallel_fill.h"
+
+namespace subsim {
+
+SampleStore::SampleStore(const Graph& graph, GeneratorKind kind,
+                         std::array<Rng, kNumStreams> stream_rngs,
+                         const Options& options)
+    : graph_(&graph),
+      kind_(kind),
+      num_nodes_(graph.num_nodes()),
+      options_(options),
+      streams_{Stream(graph.num_nodes(), stream_rngs[0]),
+               Stream(graph.num_nodes(), stream_rngs[1])} {}
+
+Result<std::unique_ptr<SampleStore>> SampleStore::Create(
+    const Graph& graph, GeneratorKind kind,
+    std::array<Rng, kNumStreams> stream_rngs, const Options& options) {
+  std::unique_ptr<SampleStore> store(
+      new SampleStore(graph, kind, stream_rngs, options));
+  for (Stream& stream : store->streams_) {
+    Result<std::unique_ptr<RrGenerator>> generator =
+        MakeRrGenerator(kind, graph);
+    if (!generator.ok()) {
+      return generator.status();
+    }
+    stream.generator = std::move(generator).value();
+  }
+  return store;
+}
+
+Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {
+  SUBSIM_CHECK(stream < kNumStreams, "stream out of range");
+  Stream& s = streams_[stream];
+  if (s.committed.load(std::memory_order_acquire) >= count) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const std::uint64_t have = s.collection.num_sets();
+  if (have >= count) {
+    return Status::Ok();
+  }
+  const std::size_t need = static_cast<std::size_t>(count - have);
+  if (options_.num_threads == 1) {
+    s.generator->Fill(s.rng, need, &s.collection);
+  } else {
+    ParallelFillOptions fill_options;
+    fill_options.num_threads = options_.num_threads;
+    SUBSIM_RETURN_IF_ERROR(
+        ParallelFill(kind_, *graph_, s.rng, need, fill_options,
+                     &s.collection));
+  }
+  // Store streams carry no sentinels, so no set may be truncated — the
+  // invariant that makes them safe to serve to any non-HIST query.
+  SUBSIM_DCHECK(s.collection.num_hit_sentinel() == 0,
+                "sentinel-truncated set in a shared sample store");
+  s.committed.store(s.collection.num_sets(), std::memory_order_release);
+  return Status::Ok();
+}
+
+std::uint64_t SampleStore::ApproxMemoryBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::uint64_t bytes = sizeof(SampleStore);
+  for (const Stream& stream : streams_) {
+    bytes += stream.collection.ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace subsim

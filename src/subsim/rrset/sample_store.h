@@ -1,0 +1,134 @@
+#ifndef SUBSIM_RRSET_SAMPLE_STORE_H_
+#define SUBSIM_RRSET_SAMPLE_STORE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+
+#include "subsim/graph/graph.h"
+#include "subsim/random/rng.h"
+#include "subsim/rrset/generator_factory.h"
+#include "subsim/rrset/rr_collection.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Resumable, shareable RR-set sampling state: two independent streams of
+/// plain (never sentinel-truncated) RR sets, each a pure function of
+/// (graph, generator kind, its rng stream) — the i-th set of a stream is
+/// the same no matter how many `EnsureSets` calls produced it. That prefix
+/// property is what lets one store serve many queries: a `k = 50, eps = 0.1`
+/// query extends the sets an earlier `k = 10, eps = 0.3` query generated
+/// instead of resampling, and any query evaluating a prefix sees exactly
+/// what a cold run with that many sets would have seen.
+///
+/// Concurrency: appends happen under an exclusive (writer) lock and commit
+/// their new length to an atomic watermark; reads take a shared lock
+/// (`Read`) and may only view prefixes at or below the watermark, so any
+/// number of queries can evaluate committed prefixes while at most one
+/// extends the streams. All methods are thread-safe.
+///
+/// The sequential mode (`Options::num_threads == 1`, the default) is the
+/// only mode with the cross-call prefix property; parallel extension
+/// (`ParallelFill`) is deterministic per call pattern but not resumable,
+/// so the serving cache always uses sequential stores.
+class SampleStore {
+ public:
+  static constexpr std::size_t kNumStreams = 2;
+
+  struct Options {
+    /// 1 = sequential (prefix-deterministic, required for cross-query
+    /// reuse); 0 = hardware concurrency; N = N ParallelFill workers.
+    unsigned num_threads = 1;
+  };
+
+  /// Builds a store over `graph` (which must outlive the store; the
+  /// serving cache keeps a shared snapshot alive alongside it). Fails when
+  /// the generator kind rejects the graph (e.g. LT weight sums).
+  static Result<std::unique_ptr<SampleStore>> Create(
+      const Graph& graph, GeneratorKind kind,
+      std::array<Rng, kNumStreams> stream_rngs, const Options& options);
+  static Result<std::unique_ptr<SampleStore>> Create(
+      const Graph& graph, GeneratorKind kind,
+      std::array<Rng, kNumStreams> stream_rngs) {
+    return Create(graph, kind, stream_rngs, Options());
+  }
+
+  SampleStore(const SampleStore&) = delete;
+  SampleStore& operator=(const SampleStore&) = delete;
+
+  /// Grows stream `stream` to at least `count` sets; no-op when the stream
+  /// is already that long. Takes the writer lock only when growth is
+  /// needed (double-checked against the committed watermark).
+  Status EnsureSets(std::size_t stream, std::uint64_t count);
+
+  /// Committed set count of a stream. Lock-free (acquire load).
+  std::uint64_t num_sets(std::size_t stream) const {
+    SUBSIM_DCHECK(stream < kNumStreams, "stream out of range");
+    return streams_[stream].committed.load(std::memory_order_acquire);
+  }
+
+  /// Total sets generated across both streams since construction.
+  std::uint64_t total_generated() const {
+    return num_sets(0) + num_sets(1);
+  }
+
+  GeneratorKind generator_kind() const { return kind_; }
+  NodeId num_graph_nodes() const { return num_nodes_; }
+
+  /// Approximate heap footprint of both collections.
+  std::uint64_t ApproxMemoryBytes() const;
+
+  /// Shared-lock handle for reading committed prefixes. Holds the lock for
+  /// its lifetime; keep the scope tight.
+  class ReadGuard {
+   public:
+    /// View of the first `prefix` sets of `stream`. `prefix` must not
+    /// exceed the committed watermark.
+    RrCollectionView View(std::size_t stream, std::uint64_t prefix) const {
+      SUBSIM_DCHECK(stream < kNumStreams, "stream out of range");
+      SUBSIM_DCHECK(prefix <= store_->num_sets(stream),
+                    "view prefix beyond committed watermark");
+      return RrCollectionView(store_->streams_[stream].collection,
+                              static_cast<std::size_t>(prefix));
+    }
+
+   private:
+    friend class SampleStore;
+    explicit ReadGuard(const SampleStore* store)
+        : store_(store), lock_(store->mu_) {}
+
+    const SampleStore* store_;
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  ReadGuard Read() const { return ReadGuard(this); }
+
+ private:
+  struct Stream {
+    RrCollection collection;
+    Rng rng;
+    std::unique_ptr<RrGenerator> generator;
+    std::atomic<std::uint64_t> committed{0};
+
+    Stream(NodeId num_nodes, Rng stream_rng)
+        : collection(num_nodes), rng(stream_rng) {}
+  };
+
+  SampleStore(const Graph& graph, GeneratorKind kind,
+              std::array<Rng, kNumStreams> stream_rngs,
+              const Options& options);
+
+  const Graph* graph_;
+  GeneratorKind kind_;
+  NodeId num_nodes_;
+  Options options_;
+  mutable std::shared_mutex mu_;
+  std::array<Stream, kNumStreams> streams_;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_SAMPLE_STORE_H_

@@ -1,0 +1,61 @@
+#include "subsim/serve/graph_registry.h"
+
+#include <utility>
+
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/graph_io.h"
+
+namespace subsim {
+
+Status GraphRegistry::LoadFromFile(const std::string& name,
+                                   const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  Result<EdgeList> list = ReadEdgeListText(path);
+  if (!list.ok()) {
+    return list.status();
+  }
+  Result<Graph> graph = BuildGraph(std::move(*list));
+  if (!graph.ok()) {
+    return graph.status();
+  }
+  return Register(name, std::move(*graph));
+}
+
+Status GraphRegistry::Register(const std::string& name, Graph graph) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  auto snapshot = std::make_shared<const Graph>(std::move(graph));
+  const std::lock_guard<std::mutex> lock(mu_);
+  graphs_[name] = std::move(snapshot);
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const Graph>> GraphRegistry::Get(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no graph registered as '" + name + "'");
+  }
+  return it->second;
+}
+
+bool GraphRegistry::Contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.count(name) > 0;
+}
+
+std::vector<std::string> GraphRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, graph] : graphs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace subsim

@@ -1,0 +1,52 @@
+#ifndef SUBSIM_SERVE_GRAPH_REGISTRY_H_
+#define SUBSIM_SERVE_GRAPH_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "subsim/graph/graph.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Named, immutable graph snapshots shared across concurrent queries.
+///
+/// A graph is loaded (or registered) once under a name and handed out as a
+/// `shared_ptr<const Graph>`; queries and cache entries keep their snapshot
+/// alive for as long as they need it, so re-loading a name never invalidates
+/// work in flight — old holders keep the old snapshot, new queries see the
+/// new one. All methods are thread-safe.
+class GraphRegistry {
+ public:
+  GraphRegistry() = default;
+  GraphRegistry(const GraphRegistry&) = delete;
+  GraphRegistry& operator=(const GraphRegistry&) = delete;
+
+  /// Reads a weighted edge-list file and registers it under `name`,
+  /// replacing any previous graph with that name. Callers that cache
+  /// per-graph state keyed by name must invalidate it on replacement
+  /// (`QueryEngine` does).
+  Status LoadFromFile(const std::string& name, const std::string& path);
+
+  /// Registers an already-built graph under `name` (replaces).
+  Status Register(const std::string& name, Graph graph);
+
+  /// Snapshot lookup. NotFound when no graph has this name.
+  Result<std::shared_ptr<const Graph>> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Graph>> graphs_;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SERVE_GRAPH_REGISTRY_H_

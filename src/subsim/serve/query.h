@@ -1,0 +1,82 @@
+#ifndef SUBSIM_SERVE_QUERY_H_
+#define SUBSIM_SERVE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "subsim/algo/im_algorithm.h"
+#include "subsim/rrset/generator_factory.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// A seed-selection request against a registered graph.
+///
+/// Text form (one query per line): whitespace-separated `key=value` tokens,
+/// e.g.
+///
+///   graph=dblp algo=opim-c k=50 eps=0.1 seed=7 generator=subsim
+///
+/// `graph` is required; everything else has the defaults below. Accepted
+/// keys: graph, algo, k, eps (or epsilon), delta, seed, generator.
+struct SelectSeedsQuery {
+  std::string graph;
+  std::string algo = "opim-c";
+  std::uint32_t k = 50;
+  double epsilon = 0.1;
+  double delta = 0.0;  // 0 = 1/n
+  std::uint64_t rng_seed = 1;
+  GeneratorKind generator = GeneratorKind::kSubsimIc;
+
+  /// ImOptions equivalent to this query. Serving always runs sequential
+  /// generation (`num_threads = 1`) — the prefix-determinism the cache
+  /// depends on; concurrency comes from running many queries at once.
+  ImOptions ToImOptions() const;
+};
+
+/// Parses the text form above. Unknown keys, malformed values, and a
+/// missing `graph` are InvalidArgument.
+Result<SelectSeedsQuery> ParseSelectSeedsQuery(std::string_view line);
+
+/// Per-query accounting the engine fills in alongside the result.
+struct QueryStats {
+  /// Whether this query's (graph, algo, generator, seed) could use the
+  /// sketch cache at all (false for HIST and other non-reusable algorithms).
+  bool cache_eligible = false;
+  /// Whether a cached store pre-existed this query.
+  bool cache_hit = false;
+  /// RR sets generated while this query ran vs reused from the cache.
+  /// Under concurrent same-key queries the split is approximate (sets one
+  /// query generates may be counted by the peer that triggered them), but
+  /// the sum matches the sets the query evaluated.
+  std::uint64_t rr_sets_reused = 0;
+  std::uint64_t rr_sets_generated = 0;
+  /// Seconds spent queued behind other work, then executing.
+  double queue_seconds = 0.0;
+  double exec_seconds = 0.0;
+};
+
+/// Everything a query returns: the outcome status, the IM result when ok,
+/// and the accounting.
+struct QueryResponse {
+  std::uint64_t query_id = 0;
+  SelectSeedsQuery query;
+  Status status = Status::Ok();
+  ImResult result;
+  QueryStats stats;
+};
+
+/// Renders a response as a single JSON line (no trailing newline), e.g.
+///
+///   {"id":3,"ok":true,"graph":"dblp","algo":"opim-c","k":50,
+///    "seeds":[12,400,7],"estimated_spread":1234.5,"rr_sets":8192,
+///    "cache_eligible":true,"cache_hit":true,"rr_sets_reused":8192,
+///    "rr_sets_generated":0,"queue_ms":0.12,"exec_ms":45.6}
+///
+/// Errors render as {"id":N,"ok":false,"error":"..."} plus the echo fields.
+std::string FormatQueryResponseJson(const QueryResponse& response);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SERVE_QUERY_H_

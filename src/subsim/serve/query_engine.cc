@@ -1,0 +1,192 @@
+#include "subsim/serve/query_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "subsim/algo/registry.h"
+#include "subsim/util/timer.h"
+
+namespace subsim {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+struct QueryEngine::Impl {
+  struct Job {
+    std::uint64_t id = 0;
+    SelectSeedsQuery query;
+    std::promise<QueryResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  explicit Impl(QueryEngine* engine, unsigned num_workers) : engine(engine) {
+    if (num_workers == 0) {
+      num_workers = std::thread::hardware_concurrency();
+      if (num_workers == 0) {
+        num_workers = 1;
+      }
+    }
+    workers.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) {
+          return;  // stopping and drained
+        }
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      QueryResponse response =
+          engine->ExecuteInternal(job.query, job.id,
+                                  SecondsSince(job.enqueued));
+      job.promise.set_value(std::move(response));
+    }
+  }
+
+  QueryEngine* engine;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  bool stopping = false;
+  std::atomic<std::uint64_t> next_id{1};
+  std::vector<std::thread> workers;
+};
+
+QueryEngine::QueryEngine(GraphRegistry* registry,
+                         const QueryEngineOptions& options)
+    : registry_(registry),
+      cache_(options.cache),
+      impl_(std::make_unique<Impl>(this, options.num_workers)) {}
+
+QueryEngine::~QueryEngine() = default;
+
+std::future<QueryResponse> QueryEngine::Submit(SelectSeedsQuery query) {
+  Impl::Job job;
+  job.id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
+  job.query = std::move(query);
+  job.enqueued = std::chrono::steady_clock::now();
+  std::future<QueryResponse> future = job.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(job));
+  }
+  impl_->cv.notify_one();
+  return future;
+}
+
+QueryResponse QueryEngine::Execute(const SelectSeedsQuery& query) {
+  return ExecuteInternal(
+      query, impl_->next_id.fetch_add(1, std::memory_order_relaxed),
+      /*queue_seconds=*/0.0);
+}
+
+std::size_t QueryEngine::InvalidateGraph(const std::string& name) {
+  return cache_.EraseGraph(name);
+}
+
+QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
+                                           std::uint64_t query_id,
+                                           double queue_seconds) {
+  QueryResponse response;
+  response.query_id = query_id;
+  response.query = query;
+  response.stats.queue_seconds = queue_seconds;
+  WallTimer exec_timer;
+
+  const auto finish = [&](Status status) -> QueryResponse {
+    response.status = std::move(status);
+    response.stats.exec_seconds = exec_timer.ElapsedSeconds();
+    return std::move(response);
+  };
+
+  Result<std::shared_ptr<const Graph>> graph = registry_->Get(query.graph);
+  if (!graph.ok()) {
+    return finish(graph.status());
+  }
+  Result<std::unique_ptr<ImAlgorithm>> algorithm =
+      MakeImAlgorithm(query.algo);
+  if (!algorithm.ok()) {
+    return finish(algorithm.status());
+  }
+  const ImOptions options = query.ToImOptions();
+
+  if (!(*algorithm)->SupportsSampleReuse()) {
+    // Cache-incompatible (HIST et al.): fresh, private sampling.
+    Result<ImResult> result = (*algorithm)->Run(**graph, options);
+    if (!result.ok()) {
+      return finish(result.status());
+    }
+    response.result = std::move(*result);
+    response.stats.rr_sets_generated = response.result.num_rr_sets;
+    return finish(Status::Ok());
+  }
+
+  response.stats.cache_eligible = true;
+  SketchKey key;
+  key.graph = query.graph;
+  key.algo = query.algo;
+  key.generator = query.generator;
+  key.rng_seed = query.rng_seed;
+  Result<RrSketchCache::Lookup> lookup = cache_.GetOrCreate(
+      key, *graph, [&](const Graph& target) {
+        return (*algorithm)->MakeSampleStore(target, options);
+      });
+  if (!lookup.ok()) {
+    return finish(lookup.status());
+  }
+  response.stats.cache_hit = lookup->hit;
+
+  // Run against the entry's pinned snapshot (it may predate a registry
+  // re-load; its sets were sampled on exactly that snapshot).
+  const std::shared_ptr<RrSketchCache::Entry> entry = lookup->entry;
+  const std::uint64_t generated_before = entry->store->total_generated();
+  Result<ImResult> result =
+      (*algorithm)->RunWithStore(*entry->graph, options, entry->store.get());
+  if (!result.ok()) {
+    return finish(result.status());
+  }
+  const std::uint64_t generated =
+      entry->store->total_generated() - generated_before;
+  response.result = std::move(*result);
+  response.stats.rr_sets_generated = generated;
+  response.stats.rr_sets_reused =
+      response.result.num_rr_sets > generated
+          ? response.result.num_rr_sets - generated
+          : 0;
+  cache_.EnforceBudget();
+  return finish(Status::Ok());
+}
+
+}  // namespace subsim

@@ -1,0 +1,72 @@
+#ifndef SUBSIM_SERVE_QUERY_ENGINE_H_
+#define SUBSIM_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "subsim/serve/graph_registry.h"
+#include "subsim/serve/query.h"
+#include "subsim/serve/rr_sketch_cache.h"
+
+namespace subsim {
+
+struct QueryEngineOptions {
+  /// Worker threads executing queries; 0 = hardware concurrency.
+  unsigned num_workers = 0;
+  RrSketchCache::Options cache;
+};
+
+/// Executes `SelectSeedsQuery`s on a worker pool, routing reuse-capable
+/// algorithms (OPIM-C, IMM) through a shared `RrSketchCache` and falling
+/// back to fresh sampling for the rest (HIST's sentinel-truncated sets are
+/// never cached, so they can never leak into another query's evaluation).
+///
+/// Every query runs against the graph snapshot pinned by its cache entry
+/// (or fetched from the registry on the fallback path), so registry
+/// re-loads never mix snapshots mid-query. Results are deterministic: a
+/// query's response is identical whether its sets came fresh or from the
+/// cache, and identical to a direct `ImAlgorithm::Run` with the same
+/// options (`SelectSeedsQuery::ToImOptions`).
+///
+/// Thread-safety: `Submit` and `Execute` may be called from any thread.
+/// The destructor completes all submitted queries before returning.
+class QueryEngine {
+ public:
+  explicit QueryEngine(GraphRegistry* registry,
+                       const QueryEngineOptions& options = QueryEngineOptions());
+  ~QueryEngine();
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueues a query for the worker pool; the future carries the response
+  /// (never an exception — failures land in `QueryResponse::status`).
+  std::future<QueryResponse> Submit(SelectSeedsQuery query);
+
+  /// Runs a query synchronously on the calling thread, sharing the same
+  /// cache as pooled queries. `queue_seconds` stays 0.
+  QueryResponse Execute(const SelectSeedsQuery& query);
+
+  /// Drops cache entries keyed to a graph name — call after re-loading the
+  /// name in the registry. Returns the number of entries dropped.
+  std::size_t InvalidateGraph(const std::string& name);
+
+  RrSketchCache& cache() { return cache_; }
+  const RrSketchCache& cache() const { return cache_; }
+  GraphRegistry& registry() { return *registry_; }
+
+ private:
+  struct Impl;
+
+  QueryResponse ExecuteInternal(const SelectSeedsQuery& query,
+                                std::uint64_t query_id, double queue_seconds);
+
+  GraphRegistry* registry_;
+  RrSketchCache cache_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,119 @@
+#include "subsim/serve/rr_sketch_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace subsim {
+
+std::string SketchKey::ToString() const {
+  return graph + "/" + algo + "/" + GeneratorKindName(generator) + "/seed=" +
+         std::to_string(rng_seed);
+}
+
+Result<RrSketchCache::Lookup> RrSketchCache::GetOrCreate(
+    const SketchKey& key, std::shared_ptr<const Graph> graph,
+    const StoreFactory& factory) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      it->second.last_used = ++tick_;
+      ++hits_;
+      return Lookup{it->second.entry, /*hit=*/true};
+    }
+  }
+  // Build outside the lock: store construction touches the graph (e.g. LT
+  // validation) and must not block concurrent lookups of other keys. Two
+  // racing misses on the same key both build; the second insert below wins
+  // and the loser's store is discarded — wasteful but correct, and rare
+  // (misses on one key are normally serialized by the engine's dispatch).
+  Result<std::unique_ptr<SampleStore>> store = factory(*graph);
+  if (!store.ok()) {
+    return store.status();
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->graph = std::move(graph);
+  entry->store = std::move(*store);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    it->second.last_used = ++tick_;
+    ++hits_;
+    return Lookup{it->second.entry, /*hit=*/true};
+  }
+  ++misses_;
+  if (options_.max_bytes == 0) {
+    // Caching disabled: hand the fresh entry out without retaining it.
+    return Lookup{std::move(entry), /*hit=*/false};
+  }
+  Slot slot;
+  slot.entry = std::move(entry);
+  slot.last_used = ++tick_;
+  const auto [inserted, ok] = slots_.emplace(key, std::move(slot));
+  return Lookup{inserted->second.entry, /*hit=*/false};
+}
+
+std::size_t RrSketchCache::EraseGraph(const std::string& graph) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.graph == graph) {
+      it = slots_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void RrSketchCache::EnforceBudget() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, slot] : slots_) {
+    total += slot.entry->store->ApproxMemoryBytes();
+  }
+  while (total > options_.max_bytes && !slots_.empty()) {
+    auto victim = slots_.begin();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    total -= std::min(total, victim->second.entry->store->ApproxMemoryBytes());
+    slots_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::uint64_t RrSketchCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t RrSketchCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t RrSketchCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::size_t RrSketchCache::num_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+std::uint64_t RrSketchCache::ApproxMemoryBytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, slot] : slots_) {
+    total += slot.entry->store->ApproxMemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace subsim

@@ -1,0 +1,132 @@
+#ifndef SUBSIM_SERVE_RR_SKETCH_CACHE_H_
+#define SUBSIM_SERVE_RR_SKETCH_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "subsim/graph/graph.h"
+#include "subsim/rrset/generator_factory.h"
+#include "subsim/rrset/sample_store.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Identity of a reusable RR sketch. Two queries may share a `SampleStore`
+/// only when all four coordinates agree:
+///  - `graph`: the registry name whose snapshot the sets were sampled on;
+///  - `algo`:  the algorithm name, because each algorithm derives its rng
+///             stream lineage differently (OPIM-C forks 1/2 for R1/R2, IMM
+///             forks 1 for its single stream) and mixing lineages would
+///             break the cold-equivalence guarantee;
+///  - `generator`: the RR-set generation strategy (vanilla / subsim / lt);
+///  - `rng_seed`: the master seed the streams are forked from.
+struct SketchKey {
+  std::string graph;
+  std::string algo;
+  GeneratorKind generator = GeneratorKind::kVanillaIc;
+  std::uint64_t rng_seed = 1;
+
+  friend bool operator==(const SketchKey& a, const SketchKey& b) {
+    return a.graph == b.graph && a.algo == b.algo &&
+           a.generator == b.generator && a.rng_seed == b.rng_seed;
+  }
+  friend bool operator<(const SketchKey& a, const SketchKey& b) {
+    return std::tie(a.graph, a.algo, a.generator, a.rng_seed) <
+           std::tie(b.graph, b.algo, b.generator, b.rng_seed);
+  }
+
+  std::string ToString() const;
+};
+
+/// Thread-safe cache of extendable RR-set collections (`SampleStore`s),
+/// keyed by `SketchKey`, with byte-budget LRU eviction.
+///
+/// Entries pair a store with the graph snapshot it was sampled on, so a
+/// query always runs against the exact graph its reused sets came from even
+/// if the registry has since re-loaded the name. Stores only ever hold
+/// plain (never sentinel-truncated) RR sets — algorithms that truncate
+/// (HIST) are structurally excluded because `SupportsSampleReuse()` is
+/// false for them, so they never reach the cache.
+///
+/// Eviction removes least-recently-used entries until the sum of store
+/// footprints fits `Options::max_bytes`. Eviction only drops the cache's
+/// reference: queries still running against an evicted entry keep it alive
+/// through their `shared_ptr` and finish normally.
+class RrSketchCache {
+ public:
+  struct Options {
+    /// Byte budget across all cached stores. 0 disables caching entirely
+    /// (every lookup is a miss and nothing is retained).
+    std::uint64_t max_bytes = 512ull << 20;
+  };
+
+  /// A cached store plus the graph snapshot it samples.
+  struct Entry {
+    std::shared_ptr<const Graph> graph;
+    std::unique_ptr<SampleStore> store;
+  };
+
+  /// Builds the store for a key on a miss. Receives the graph snapshot the
+  /// entry will pin.
+  using StoreFactory =
+      std::function<Result<std::unique_ptr<SampleStore>>(const Graph&)>;
+
+  struct Lookup {
+    std::shared_ptr<Entry> entry;
+    /// True when the entry pre-existed this lookup (its sets came from
+    /// earlier queries).
+    bool hit = false;
+  };
+
+  RrSketchCache() : RrSketchCache(Options()) {}
+  explicit RrSketchCache(const Options& options) : options_(options) {}
+  RrSketchCache(const RrSketchCache&) = delete;
+  RrSketchCache& operator=(const RrSketchCache&) = delete;
+
+  /// Returns the entry for `key`, creating it via `factory` on a miss.
+  /// Concurrent lookups of the same key serialize on the cache lock, so the
+  /// factory runs at most once per residency.
+  Result<Lookup> GetOrCreate(const SketchKey& key,
+                             std::shared_ptr<const Graph> graph,
+                             const StoreFactory& factory);
+
+  /// Drops every entry whose key names `graph` — called when a registry
+  /// name is re-loaded, since cached sets sampled on the old snapshot must
+  /// not serve queries against the new one. Returns the number dropped.
+  std::size_t EraseGraph(const std::string& graph);
+
+  /// Evicts least-recently-used entries until within the byte budget.
+  /// Called by the engine after queries (stores grow in place, so an entry
+  /// can exceed the budget only after use).
+  void EnforceBudget();
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::size_t num_entries() const;
+  /// Sum of the cached stores' approximate footprints.
+  std::uint64_t ApproxMemoryBytes() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<Entry> entry;
+    std::uint64_t last_used = 0;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<SketchKey, Slot> slots_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_SERVE_RR_SKETCH_CACHE_H_

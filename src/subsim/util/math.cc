@@ -1,13 +1,27 @@
+// Must precede every libc header: exposes lgamma_r, the reentrant lgamma.
+// std::lgamma writes the process-global `signgam`, which is a data race as
+// soon as two queries compute thetas concurrently.
+#if !defined(_WIN32)
+#define _DEFAULT_SOURCE 1
+#endif
+
 #include "subsim/util/math.h"
 
 #include <cmath>
+#include <math.h>
 
 #include "subsim/util/check.h"
 
 namespace subsim {
 
 double LogFactorial(std::uint64_t n) {
+#if defined(_WIN32)
+  // MSVC's lgamma has no signgam global and is thread-safe as-is.
   return std::lgamma(static_cast<double>(n) + 1.0);
+#else
+  int sign = 0;
+  return ::lgamma_r(static_cast<double>(n) + 1.0, &sign);
+#endif
 }
 
 double LogNChooseK(std::uint64_t n, std::uint64_t k) {

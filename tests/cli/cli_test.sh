@@ -69,6 +69,45 @@ check "weight uniform with p" 0 \
 check "run imm on er graph" 0 \
   "$CLI" run --in="$WORK/er_u.txt" --algo=imm --k=3 --eps=0.25
 
+# --- serving: batch + serve subcommands ---
+cat > "$WORK/queries.txt" <<'EOF'
+# three queries, the third repeats the first so it must hit the cache
+graph=wc algo=opim-c k=3 eps=0.3 seed=7
+graph=wc algo=imm k=3 eps=0.3 seed=7
+graph=wc algo=opim-c k=3 eps=0.3 seed=7
+EOF
+check "batch executes query file" 0 \
+  "$CLI" batch --graph=wc="$WORK/wc.txt" --in="$WORK/queries.txt" \
+  --workers=2
+if [ "$(grep -c '"seeds":\[[0-9]' "$WORK/out.txt")" = "3" ]; then
+  echo "ok: batch returns three non-empty seed sets"
+else
+  echo "FAIL: batch seed sets missing"
+  sed 's/^/    /' "$WORK/out.txt" | head -5
+  FAILURES=$((FAILURES + 1))
+fi
+expect_in_output "batch repeat query hits the cache" '"cache_hit":true'
+
+check "batch reads queries from stdin" 0 \
+  sh -c "echo 'graph=wc k=2 eps=0.3' | '$CLI' batch --graph=wc='$WORK/wc.txt'"
+expect_in_output "stdin batch returns seeds" '"seeds":\[[0-9]'
+
+check "batch reports parse errors per line" 0 \
+  sh -c "echo 'graph=wc k=oops' | '$CLI' batch --graph=wc='$WORK/wc.txt'"
+expect_in_output "bad query line yields error json" '"ok":false'
+
+check "serve answers a REPL session" 0 \
+  sh -c "printf 'graphs\ngraph=wc k=2 eps=0.3 seed=4\nstats\nquit\n' \
+    | '$CLI' serve --graph=wc='$WORK/wc.txt'"
+expect_in_output "serve lists graphs" '"graphs":\["wc"\]'
+expect_in_output "serve answers query" '"seeds":\[[0-9]'
+expect_in_output "serve reports cache stats" '"cache_entries"'
+
+check "batch requires at least one graph" 1 \
+  sh -c "echo 'graph=wc k=2' | '$CLI' batch"
+check "batch rejects malformed graph spec" 1 \
+  sh -c "echo x | '$CLI' batch --graph=justaname"
+
 # --- failure paths ---
 check "no arguments shows usage" 2 "$CLI"
 check "unknown command shows usage" 2 "$CLI" frobnicate

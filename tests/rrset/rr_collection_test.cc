@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
+
+#include "subsim/coverage/max_coverage.h"
+#include "subsim/random/rng.h"
 
 namespace subsim {
 namespace {
@@ -90,6 +94,150 @@ TEST(RrCollectionTest, ManySetsKeepOffsetsConsistent) {
   for (RrId id = 0; id < 100; ++id) {
     EXPECT_EQ(collection.Set(id).size(), id % 5 + 1u);
   }
+}
+
+// ---- Prefix-view behavior under cache-style growth. ----
+
+TEST(RrCollectionViewTest, ImplicitFullViewMatchesCollection) {
+  RrCollection collection(6);
+  collection.Add(std::vector<NodeId>{0, 3}, false);
+  collection.Add(std::vector<NodeId>{3, 5}, true);
+
+  const RrCollectionView view = collection;  // implicit, full length
+  EXPECT_EQ(view.num_sets(), collection.num_sets());
+  EXPECT_EQ(view.total_nodes(), collection.total_nodes());
+  EXPECT_EQ(view.num_hit_sentinel(), collection.num_hit_sentinel());
+  EXPECT_EQ(view.SetsContaining(3).size(), 2u);
+}
+
+TEST(RrCollectionViewTest, PrefixViewSurvivesGrowth) {
+  // The serving cache hands out prefix views while other queries keep
+  // appending; a view taken at length N must keep describing exactly the
+  // first N sets no matter how much the parent grows (including across
+  // arena/index reallocations).
+  RrCollection collection(50);
+  collection.Add(std::vector<NodeId>{1, 2}, false);
+  collection.Add(std::vector<NodeId>{2, 3}, false);
+
+  const RrCollectionView snapshot = collection.Prefix(2);
+  EXPECT_EQ(snapshot.num_sets(), 2u);
+  EXPECT_EQ(snapshot.total_nodes(), 4u);
+  EXPECT_EQ(snapshot.SetsContaining(2).size(), 2u);
+
+  // Grow far enough to force several reallocations.
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<NodeId> set;
+    const int size = 1 + static_cast<int>(rng.NextU64() % 4);
+    for (int j = 0; j < size; ++j) {
+      set.push_back(static_cast<NodeId>(rng.NextU64() % 50));
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    collection.Add(set, false);
+  }
+
+  EXPECT_EQ(snapshot.num_sets(), 2u);
+  EXPECT_EQ(snapshot.total_nodes(), 4u);
+  ASSERT_EQ(snapshot.SetsContaining(2).size(), 2u);
+  EXPECT_EQ(snapshot.SetsContaining(2)[0], 0u);
+  EXPECT_EQ(snapshot.SetsContaining(2)[1], 1u);
+  EXPECT_EQ(snapshot.Set(0).size(), 2u);
+  EXPECT_EQ(snapshot.Set(1)[1], 3u);
+}
+
+TEST(RrCollectionViewTest, InvertedIndexConsistentAfterLargeAppends) {
+  // Every prefix length L must agree with a brute-force recount of the
+  // first L sets — the lower_bound trim in SetsContaining has to cut the
+  // parent's list exactly at ids < L.
+  const NodeId n = 40;
+  RrCollection collection(n);
+  Rng rng(123);
+  std::vector<std::vector<NodeId>> sets;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<NodeId> set;
+    const int size = 1 + static_cast<int>(rng.NextU64() % 6);
+    for (int j = 0; j < size; ++j) {
+      set.push_back(static_cast<NodeId>(rng.NextU64() % n));
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    collection.Add(set, false);
+    sets.push_back(set);
+  }
+  for (const std::size_t prefix : {0u, 1u, 7u, 500u, 1999u, 2000u}) {
+    const RrCollectionView view = collection.Prefix(prefix);
+    std::vector<std::size_t> expected(n, 0);
+    std::uint64_t expected_nodes = 0;
+    for (std::size_t id = 0; id < prefix; ++id) {
+      expected_nodes += sets[id].size();
+      for (const NodeId v : sets[id]) {
+        ++expected[v];
+      }
+    }
+    EXPECT_EQ(view.total_nodes(), expected_nodes);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto ids = view.SetsContaining(v);
+      ASSERT_EQ(ids.size(), expected[v]) << "node " << v << " prefix "
+                                         << prefix;
+      for (const RrId id : ids) {
+        EXPECT_LT(id, prefix);
+      }
+    }
+  }
+}
+
+TEST(RrCollectionViewTest, HitSentinelPrefixCountsAreExact) {
+  RrCollection collection(10);
+  std::size_t hits = 0;
+  std::vector<std::size_t> hits_at;  // hits among first i sets
+  hits_at.push_back(0);
+  for (int i = 0; i < 300; ++i) {
+    const bool hit = i % 3 == 1;
+    collection.Add(std::vector<NodeId>{static_cast<NodeId>(i % 10)}, hit);
+    hits += hit ? 1 : 0;
+    hits_at.push_back(hits);
+  }
+  for (std::size_t prefix = 0; prefix <= 300; prefix += 37) {
+    EXPECT_EQ(collection.Prefix(prefix).num_hit_sentinel(), hits_at[prefix]);
+  }
+  EXPECT_EQ(collection.num_hit_sentinel(), hits_at[300]);
+}
+
+TEST(RrCollectionViewTest, GreedyExcludesSentinelHitSetsInEveryPrefix) {
+  // The cache-soundness invariant: sentinel-truncated sets must never count
+  // toward another query's coverage. The greedy's exclusion must hold on
+  // prefix views exactly as on full collections.
+  RrCollection collection(8);
+  // Node 7 appears only in sentinel-hit sets; node 1 in plain ones.
+  for (int i = 0; i < 20; ++i) {
+    collection.Add(std::vector<NodeId>{7}, true);
+    collection.Add(std::vector<NodeId>{1, static_cast<NodeId>(i % 5)},
+                   false);
+  }
+  CoverageGreedyOptions options;
+  options.k = 1;
+  options.exclude_sentinel_hit_sets = true;
+  for (const std::size_t prefix : {2u, 10u, 40u}) {
+    const CoverageGreedyResult greedy =
+        RunCoverageGreedy(collection.Prefix(prefix), options);
+    ASSERT_EQ(greedy.seeds.size(), 1u);
+    // If hit sets counted, node 7 (in half the sets) would win.
+    EXPECT_EQ(greedy.seeds[0], 1u);
+    EXPECT_EQ(greedy.considered_sets, prefix / 2);
+  }
+}
+
+TEST(RrCollectionTest, ApproxMemoryBytesGrowsWithContent) {
+  RrCollection collection(100);
+  const std::uint64_t empty = collection.ApproxMemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    collection.Add(std::vector<NodeId>{0, 1, 2, 3}, false);
+  }
+  EXPECT_GT(collection.ApproxMemoryBytes(), empty);
+  collection.Clear();
+  EXPECT_EQ(collection.num_sets(), 0u);
+  EXPECT_EQ(collection.num_hit_sentinel(), 0u);
 }
 
 }  // namespace

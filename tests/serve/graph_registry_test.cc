@@ -1,0 +1,84 @@
+#include "subsim/serve/graph_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/graph_io.h"
+#include "subsim/graph/weight_models.h"
+
+namespace subsim {
+namespace {
+
+Graph TinyGraph(std::uint64_t seed) {
+  Result<EdgeList> list = GenerateBarabasiAlbert(100, 2, false, seed);
+  EXPECT_TRUE(list.ok());
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(GraphRegistryTest, RegisterAndGet) {
+  GraphRegistry registry;
+  EXPECT_FALSE(registry.Contains("g"));
+  EXPECT_FALSE(registry.Get("g").ok());
+
+  ASSERT_TRUE(registry.Register("g", TinyGraph(1)).ok());
+  EXPECT_TRUE(registry.Contains("g"));
+  Result<std::shared_ptr<const Graph>> graph = registry.Get("g");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ((*graph)->num_nodes(), 100u);
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{"g"});
+}
+
+TEST(GraphRegistryTest, RejectsEmptyName) {
+  GraphRegistry registry;
+  EXPECT_FALSE(registry.Register("", TinyGraph(1)).ok());
+  EXPECT_FALSE(registry.LoadFromFile("", "/nonexistent").ok());
+}
+
+TEST(GraphRegistryTest, ReplacementKeepsOldSnapshotsAlive) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", TinyGraph(1)).ok());
+  Result<std::shared_ptr<const Graph>> old_snapshot = registry.Get("g");
+  ASSERT_TRUE(old_snapshot.ok());
+  const std::size_t old_edges = (*old_snapshot)->num_edges();
+
+  // Re-register under the same name: in-flight holders keep the old graph,
+  // new lookups see the new one.
+  ASSERT_TRUE(registry.Register("g", TinyGraph(2)).ok());
+  Result<std::shared_ptr<const Graph>> new_snapshot = registry.Get("g");
+  ASSERT_TRUE(new_snapshot.ok());
+  EXPECT_NE(old_snapshot->get(), new_snapshot->get());
+  EXPECT_EQ((*old_snapshot)->num_edges(), old_edges);
+}
+
+TEST(GraphRegistryTest, LoadFromFileRoundTrips) {
+  Result<EdgeList> list = GenerateBarabasiAlbert(60, 2, false, 9);
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  const std::string path =
+      ::testing::TempDir() + "/graph_registry_test_edges.txt";
+  ASSERT_TRUE(WriteEdgeListText(*list, path).ok());
+
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.LoadFromFile("disk", path).ok());
+  Result<std::shared_ptr<const Graph>> graph = registry.Get("disk");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ((*graph)->num_nodes(), 60u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(registry.LoadFromFile("missing", path + ".gone").ok());
+  EXPECT_FALSE(registry.Contains("missing"));
+}
+
+}  // namespace
+}  // namespace subsim

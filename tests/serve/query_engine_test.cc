@@ -1,0 +1,222 @@
+// End-to-end tests for the serving engine: warm results must be
+// bit-identical to cold ones, concurrent queries must share one cache
+// safely (this is the TSan acceptance test), and non-reusable algorithms
+// must bypass the cache entirely.
+
+#include "subsim/serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "subsim/algo/registry.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/serve/query.h"
+
+namespace subsim {
+namespace {
+
+Graph ServeGraph(std::uint64_t seed) {
+  Result<EdgeList> list = GenerateBarabasiAlbert(400, 3, false, seed);
+  EXPECT_TRUE(list.ok());
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+SelectSeedsQuery BaseQuery(const std::string& graph_name) {
+  SelectSeedsQuery query;
+  query.graph = graph_name;
+  query.algo = "opim-c";
+  query.k = 5;
+  query.epsilon = 0.3;
+  query.rng_seed = 17;
+  query.generator = GeneratorKind::kSubsimIc;
+  return query;
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.Register("g", ServeGraph(21)).ok());
+  }
+
+  GraphRegistry registry_;
+};
+
+TEST_F(QueryEngineTest, WarmRepeatMatchesColdAndHitsCache) {
+  QueryEngine engine(&registry_);
+  const SelectSeedsQuery query = BaseQuery("g");
+
+  const QueryResponse cold = engine.Execute(query);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_TRUE(cold.stats.cache_eligible);
+  EXPECT_FALSE(cold.stats.cache_hit);
+  EXPECT_GT(cold.stats.rr_sets_generated, 0u);
+  EXPECT_EQ(cold.stats.rr_sets_reused, 0u);
+  ASSERT_FALSE(cold.result.seeds.empty());
+
+  const QueryResponse warm = engine.Execute(query);
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+  EXPECT_TRUE(warm.stats.cache_hit);
+  EXPECT_EQ(warm.stats.rr_sets_generated, 0u);
+  EXPECT_EQ(warm.stats.rr_sets_reused, warm.result.num_rr_sets);
+  EXPECT_EQ(warm.result.seeds, cold.result.seeds);
+  EXPECT_EQ(warm.result.num_rr_sets, cold.result.num_rr_sets);
+  EXPECT_DOUBLE_EQ(warm.result.estimated_spread, cold.result.estimated_spread);
+}
+
+TEST_F(QueryEngineTest, EngineResultMatchesDirectAlgorithmRun) {
+  QueryEngine engine(&registry_);
+  const SelectSeedsQuery query = BaseQuery("g");
+
+  const QueryResponse served = engine.Execute(query);
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+
+  Result<std::shared_ptr<const Graph>> graph = registry_.Get("g");
+  ASSERT_TRUE(graph.ok());
+  Result<std::unique_ptr<ImAlgorithm>> algo = MakeImAlgorithm(query.algo);
+  ASSERT_TRUE(algo.ok());
+  Result<ImResult> direct = (*algo)->Run(**graph, query.ToImOptions());
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  EXPECT_EQ(served.result.seeds, direct->seeds);
+  EXPECT_EQ(served.result.num_rr_sets, direct->num_rr_sets);
+  EXPECT_DOUBLE_EQ(served.result.estimated_spread, direct->estimated_spread);
+}
+
+TEST_F(QueryEngineTest, GrowingKReusesEarlierSamples) {
+  QueryEngine engine(&registry_);
+  SelectSeedsQuery query = BaseQuery("g");
+  query.k = 2;
+  const QueryResponse small = engine.Execute(query);
+  ASSERT_TRUE(small.status.ok());
+
+  query.k = 10;
+  const QueryResponse large = engine.Execute(query);
+  ASSERT_TRUE(large.status.ok());
+  EXPECT_TRUE(large.stats.cache_hit);
+  EXPECT_GT(large.stats.rr_sets_reused, 0u);
+  // Only the schedule gap beyond the k = 2 run should be freshly sampled.
+  EXPECT_LT(large.stats.rr_sets_generated, large.result.num_rr_sets);
+}
+
+TEST_F(QueryEngineTest, ConcurrentQueriesShareOneCache) {
+  // The TSan acceptance scenario: >= 4 in-flight queries, one shared cache,
+  // mixed algorithms and ks, all racing against the same store entries.
+  QueryEngineOptions options;
+  options.num_workers = 4;
+  QueryEngine engine(&registry_, options);
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (const std::uint32_t k : {2u, 4u, 6u, 8u}) {
+      SelectSeedsQuery query = BaseQuery("g");
+      query.k = k;
+      futures.push_back(engine.Submit(std::move(query)));
+      SelectSeedsQuery imm_query = BaseQuery("g");
+      imm_query.algo = "imm";
+      imm_query.k = k;
+      futures.push_back(engine.Submit(std::move(imm_query)));
+    }
+  }
+  ASSERT_EQ(futures.size(), 16u);
+
+  std::vector<QueryResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) {
+    responses.push_back(future.get());
+  }
+  for (const QueryResponse& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_FALSE(response.result.seeds.empty());
+    EXPECT_TRUE(response.stats.cache_eligible);
+  }
+  // One entry per (algo) since graph/generator/seed agree across queries.
+  EXPECT_EQ(engine.cache().num_entries(), 2u);
+
+  // Determinism survives the race: re-running any query warm gives the same
+  // seeds the concurrent run produced.
+  for (const QueryResponse& response : responses) {
+    const QueryResponse again = engine.Execute(response.query);
+    ASSERT_TRUE(again.status.ok());
+    EXPECT_EQ(again.result.seeds, response.result.seeds)
+        << "algo=" << response.query.algo << " k=" << response.query.k;
+  }
+}
+
+TEST_F(QueryEngineTest, HistBypassesTheCache) {
+  QueryEngine engine(&registry_);
+  SelectSeedsQuery query = BaseQuery("g");
+  query.algo = "hist";
+  const QueryResponse response = engine.Execute(query);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.stats.cache_eligible);
+  EXPECT_FALSE(response.stats.cache_hit);
+  EXPECT_EQ(response.stats.rr_sets_reused, 0u);
+  EXPECT_EQ(response.stats.rr_sets_generated, response.result.num_rr_sets);
+  EXPECT_EQ(engine.cache().num_entries(), 0u);
+}
+
+TEST_F(QueryEngineTest, UnknownGraphAndAlgoFailCleanly) {
+  QueryEngine engine(&registry_);
+  SelectSeedsQuery query = BaseQuery("nope");
+  const QueryResponse missing_graph = engine.Execute(query);
+  EXPECT_FALSE(missing_graph.status.ok());
+
+  query = BaseQuery("g");
+  query.algo = "not-an-algorithm";
+  const QueryResponse missing_algo = engine.Execute(query);
+  EXPECT_FALSE(missing_algo.status.ok());
+
+  // Submitted failures surface through the future, not as exceptions.
+  SelectSeedsQuery bad = BaseQuery("nope");
+  QueryResponse via_pool = engine.Submit(std::move(bad)).get();
+  EXPECT_FALSE(via_pool.status.ok());
+}
+
+TEST_F(QueryEngineTest, InvalidateGraphDropsCacheEntries) {
+  QueryEngine engine(&registry_);
+  ASSERT_TRUE(engine.Execute(BaseQuery("g")).status.ok());
+  SelectSeedsQuery imm_query = BaseQuery("g");
+  imm_query.algo = "imm";
+  ASSERT_TRUE(engine.Execute(imm_query).status.ok());
+  ASSERT_EQ(engine.cache().num_entries(), 2u);
+
+  EXPECT_EQ(engine.InvalidateGraph("g"), 2u);
+  EXPECT_EQ(engine.cache().num_entries(), 0u);
+
+  // Next query re-populates against the current snapshot.
+  const QueryResponse after = engine.Execute(BaseQuery("g"));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.stats.cache_hit);
+}
+
+TEST(QueryParseTest, RoundTripsThroughEngine) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", ServeGraph(5)).ok());
+  QueryEngine engine(&registry);
+
+  Result<SelectSeedsQuery> parsed = ParseSelectSeedsQuery(
+      "graph=g algo=opim-c k=3 eps=0.3 seed=9 generator=subsim");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const QueryResponse response = engine.Execute(*parsed);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.result.seeds.size(), 3u);
+
+  const std::string json = FormatQueryResponseJson(response);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"seeds\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,209 @@
+#include "subsim/serve/rr_sketch_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+
+namespace subsim {
+namespace {
+
+std::shared_ptr<const Graph> TinyGraph(std::uint64_t seed) {
+  Result<EdgeList> list = GenerateBarabasiAlbert(120, 2, false, seed);
+  EXPECT_TRUE(list.ok());
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::make_shared<const Graph>(std::move(graph).value());
+}
+
+RrSketchCache::StoreFactory SequentialFactory(std::uint64_t seed) {
+  return [seed](const Graph& graph) {
+    Rng master(seed);
+    return SampleStore::Create(graph, GeneratorKind::kSubsimIc,
+                               {master.Fork(1), master.Fork(2)});
+  };
+}
+
+SketchKey KeyFor(const std::string& graph, std::uint64_t seed) {
+  SketchKey key;
+  key.graph = graph;
+  key.algo = "opim-c";
+  key.generator = GeneratorKind::kSubsimIc;
+  key.rng_seed = seed;
+  return key;
+}
+
+TEST(RrSketchCacheTest, MissThenHitSharesOneStore) {
+  RrSketchCache cache;
+  const auto graph = TinyGraph(1);
+
+  Result<RrSketchCache::Lookup> first =
+      cache.GetOrCreate(KeyFor("g", 7), graph, SequentialFactory(7));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->hit);
+  ASSERT_TRUE(first->entry->store->EnsureSets(0, 64).ok());
+
+  Result<RrSketchCache::Lookup> second =
+      cache.GetOrCreate(KeyFor("g", 7), graph, SequentialFactory(7));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->hit);
+  EXPECT_EQ(second->entry.get(), first->entry.get());
+  EXPECT_EQ(second->entry->store->num_sets(0), 64u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+TEST(RrSketchCacheTest, DistinctKeysGetDistinctStores) {
+  RrSketchCache cache;
+  const auto graph = TinyGraph(1);
+  const auto a = cache.GetOrCreate(KeyFor("g", 1), graph,
+                                   SequentialFactory(1));
+  const auto b = cache.GetOrCreate(KeyFor("g", 2), graph,
+                                   SequentialFactory(2));
+  SketchKey lt_key = KeyFor("g", 1);
+  lt_key.generator = GeneratorKind::kVanillaIc;
+  const auto c = cache.GetOrCreate(lt_key, graph, [](const Graph& target) {
+    Rng master(1);
+    return SampleStore::Create(target, GeneratorKind::kVanillaIc,
+                               {master.Fork(1), master.Fork(2)});
+  });
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(a->entry.get(), b->entry.get());
+  EXPECT_NE(a->entry.get(), c->entry.get());
+  EXPECT_EQ(cache.num_entries(), 3u);
+}
+
+TEST(RrSketchCacheTest, EraseGraphDropsOnlyThatGraph) {
+  RrSketchCache cache;
+  const auto graph = TinyGraph(1);
+  ASSERT_TRUE(
+      cache.GetOrCreate(KeyFor("a", 1), graph, SequentialFactory(1)).ok());
+  ASSERT_TRUE(
+      cache.GetOrCreate(KeyFor("a", 2), graph, SequentialFactory(2)).ok());
+  ASSERT_TRUE(
+      cache.GetOrCreate(KeyFor("b", 1), graph, SequentialFactory(1)).ok());
+  EXPECT_EQ(cache.EraseGraph("a"), 2u);
+  EXPECT_EQ(cache.num_entries(), 1u);
+  // "b" survives and still hits.
+  const auto lookup =
+      cache.GetOrCreate(KeyFor("b", 1), graph, SequentialFactory(1));
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_TRUE(lookup->hit);
+}
+
+TEST(RrSketchCacheTest, BudgetEvictionIsLeastRecentlyUsedFirst) {
+  RrSketchCache::Options options;
+  options.max_bytes = 1;  // anything with content is over budget
+  RrSketchCache cache(options);
+  const auto graph = TinyGraph(1);
+
+  const auto first =
+      cache.GetOrCreate(KeyFor("g", 1), graph, SequentialFactory(1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->entry->store->EnsureSets(0, 256).ok());
+  const auto second =
+      cache.GetOrCreate(KeyFor("g", 2), graph, SequentialFactory(2));
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->entry->store->EnsureSets(0, 256).ok());
+
+  cache.EnforceBudget();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  // Evicted entries stay usable by their holders.
+  EXPECT_EQ(first->entry->store->num_sets(0), 256u);
+
+  // Re-lookup misses (the cache dropped its reference).
+  const auto again =
+      cache.GetOrCreate(KeyFor("g", 1), graph, SequentialFactory(1));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->hit);
+}
+
+TEST(RrSketchCacheTest, LruOrderPrefersRecentlyUsedEntries) {
+  RrSketchCache::Options options;
+  options.max_bytes = 512ull << 20;
+  RrSketchCache cache(options);
+  const auto graph = TinyGraph(1);
+
+  const auto a = cache.GetOrCreate(KeyFor("g", 1), graph,
+                                   SequentialFactory(1));
+  const auto b = cache.GetOrCreate(KeyFor("g", 2), graph,
+                                   SequentialFactory(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(a->entry->store->EnsureSets(0, 512).ok());
+  ASSERT_TRUE(b->entry->store->EnsureSets(0, 512).ok());
+  // Touch "1" so "2" is the LRU victim.
+  ASSERT_TRUE(
+      cache.GetOrCreate(KeyFor("g", 1), graph, SequentialFactory(1)).ok());
+
+  // Shrink the budget to roughly one store and evict.
+  const std::uint64_t one_store = a->entry->store->ApproxMemoryBytes();
+  RrSketchCache::Options tight;
+  tight.max_bytes = one_store + one_store / 2;
+  RrSketchCache tight_cache(tight);
+  const auto ta = tight_cache.GetOrCreate(KeyFor("g", 1), graph,
+                                          SequentialFactory(1));
+  const auto tb = tight_cache.GetOrCreate(KeyFor("g", 2), graph,
+                                          SequentialFactory(2));
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  ASSERT_TRUE(ta->entry->store->EnsureSets(0, 512).ok());
+  ASSERT_TRUE(tb->entry->store->EnsureSets(0, 512).ok());
+  ASSERT_TRUE(tight_cache
+                  .GetOrCreate(KeyFor("g", 1), graph, SequentialFactory(1))
+                  .ok());  // "1" most recent
+  tight_cache.EnforceBudget();
+  EXPECT_EQ(tight_cache.num_entries(), 1u);
+  const auto survivor = tight_cache.GetOrCreate(KeyFor("g", 1), graph,
+                                                SequentialFactory(1));
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_TRUE(survivor->hit) << "the recently used entry must survive";
+}
+
+TEST(RrSketchCacheTest, ZeroBudgetDisablesRetention) {
+  RrSketchCache::Options options;
+  options.max_bytes = 0;
+  RrSketchCache cache(options);
+  const auto graph = TinyGraph(1);
+  const auto first =
+      cache.GetOrCreate(KeyFor("g", 1), graph, SequentialFactory(1));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->hit);
+  EXPECT_EQ(cache.num_entries(), 0u);
+  const auto second =
+      cache.GetOrCreate(KeyFor("g", 1), graph, SequentialFactory(1));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->hit);
+}
+
+TEST(RrSketchCacheTest, FactoryFailurePropagates) {
+  RrSketchCache cache;
+  const auto graph = TinyGraph(1);
+  const auto lookup = cache.GetOrCreate(
+      KeyFor("g", 1), graph,
+      [](const Graph&) -> Result<std::unique_ptr<SampleStore>> {
+        return Status::FailedPrecondition("no store for you");
+      });
+  EXPECT_FALSE(lookup.ok());
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+TEST(SketchKeyTest, OrderingAndEquality) {
+  const SketchKey a = KeyFor("a", 1);
+  SketchKey b = KeyFor("a", 1);
+  EXPECT_TRUE(a == b);
+  b.rng_seed = 2;
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_NE(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace subsim

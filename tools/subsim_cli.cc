@@ -10,15 +10,26 @@
 //   stats     --in=FILE
 //   run       --in=FILE --algo=imm|opim-c|ssa|hist|celf-mc [--k=K]
 //             [--eps=E] [--generator=vanilla|subsim|lt] [--seed=S]
-//             [--evaluate[=SIMS]]
+//             [--threads=N] [--evaluate[=SIMS]]
 //   calibrate --in=FILE --model=wc-variant|uniform --target=AVG [--seed=S]
+//   batch     --graph=NAME=FILE [--graph=...] [--in=QUERIES|-]
+//             [--workers=N] [--cache-mb=M]
+//   serve     [--graph=NAME=FILE ...] [--workers=N] [--cache-mb=M]
 //
 // Files are whitespace-separated edge lists ("src dst [weight]"); lines
 // starting with '#' or '%' are comments. `weight` writes the third column.
+//
+// `batch` executes one query per input line concurrently on a worker pool
+// (see src/subsim/serve/query.h for the line grammar) and prints one JSON
+// result line per query, in input order. `serve` is a long-lived REPL over
+// stdin/stdout speaking the same query lines plus `load NAME FILE`,
+// `graphs`, `stats`, and `quit`. Both share RR sketches between queries
+// through the serving cache (docs/serving.md).
 
 #include <cstdio>
-#include <map>
+#include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "subsim/algo/registry.h"
@@ -29,6 +40,9 @@
 #include "subsim/graph/graph_io.h"
 #include "subsim/graph/graph_stats.h"
 #include "subsim/graph/weight_models.h"
+#include "subsim/serve/graph_registry.h"
+#include "subsim/serve/query.h"
+#include "subsim/serve/query_engine.h"
 #include "subsim/util/string_util.h"
 
 namespace subsim {
@@ -47,20 +61,43 @@ class Flags {
       }
       const std::size_t eq = arg.find('=');
       if (eq == std::string_view::npos) {
-        flags.values_[std::string(arg.substr(2))] = "true";
+        flags.values_.emplace_back(std::string(arg.substr(2)), "true");
       } else {
-        flags.values_[std::string(arg.substr(2, eq - 2))] =
-            std::string(arg.substr(eq + 1));
+        flags.values_.emplace_back(std::string(arg.substr(2, eq - 2)),
+                                   std::string(arg.substr(eq + 1)));
       }
     }
     return flags;
   }
 
+  /// Last occurrence wins, matching common CLI conventions; `GetAll` is for
+  /// genuinely repeatable flags (--graph).
   std::string Get(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    std::string value = fallback;
+    for (const auto& [k, v] : values_) {
+      if (k == key) {
+        value = v;
+      }
+    }
+    return value;
   }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::vector<std::string> GetAll(const std::string& key) const {
+    std::vector<std::string> all;
+    for (const auto& [k, v] : values_) {
+      if (k == key) {
+        all.push_back(v);
+      }
+    }
+    return all;
+  }
+  bool Has(const std::string& key) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   Result<std::uint64_t> GetUint(const std::string& key,
                                 std::uint64_t fallback) const {
@@ -86,7 +123,7 @@ class Flags {
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> values_;
 };
 
 int Fail(const Status& status) {
@@ -217,14 +254,20 @@ int CmdRun(const Flags& flags) {
   const auto k = flags.GetUint("k", 50);
   const auto eps = flags.GetDouble("eps", 0.1);
   const auto seed = flags.GetUint("seed", 1);
-  if (!k.ok() || !eps.ok() || !seed.ok()) {
-    return Fail(!k.ok() ? k.status() : !eps.ok() ? eps.status()
-                                                 : seed.status());
+  // 0 = one ParallelFill worker per hardware thread. Pass --threads=1 for
+  // the sequential reference stream (byte-identical across machines).
+  const auto threads = flags.GetUint("threads", 0);
+  if (!k.ok() || !eps.ok() || !seed.ok() || !threads.ok()) {
+    return Fail(!k.ok() ? k.status()
+                        : !eps.ok() ? eps.status()
+                                    : !seed.ok() ? seed.status()
+                                                 : threads.status());
   }
   options.k = static_cast<std::uint32_t>(*k);
   options.epsilon = *eps;
   options.rng_seed = *seed;
   options.generator = *generator;
+  options.num_threads = static_cast<unsigned>(*threads);
 
   const auto result = (*algorithm)->Run(*graph, options);
   if (!result.ok()) {
@@ -300,10 +343,197 @@ int CmdCalibrate(const Flags& flags) {
   return 0;
 }
 
+
+/// Reads one line (without the trailing newline); false on EOF.
+bool ReadLine(std::FILE* stream, std::string* out) {
+  out->clear();
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), stream) != nullptr) {
+    out->append(buffer);
+    if (!out->empty() && out->back() == '\n') {
+      out->pop_back();
+      if (!out->empty() && out->back() == '\r') {
+        out->pop_back();
+      }
+      return true;
+    }
+  }
+  return !out->empty();
+}
+
+/// Loads every repeatable --graph=NAME=FILE flag into the registry.
+Status LoadGraphFlags(const Flags& flags, GraphRegistry* registry) {
+  for (const std::string& spec : flags.GetAll("graph")) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      return Status::InvalidArgument("--graph expects NAME=FILE, got '" +
+                                     spec + "'");
+    }
+    SUBSIM_RETURN_IF_ERROR(
+        registry->LoadFromFile(spec.substr(0, eq), spec.substr(eq + 1)));
+  }
+  return Status::Ok();
+}
+
+Result<QueryEngineOptions> EngineOptionsFromFlags(const Flags& flags) {
+  QueryEngineOptions options;
+  const auto workers = flags.GetUint("workers", 0);
+  const auto cache_mb = flags.GetUint("cache-mb", 512);
+  if (!workers.ok() || !cache_mb.ok()) {
+    return !workers.ok() ? workers.status() : cache_mb.status();
+  }
+  options.num_workers = static_cast<unsigned>(*workers);
+  options.cache.max_bytes = *cache_mb << 20;
+  return options;
+}
+
+std::string CacheStatsJson(const RrSketchCache& cache) {
+  return "{\"cache_entries\":" + std::to_string(cache.num_entries()) +
+         ",\"cache_hits\":" + std::to_string(cache.hits()) +
+         ",\"cache_misses\":" + std::to_string(cache.misses()) +
+         ",\"cache_evictions\":" + std::to_string(cache.evictions()) +
+         ",\"cache_bytes\":" + std::to_string(cache.ApproxMemoryBytes()) +
+         "}";
+}
+
+int CmdBatch(const Flags& flags) {
+  GraphRegistry registry;
+  if (const Status status = LoadGraphFlags(flags, &registry); !status.ok()) {
+    return Fail(status);
+  }
+  if (registry.Names().empty()) {
+    return Fail(Status::InvalidArgument(
+        "batch requires at least one --graph=NAME=FILE"));
+  }
+  const auto engine_options = EngineOptionsFromFlags(flags);
+  if (!engine_options.ok()) {
+    return Fail(engine_options.status());
+  }
+  QueryEngine engine(&registry, *engine_options);
+
+  const std::string in = flags.Get("in", "-");
+  std::FILE* stream = stdin;
+  if (in != "-") {
+    stream = std::fopen(in.c_str(), "r");
+    if (stream == nullptr) {
+      return Fail(Status::IoError("cannot open " + in));
+    }
+  }
+
+  // Submit everything up front so queries overlap on the pool, then print
+  // responses in input order.
+  std::vector<std::future<QueryResponse>> futures;
+  std::string line;
+  while (ReadLine(stream, &line)) {
+    const std::string_view text = StripWhitespace(line);
+    if (text.empty() || text.front() == '#') {
+      continue;
+    }
+    Result<SelectSeedsQuery> query = ParseSelectSeedsQuery(text);
+    if (!query.ok()) {
+      std::promise<QueryResponse> failed;
+      QueryResponse response;
+      response.status = query.status();
+      failed.set_value(std::move(response));
+      futures.push_back(failed.get_future());
+      continue;
+    }
+    futures.push_back(engine.Submit(std::move(*query)));
+  }
+  if (stream != stdin) {
+    std::fclose(stream);
+  }
+
+  for (std::future<QueryResponse>& future : futures) {
+    const QueryResponse response = future.get();
+    std::printf("%s\n", FormatQueryResponseJson(response).c_str());
+  }
+  std::fprintf(stderr, "batch: %zu queries  %s\n", futures.size(),
+               CacheStatsJson(engine.cache()).c_str());
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  GraphRegistry registry;
+  if (const Status status = LoadGraphFlags(flags, &registry); !status.ok()) {
+    return Fail(status);
+  }
+  const auto engine_options = EngineOptionsFromFlags(flags);
+  if (!engine_options.ok()) {
+    return Fail(engine_options.status());
+  }
+  QueryEngine engine(&registry, *engine_options);
+
+  std::fprintf(stderr,
+               "subsim serve: query lines (graph=NAME k=K ...), "
+               "load NAME FILE, graphs, stats, quit\n");
+  std::string line;
+  while (ReadLine(stdin, &line)) {
+    const std::string_view text = StripWhitespace(line);
+    if (text.empty() || text.front() == '#') {
+      continue;
+    }
+    if (text == "quit" || text == "exit") {
+      break;
+    }
+    if (text == "graphs") {
+      std::string out = "{\"graphs\":[";
+      bool first = true;
+      for (const std::string& name : registry.Names()) {
+        if (!first) {
+          out += ",";
+        }
+        first = false;
+        out += "\"" + name + "\"";
+      }
+      out += "]}";
+      std::printf("%s\n", out.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (text == "stats") {
+      std::printf("%s\n", CacheStatsJson(engine.cache()).c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (StartsWith(text, "load ")) {
+      const auto tokens = SplitAndTrim(text, " \t");
+      Status status = tokens.size() == 3
+                          ? registry.LoadFromFile(std::string(tokens[1]),
+                                                  std::string(tokens[2]))
+                          : Status::InvalidArgument("usage: load NAME FILE");
+      if (status.ok()) {
+        // Sets sampled on a replaced snapshot must not serve new queries.
+        const std::size_t dropped =
+            engine.InvalidateGraph(std::string(tokens[1]));
+        std::printf("{\"ok\":true,\"loaded\":\"%s\","
+                    "\"cache_entries_dropped\":%zu}\n",
+                    std::string(tokens[1]).c_str(), dropped);
+      } else {
+        std::printf("{\"ok\":false,\"error\":\"%s\"}\n",
+                    status.ToString().c_str());
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    Result<SelectSeedsQuery> query = ParseSelectSeedsQuery(text);
+    QueryResponse response;
+    if (!query.ok()) {
+      response.status = query.status();
+    } else {
+      response = engine.Submit(std::move(*query)).get();
+    }
+    std::printf("%s\n", FormatQueryResponseJson(response).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: subsim_cli <generate|weight|stats|run|calibrate> [--flags]\n"
+      "usage: subsim_cli "
+      "<generate|weight|stats|run|calibrate|batch|serve> [--flags]\n"
       "       see the header comment of tools/subsim_cli.cc for details\n");
   return 2;
 }
@@ -322,6 +552,8 @@ int Main(int argc, char** argv) {
   if (command == "stats") return CmdStats(*flags);
   if (command == "run") return CmdRun(*flags);
   if (command == "calibrate") return CmdCalibrate(*flags);
+  if (command == "batch") return CmdBatch(*flags);
+  if (command == "serve") return CmdServe(*flags);
   return Usage();
 }
 
