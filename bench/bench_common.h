@@ -19,8 +19,59 @@
 #include "subsim/benchsup/experiment.h"
 #include "subsim/graph/graph_builder.h"
 #include "subsim/graph/weight_models.h"
+#include "subsim/obs/metrics.h"
+#include "subsim/obs/obs_context.h"
+#include "subsim/obs/obs_json.h"
+#include "subsim/obs/phase_tracer.h"
 
 namespace subsim_bench {
+
+/// Per-binary observability hook: every bench that constructs one of
+/// these and attaches `Context()` to its `ImOptions` emits the same
+/// metrics JSON schema as `subsim_cli run --metrics-json` (see
+/// docs/observability.md). Disabled (all no-ops) unless the user passed
+/// --metrics-json=FILE.
+class BenchObs {
+ public:
+  explicit BenchObs(const subsim::ExperimentArgs& args)
+      : path_(args.metrics_json), tracer_(/*max_spans=*/8192, &metrics_) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// ObsContext to drop into ImOptions (empty when disabled, so the
+  /// instrumentation handles stay no-ops and the timed loops are clean).
+  subsim::ObsContext Context() {
+    return enabled() ? subsim::ObsContext{&metrics_, &tracer_}
+                     : subsim::ObsContext{};
+  }
+
+  /// Writes the snapshot to the --metrics-json path ("-" = stdout).
+  /// Returns false (after printing the error) if the file cannot open.
+  bool Write() const {
+    if (!enabled()) {
+      return true;
+    }
+    const std::string json = subsim::ObsJson(metrics_.Snapshot(), &tracer_);
+    if (path_ == "-") {
+      std::fputs(json.c_str(), stdout);
+      return true;
+    }
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "metrics: %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  const std::string path_;
+  subsim::MetricsRegistry metrics_;  // declared before the tracer using it
+  subsim::PhaseTracer tracer_;
+};
 
 /// Average-RR-size targets standing in for the paper's
 /// {50, 400, 1K, 4K, 8K, 32K} ladder at bench scale.

@@ -6,10 +6,12 @@
 // three orders over IMM; every algorithm gets cheaper per seed as k grows
 // (theta ~ 1/k at fixed quality).
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
 #include "subsim/algo/registry.h"
 #include "subsim/benchsup/experiment.h"
 #include "subsim/benchsup/reporting.h"
@@ -22,6 +24,52 @@ struct AlgoConfig {
   const char* algorithm;
   subsim::GeneratorKind generator;
 };
+
+/// Acceptance gate for the observability layer: attaching a live registry
+/// + tracer to the SUBSIM config must stay within 2% of the
+/// uninstrumented runtime. Interleaves repetitions and compares the min
+/// of each arm (min-of-reps is the standard noise filter for this); a
+/// 10ms absolute allowance keeps sub-second quick runs from failing on
+/// scheduler jitter alone.
+bool CheckMetricsOverhead(const subsim::Graph& graph, std::uint64_t seed) {
+  constexpr int kReps = 3;
+  const auto run_once = [&](const subsim::ObsContext& obs) -> double {
+    const auto algorithm = subsim::MakeImAlgorithm("opim-c");
+    if (!algorithm.ok()) {
+      return -1.0;
+    }
+    subsim::ImOptions options;
+    options.k = 50;
+    options.epsilon = 0.1;
+    options.rng_seed = seed;
+    options.generator = subsim::GeneratorKind::kSubsimIc;
+    options.obs = obs;
+    const auto result = (*algorithm)->Run(graph, options);
+    return result.ok() ? result->seconds : -1.0;
+  };
+
+  subsim::MetricsRegistry metrics;
+  subsim::PhaseTracer tracer(/*max_spans=*/8192, &metrics);
+  double plain = -1.0;
+  double instrumented = -1.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double p = run_once(subsim::ObsContext{});
+    const double i = run_once(subsim::ObsContext{&metrics, &tracer});
+    if (p < 0.0 || i < 0.0) {
+      std::fprintf(stderr, "metrics overhead check: run failed\n");
+      return false;
+    }
+    plain = rep == 0 ? p : std::min(plain, p);
+    instrumented = rep == 0 ? i : std::min(instrumented, i);
+  }
+
+  const double budget = plain * 1.02 + 0.010;
+  const double pct = plain > 0.0 ? (instrumented / plain - 1.0) * 100.0 : 0.0;
+  std::printf("metrics overhead: base %.3fs, instrumented %.3fs (%+.2f%%) %s\n",
+              plain, instrumented, pct,
+              instrumented <= budget ? "OK (within 2%)" : "FAIL (over 2%)");
+  return instrumented <= budget;
+}
 
 }  // namespace
 
@@ -44,7 +92,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Figure 1: WC model running time (seconds), eps=0.1, delta=1/n\n\n");
-  for (const std::string& dataset : subsim::SelectDatasets(*args)) {
+  subsim_bench::BenchObs obs(*args);
+  const std::vector<std::string> datasets = subsim::SelectDatasets(*args);
+  for (const std::string& dataset : datasets) {
     const auto graph = subsim::BuildDatasetGraph(
         dataset, args->scale, args->seed,
         subsim::WeightModel::kWeightedCascade, {});
@@ -70,6 +120,7 @@ int main(int argc, char** argv) {
         options.epsilon = 0.1;
         options.rng_seed = args->seed;
         options.generator = config.generator;
+        options.obs = obs.Context();
         const auto result = (*algorithm)->Run(*graph, options);
         if (!result.ok()) {
           std::fprintf(stderr, "%s k=%u: %s\n", config.label, k,
@@ -93,5 +144,19 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "Expected shape (paper): SUBSIM < OPIM-C < SSA << IMM at every k.\n");
+
+  if (!obs.Write()) {
+    return 1;
+  }
+  // Self-asserted acceptance criterion for the observability layer.
+  if (!datasets.empty()) {
+    const auto check_graph = subsim::BuildDatasetGraph(
+        datasets.front(), args->scale, args->seed,
+        subsim::WeightModel::kWeightedCascade, {});
+    if (!check_graph.ok() ||
+        !CheckMetricsOverhead(*check_graph, args->seed)) {
+      return 1;
+    }
+  }
   return 0;
 }

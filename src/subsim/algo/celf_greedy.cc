@@ -2,7 +2,7 @@
 
 #include <queue>
 
-#include "subsim/util/timer.h"
+#include "subsim/obs/phase_tracer.h"
 
 namespace subsim {
 
@@ -24,7 +24,7 @@ struct CelfEntry {
 Result<ImResult> CelfGreedy::Run(const Graph& graph,
                                  const ImOptions& options) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
-  WallTimer timer;
+  PhaseScope run_span(options.obs.tracer, "celf.run");
 
   SpreadEstimator estimator(graph, model_);
   Rng rng(options.rng_seed);
@@ -62,7 +62,7 @@ Result<ImResult> CelfGreedy::Run(const Graph& graph,
   result.seeds = std::move(seeds);
   result.estimated_spread =
       estimator.Estimate(result.seeds, simulations_, rng).spread;
-  result.seconds = timer.ElapsedSeconds();
+  result.seconds = run_span.ElapsedSeconds();
   return result;
 }
 

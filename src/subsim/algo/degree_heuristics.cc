@@ -3,7 +3,7 @@
 #include <queue>
 #include <vector>
 
-#include "subsim/util/timer.h"
+#include "subsim/obs/phase_tracer.h"
 
 namespace subsim {
 
@@ -36,7 +36,7 @@ const char* DegreeHeuristic::name() const {
 Result<ImResult> DegreeHeuristic::Run(const Graph& graph,
                                       const ImOptions& options) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
-  WallTimer timer;
+  PhaseScope run_span(options.obs.tracer, "degree_heuristic.run");
 
   const NodeId n = graph.num_nodes();
   const std::uint32_t k = options.k;
@@ -102,7 +102,7 @@ Result<ImResult> DegreeHeuristic::Run(const Graph& graph,
     }
   }
 
-  result.seconds = timer.ElapsedSeconds();
+  result.seconds = run_span.ElapsedSeconds();
   return result;
 }
 

@@ -7,9 +7,9 @@
 #include "subsim/algo/theta.h"
 #include "subsim/coverage/bounds.h"
 #include "subsim/coverage/max_coverage.h"
+#include "subsim/obs/phase_tracer.h"
 #include "subsim/rrset/parallel_fill.h"
 #include "subsim/util/math.h"
-#include "subsim/util/timer.h"
 
 namespace subsim {
 
@@ -25,6 +25,30 @@ struct PhaseStats {
     rr_nodes += collection.total_nodes();
   }
 };
+
+/// Adds the growth of `collection` across one fill to the
+/// `hist.{truncated,untruncated}_{sets,nodes}` counters (plus
+/// `hist.sentinel_hit_sets` for truncated fills), so the truncation
+/// savings the paper claims for Algorithm 5 are observable: the metrics
+/// regression test asserts truncated mean size < untruncated mean size.
+/// Call with the pre-fill watermarks.
+void MeterHistFill(MetricsRegistry* metrics, bool truncated,
+                   const RrCollection& collection, std::uint64_t sets_before,
+                   std::uint64_t nodes_before, std::uint64_t hits_before) {
+  if (metrics == nullptr) {
+    return;
+  }
+  metrics
+      ->Counter(truncated ? "hist.truncated_sets" : "hist.untruncated_sets")
+      .Add(collection.num_sets() - sets_before);
+  metrics
+      ->Counter(truncated ? "hist.truncated_nodes" : "hist.untruncated_nodes")
+      .Add(collection.total_nodes() - nodes_before);
+  if (truncated) {
+    metrics->Counter("hist.sentinel_hit_sets")
+        .Add(collection.num_hit_sentinel() - hits_before);
+  }
+}
 
 /// Output of Algorithm 7.
 struct SentinelPhase {
@@ -47,11 +71,15 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
   const double delta_u = delta1 / (3.0 * i_max);
   const double delta_l = delta1 / (6.0 * i_max);
 
+  MetricsRegistry* const metrics = options.obs.metrics;
+  PhaseScope phase_span(options.obs.tracer, "hist.sentinel_phase");
+
   SentinelPhase phase;
   RrCollection r1(n);
   SUBSIM_RETURN_IF_ERROR(FillCollection(options.generator, graph, generator,
                                         rng1, theta0, options.num_threads, {},
-                                        &r1));
+                                        &r1, options.obs));
+  MeterHistFill(metrics, /*truncated=*/false, r1, 0, 0, 0);
 
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k;
@@ -92,7 +120,9 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
       RrCollection r2(n);
       SUBSIM_RETURN_IF_ERROR(
           FillCollection(options.generator, graph, sentinel_generator, rng2,
-                         r1.num_sets(), options.num_threads, candidate, &r2));
+                         r1.num_sets(), options.num_threads, candidate, &r2,
+                         options.obs));
+      MeterHistFill(metrics, /*truncated=*/true, r2, 0, 0, 0);
       std::uint64_t cov = ComputeCoverage(r2, candidate);
       double lower = OpimLowerBound(cov, r2.num_sets(), n, delta_l);
       if (upper > 0.0 && lower / upper > target) {
@@ -103,11 +133,16 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
       }
 
       // Lines 13-15: tighten the lower bound once with |R2| = 4 |R1|.
+      const std::uint64_t r2_sets = r2.num_sets();
+      const std::uint64_t r2_nodes = r2.total_nodes();
+      const std::uint64_t r2_hits = r2.num_hit_sentinel();
       SUBSIM_RETURN_IF_ERROR(FillCollection(options.generator, graph,
                                             sentinel_generator, rng2,
                                             3 * r1.num_sets(),
                                             options.num_threads, candidate,
-                                            &r2));
+                                            &r2, options.obs));
+      MeterHistFill(metrics, /*truncated=*/true, r2, r2_sets, r2_nodes,
+                    r2_hits);
       cov = ComputeCoverage(r2, candidate);
       lower = OpimLowerBound(cov, r2.num_sets(), n, delta_l);
       phase.stats.Absorb(r2);
@@ -121,9 +156,13 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
 
     // Line 16: double R1 and retry.
     if (i < i_max) {
+      const std::uint64_t r1_sets = r1.num_sets();
+      const std::uint64_t r1_nodes = r1.total_nodes();
       SUBSIM_RETURN_IF_ERROR(
           FillCollection(options.generator, graph, generator, rng1,
-                         r1.num_sets(), options.num_threads, {}, &r1));
+                         r1.num_sets(), options.num_threads, {}, &r1,
+                         options.obs));
+      MeterHistFill(metrics, /*truncated=*/false, r1, r1_sets, r1_nodes, 0);
     }
   }
 
@@ -139,7 +178,8 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
 Result<ImResult> Hist::Run(const Graph& graph,
                            const ImOptions& options) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
-  WallTimer timer;
+  PhaseScope run_span(options.obs.tracer, "hist.run");
+  MetricsRegistry* const metrics = options.obs.metrics;
 
   const NodeId n = graph.num_nodes();
   const std::uint32_t k = options.k;
@@ -194,17 +234,24 @@ Result<ImResult> Hist::Run(const Graph& graph,
   ImResult result;
   result.sentinel_size = b;
   result.phase1_rr_sets = phase1.stats.rr_sets;
+  if (metrics != nullptr) {
+    metrics->Gauge("hist.sentinel_size").Set(static_cast<double>(b));
+  }
 
   if (b >= k) {
     // Degenerate: phase 1 already produced k seeds with the full target.
     result.seeds = sentinels;
     result.num_rr_sets = phase1.stats.rr_sets;
     result.total_rr_nodes = phase1.stats.rr_nodes;
-    result.seconds = timer.ElapsedSeconds();
+    result.seconds = run_span.ElapsedSeconds();
     return result;
   }
 
   // ---- Phase 2: IM-Sentinel (Algorithm 8). ----
+  PhaseScope phase2_span(options.obs.tracer, "hist.phase2");
+  // With an empty sentinel set (b == 0) phase 2 degenerates to plain
+  // OPIM-C-style sampling, so its sets are metered as untruncated.
+  const bool phase2_truncated = b > 0;
   (*gen_sentinel)->SetSentinels(sentinels);
   const std::uint64_t theta0 = InitialTheta(delta2);
   const std::uint64_t theta_max = HistPhase2ThetaMax(n, k, b, eps2, delta2);
@@ -216,10 +263,12 @@ Result<ImResult> Hist::Run(const Graph& graph,
   RrCollection r2(n);
   SUBSIM_RETURN_IF_ERROR(
       FillCollection(options.generator, graph, **gen_sentinel, rng3, theta0,
-                     options.num_threads, sentinels, &r1));
+                     options.num_threads, sentinels, &r1, options.obs));
+  MeterHistFill(metrics, phase2_truncated, r1, 0, 0, 0);
   SUBSIM_RETURN_IF_ERROR(
       FillCollection(options.generator, graph, **gen_sentinel, rng4, theta0,
-                     options.num_threads, sentinels, &r2));
+                     options.num_threads, sentinels, &r2, options.obs));
+  MeterHistFill(metrics, phase2_truncated, r2, 0, 0, 0);
 
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k - b;
@@ -259,23 +308,39 @@ Result<ImResult> Hist::Run(const Graph& graph,
                               static_cast<double>(n) /
                               static_cast<double>(r2.num_sets());
 
+    if (metrics != nullptr) {
+      metrics->Gauge("hist.upper_bound").Set(upper);
+      metrics->Gauge("hist.lower_bound").Set(lower);
+      metrics->Gauge("hist.approx_ratio").Set(result.approx_ratio);
+    }
+
     // Lines 10-12.
     if (result.approx_ratio > target_ratio || i == i_max) {
       break;
     }
+    const std::uint64_t r1_marks[3] = {r1.num_sets(), r1.total_nodes(),
+                                       r1.num_hit_sentinel()};
     SUBSIM_RETURN_IF_ERROR(
         FillCollection(options.generator, graph, **gen_sentinel, rng3,
-                       r1.num_sets(), options.num_threads, sentinels, &r1));
+                       r1.num_sets(), options.num_threads, sentinels, &r1,
+                       options.obs));
+    MeterHistFill(metrics, phase2_truncated, r1, r1_marks[0], r1_marks[1],
+                  r1_marks[2]);
+    const std::uint64_t r2_marks[3] = {r2.num_sets(), r2.total_nodes(),
+                                       r2.num_hit_sentinel()};
     SUBSIM_RETURN_IF_ERROR(
         FillCollection(options.generator, graph, **gen_sentinel, rng4,
-                       r2.num_sets(), options.num_threads, sentinels, &r2));
+                       r2.num_sets(), options.num_threads, sentinels, &r2,
+                       options.obs));
+    MeterHistFill(metrics, phase2_truncated, r2, r2_marks[0], r2_marks[1],
+                  r2_marks[2]);
   }
 
   result.phase2_rr_sets = r1.num_sets() + r2.num_sets();
   result.num_rr_sets = phase1.stats.rr_sets + result.phase2_rr_sets;
   result.total_rr_nodes =
       phase1.stats.rr_nodes + r1.total_nodes() + r2.total_nodes();
-  result.seconds = timer.ElapsedSeconds();
+  result.seconds = run_span.ElapsedSeconds();
   return result;
 }
 

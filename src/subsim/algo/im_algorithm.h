@@ -41,6 +41,11 @@ struct ImOptions {
   /// (rng_seed, thread count) but not comparable to sequential runs.
   unsigned num_threads = 1;
 
+  /// Optional observability sinks (must outlive the run). Attaching them
+  /// never changes the RNG streams or the selected seeds — metrics are
+  /// flushed outside the sampling loops and spans only read the clock.
+  ObsContext obs;
+
   /// Resolves delta == 0 to 1/n.
   double EffectiveDelta(NodeId num_nodes) const {
     return delta > 0.0 ? delta

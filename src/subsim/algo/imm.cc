@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "subsim/coverage/max_coverage.h"
+#include "subsim/obs/phase_tracer.h"
 #include "subsim/util/math.h"
-#include "subsim/util/timer.h"
 
 namespace subsim {
 
@@ -17,6 +17,7 @@ Result<std::unique_ptr<SampleStore>> Imm::MakeSampleStore(
   Rng master(options.rng_seed);
   SampleStore::Options store_options;
   store_options.num_threads = options.num_threads;
+  store_options.obs = options.obs;
   return SampleStore::Create(graph, options.generator,
                              {master.Fork(1), master.Fork(2)},
                              store_options);
@@ -38,7 +39,7 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
                                    SampleStore* store) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
   SUBSIM_RETURN_IF_ERROR(ValidateSampleStore(graph, options, *store));
-  WallTimer timer;
+  PhaseScope run_span(options.obs.tracer, "imm.run");
 
   const NodeId n = graph.num_nodes();
   const std::uint32_t k = options.k;
@@ -62,6 +63,7 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
   std::uint64_t cold_sets = 0;
 
   // ---- Phase 1: estimate a lower bound LB of OPT. ----
+  PhaseScope estimate_span(options.obs.tracer, "imm.estimate_opt");
   const double eps_prime = std::sqrt(2.0) * eps;
   const double lambda_prime =
       (2.0 + 2.0 / 3.0 * eps_prime) *
@@ -90,8 +92,13 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
     }
   }
   lower_bound_opt = std::max(lower_bound_opt, static_cast<double>(k));
+  estimate_span.Close();
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics->Gauge("imm.lower_bound_opt").Set(lower_bound_opt);
+  }
 
   // ---- Phase 2: theta = lambda* / LB, then final greedy. ----
+  PhaseScope select_span(options.obs.tracer, "imm.select");
   // The final greedy runs over max(theta, phase-1 watermark) sets — a cold
   // run never discards phase-1 sets even when theta is smaller.
   const double alpha = std::sqrt(l * ln_n + std::log(2.0));
@@ -102,6 +109,9 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
                              (kOneMinusInvE * alpha + beta) / (eps * eps);
   const std::uint64_t theta =
       static_cast<std::uint64_t>(std::ceil(lambda_star / lower_bound_opt));
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics->Gauge("imm.theta").Set(static_cast<double>(theta));
+  }
   cold_sets = std::max(cold_sets, theta);
   SUBSIM_RETURN_IF_ERROR(store->EnsureSets(0, cold_sets));
 
@@ -116,7 +126,8 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
                             static_cast<double>(view.num_sets());
   result.num_rr_sets = view.num_sets();
   result.total_rr_nodes = view.total_nodes();
-  result.seconds = timer.ElapsedSeconds();
+  select_span.Close();
+  result.seconds = run_span.ElapsedSeconds();
   return result;
 }
 

@@ -6,8 +6,8 @@
 #include "subsim/algo/theta.h"
 #include "subsim/coverage/bounds.h"
 #include "subsim/coverage/max_coverage.h"
+#include "subsim/obs/phase_tracer.h"
 #include "subsim/util/math.h"
-#include "subsim/util/timer.h"
 
 namespace subsim {
 
@@ -18,6 +18,7 @@ Result<std::unique_ptr<SampleStore>> OpimC::MakeSampleStore(
   Rng master(options.rng_seed);
   SampleStore::Options store_options;
   store_options.num_threads = options.num_threads;
+  store_options.obs = options.obs;
   return SampleStore::Create(graph, options.generator,
                              {master.Fork(1), master.Fork(2)},
                              store_options);
@@ -39,7 +40,13 @@ Result<ImResult> OpimC::RunWithStore(const Graph& graph,
                                      SampleStore* store) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
   SUBSIM_RETURN_IF_ERROR(ValidateSampleStore(graph, options, *store));
-  WallTimer timer;
+  PhaseScope run_span(options.obs.tracer, "opim_c.run");
+  MetricsRegistry::GaugeHandle upper_gauge, lower_gauge, ratio_gauge;
+  if (options.obs.metrics != nullptr) {
+    upper_gauge = options.obs.metrics->Gauge("opim_c.upper_bound");
+    lower_gauge = options.obs.metrics->Gauge("opim_c.lower_bound");
+    ratio_gauge = options.obs.metrics->Gauge("opim_c.approx_ratio");
+  }
 
   const NodeId n = graph.num_nodes();
   const std::uint32_t k = options.k;
@@ -55,6 +62,7 @@ Result<ImResult> OpimC::RunWithStore(const Graph& graph,
   const double target_ratio = kOneMinusInvE - eps;
 
   for (std::uint32_t i = 1; i <= i_max; ++i) {
+    PhaseScope round_span(options.obs.tracer, "opim_c.round");
     const std::uint64_t target = theta0 << (i - 1);
     SUBSIM_RETURN_IF_ERROR(store->EnsureSets(0, target));
     SUBSIM_RETURN_IF_ERROR(store->EnsureSets(1, target));
@@ -88,12 +96,15 @@ Result<ImResult> OpimC::RunWithStore(const Graph& graph,
                               static_cast<double>(r2.num_sets());
     result.num_rr_sets = r1.num_sets() + r2.num_sets();
     result.total_rr_nodes = r1.total_nodes() + r2.total_nodes();
+    upper_gauge.Set(upper);
+    lower_gauge.Set(lower);
+    ratio_gauge.Set(result.approx_ratio);
     if (result.approx_ratio >= target_ratio || i == i_max) {
       break;
     }
   }
 
-  result.seconds = timer.ElapsedSeconds();
+  result.seconds = run_span.ElapsedSeconds();
   return result;
 }
 

@@ -6,16 +6,16 @@
 #include "subsim/algo/theta.h"
 #include "subsim/coverage/bounds.h"
 #include "subsim/coverage/max_coverage.h"
+#include "subsim/obs/phase_tracer.h"
 #include "subsim/rrset/parallel_fill.h"
 #include "subsim/util/math.h"
-#include "subsim/util/timer.h"
 
 namespace subsim {
 
 Result<ImResult> Ssa::Run(const Graph& graph,
                           const ImOptions& options) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
-  WallTimer timer;
+  PhaseScope run_span(options.obs.tracer, "ssa.run");
 
   const NodeId n = graph.num_nodes();
   const std::uint32_t k = options.k;
@@ -59,10 +59,12 @@ Result<ImResult> Ssa::Run(const Graph& graph,
 
   ImResult result;
   for (std::uint32_t i = 1; i <= i_max; ++i) {
+    PhaseScope round_span(options.obs.tracer, "ssa.round");
     const std::uint64_t target = theta0 << (i - 1);
     SUBSIM_RETURN_IF_ERROR(
         FillCollection(options.generator, graph, **generator, rng1,
-                       target - r1.num_sets(), options.num_threads, {}, &r1));
+                       target - r1.num_sets(), options.num_threads, {}, &r1,
+                       options.obs));
 
     const CoverageGreedyResult greedy = RunCoverageGreedy(r1, greedy_options);
     const double selection_estimate =
@@ -73,7 +75,8 @@ Result<ImResult> Ssa::Run(const Graph& graph,
     // Stare: validate on the independent collection.
     SUBSIM_RETURN_IF_ERROR(
         FillCollection(options.generator, graph, **generator, rng2,
-                       target - r2.num_sets(), options.num_threads, {}, &r2));
+                       target - r2.num_sets(), options.num_threads, {}, &r2,
+                       options.obs));
     const std::uint64_t cov2 = ComputeCoverage(r2, greedy.seeds);
     const double validated_estimate = static_cast<double>(n) *
                                       static_cast<double>(cov2) /
@@ -84,6 +87,12 @@ Result<ImResult> Ssa::Run(const Graph& graph,
     result.influence_lower_bound =
         std::max(static_cast<double>(greedy.seeds.size()),
                  OpimLowerBound(cov2, r2.num_sets(), n, delta_iter));
+    if (options.obs.metrics != nullptr) {
+      options.obs.metrics->Gauge("ssa.validated_estimate")
+          .Set(validated_estimate);
+      options.obs.metrics->Gauge("ssa.lower_bound")
+          .Set(result.influence_lower_bound);
+    }
 
     const bool coverage_floor =
         static_cast<double>(greedy.total_coverage()) >= lambda1;
@@ -105,7 +114,7 @@ Result<ImResult> Ssa::Run(const Graph& graph,
 
   result.num_rr_sets = r1.num_sets() + r2.num_sets();
   result.total_rr_nodes = r1.total_nodes() + r2.total_nodes();
-  result.seconds = timer.ElapsedSeconds();
+  result.seconds = run_span.ElapsedSeconds();
   return result;
 }
 

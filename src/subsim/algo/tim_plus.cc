@@ -4,16 +4,16 @@
 #include <cmath>
 
 #include "subsim/coverage/max_coverage.h"
+#include "subsim/obs/phase_tracer.h"
 #include "subsim/rrset/parallel_fill.h"
 #include "subsim/util/math.h"
-#include "subsim/util/timer.h"
 
 namespace subsim {
 
 Result<ImResult> TimPlus::Run(const Graph& graph,
                               const ImOptions& options) const {
   SUBSIM_RETURN_IF_ERROR(ValidateImOptions(graph, options));
-  WallTimer timer;
+  PhaseScope run_span(options.obs.tracer, "tim_plus.run");
 
   const NodeId n = graph.num_nodes();
   const std::uint32_t k = options.k;
@@ -49,6 +49,7 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
   double kpt_star = 1.0;
   const int max_rounds = std::max(1, static_cast<int>(std::log2(n)) - 1);
   const double log_log = std::log(std::max(2.0, std::log2(n)));
+  const RrGenStats probe_before = (*generator)->stats();
   for (int i = 1; i <= max_rounds; ++i) {
     const std::uint64_t batch = static_cast<std::uint64_t>(
         std::ceil((6.0 * l * ln_n + 6.0 * log_log) * std::pow(2.0, i)));
@@ -65,6 +66,9 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
     }
   }
   kpt_star = std::max(kpt_star, static_cast<double>(k));
+  // The probe loop above bypasses Fill, so flush its stats delta here.
+  FlushRrGenStatsDelta(probe_before, (*generator)->stats(),
+                       options.obs.metrics);
 
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k;
@@ -89,7 +93,8 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
         std::min<std::uint64_t>(refine_batch, 1u << 18);
     SUBSIM_RETURN_IF_ERROR(
         FillCollection(options.generator, graph, **generator, refine_rng,
-                       capped, options.num_threads, {}, &refine));
+                       capped, options.num_threads, {}, &refine,
+                       options.obs));
     const std::uint64_t cov = ComputeCoverage(refine, candidate.seeds);
     const double estimate = static_cast<double>(cov) * n /
                             static_cast<double>(refine.num_sets());
@@ -112,7 +117,8 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
   Rng selection_rng = master.Fork(3);
   SUBSIM_RETURN_IF_ERROR(
       FillCollection(options.generator, graph, **generator, selection_rng,
-                     theta, options.num_threads, {}, &selection));
+                     theta, options.num_threads, {}, &selection,
+                     options.obs));
   const CoverageGreedyResult greedy =
       RunCoverageGreedy(selection, greedy_options);
 
@@ -125,7 +131,7 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
       collection.num_sets() + refine_sets + selection.num_sets();
   result.total_rr_nodes =
       collection.total_nodes() + refine_nodes + selection.total_nodes();
-  result.seconds = timer.ElapsedSeconds();
+  result.seconds = run_span.ElapsedSeconds();
   return result;
 }
 

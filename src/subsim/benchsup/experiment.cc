@@ -48,6 +48,8 @@ Result<ExperimentArgs> ExperimentArgs::Parse(int argc, char** argv,
           return spec.status();
         }
       }
+    } else if (key == "--metrics-json") {
+      args.metrics_json = std::string(value);
     } else {
       return Status::InvalidArgument("unrecognized flag: " +
                                      std::string(key));

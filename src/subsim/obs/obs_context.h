@@ -1,0 +1,21 @@
+#ifndef SUBSIM_OBS_OBS_CONTEXT_H_
+#define SUBSIM_OBS_OBS_CONTEXT_H_
+
+#include "subsim/obs/metrics.h"
+#include "subsim/obs/phase_tracer.h"
+
+namespace subsim {
+
+/// Observability hooks threaded through options structs. Both pointers are
+/// optional and non-owning; a default-constructed context disables all
+/// instrumentation at the cost of one pointer test per handle acquisition.
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  PhaseTracer* tracer = nullptr;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_OBS_OBS_CONTEXT_H_

@@ -1,0 +1,115 @@
+#include "subsim/obs/obs_json.h"
+
+#include <cstdio>
+
+namespace subsim {
+
+namespace {
+
+/// Metric and span names are chosen by this codebase (dotted identifiers),
+/// so only quote/backslash escaping is required to keep the output valid.
+std::string JsonName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 2);
+  out += '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void AppendCounterMap(const std::map<std::string, std::uint64_t>& counters,
+                      std::string* out) {
+  *out += '{';
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    *out += JsonName(name) + ':' + std::to_string(value);
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string ObsJsonFields(const MetricsSnapshot& snapshot,
+                          const PhaseTracer* tracer) {
+  std::string out = "\"schema_version\":1";
+
+  out += ",\"counters\":";
+  AppendCounterMap(snapshot.counters, &out);
+
+  out += ",\"gauges\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += JsonName(name) + ':' + JsonDouble(value);
+  }
+  out += '}';
+
+  out += ",\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += JsonName(name);
+    out += ":{\"count\":" + std::to_string(hist.count);
+    out += ",\"sum\":" + std::to_string(hist.sum);
+    out += ",\"mean\":" + JsonDouble(hist.Mean());
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(hist.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += '}';
+
+  if (tracer != nullptr) {
+    out += ",\"spans\":[";
+    first = true;
+    for (const PhaseSpan& span : tracer->Spans()) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += "{\"name\":" + JsonName(span.name);
+      out += ",\"depth\":" + std::to_string(span.depth);
+      out += ",\"seconds\":" + JsonDouble(span.seconds);
+      out += ",\"counter_deltas\":";
+      AppendCounterMap(span.counter_deltas, &out);
+      out += '}';
+    }
+    out += ']';
+    if (const std::uint64_t dropped = tracer->dropped_spans(); dropped > 0) {
+      out += ",\"dropped_spans\":" + std::to_string(dropped);
+    }
+  }
+  return out;
+}
+
+std::string ObsJson(const MetricsSnapshot& snapshot,
+                    const PhaseTracer* tracer) {
+  return '{' + ObsJsonFields(snapshot, tracer) + "}\n";
+}
+
+}  // namespace subsim

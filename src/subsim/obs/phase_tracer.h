@@ -1,0 +1,150 @@
+#ifndef SUBSIM_OBS_PHASE_TRACER_H_
+#define SUBSIM_OBS_PHASE_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "subsim/obs/metrics.h"
+
+namespace subsim {
+
+/// One completed timed span. Spans nest: `depth` is the nesting level at
+/// the time the span was opened (0 = top level), and spans are stored in
+/// completion order, so a parent always appears after its children.
+struct PhaseSpan {
+  std::string name;
+  double seconds = 0.0;
+  int depth = 0;
+  /// Counter increments attributed to this span: registry counter deltas
+  /// between open and close. Empty when the tracer has no registry
+  /// attached or nothing changed.
+  std::map<std::string, std::uint64_t> counter_deltas;
+};
+
+/// Records nested timed spans (theta estimation, fill rounds, sentinel
+/// selection, coverage...) with per-span metric deltas.
+///
+/// A tracer is cheap but not free: opening a span with an attached
+/// registry takes a metrics snapshot. Use it to bracket *phases* (tens
+/// per run), never per-RR-set work — per-set counts belong in the
+/// registry, which the span then attributes via its delta.
+///
+/// Span retention is bounded (`max_spans`); once full, further spans are
+/// timed but dropped, and `dropped_spans()` reports how many. All methods
+/// are thread-safe, but nesting depth is tracked per thread, so spans
+/// opened on different threads interleave at their own depths.
+class PhaseTracer {
+ public:
+  explicit PhaseTracer(std::size_t max_spans = 4096,
+                       MetricsRegistry* registry = nullptr)
+      : max_spans_(max_spans), registry_(registry) {}
+
+  PhaseTracer(const PhaseTracer&) = delete;
+  PhaseTracer& operator=(const PhaseTracer&) = delete;
+
+  MetricsRegistry* registry() const { return registry_; }
+
+  std::vector<PhaseSpan> Spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+  std::uint64_t dropped_spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  friend class PhaseScope;
+
+  void Record(PhaseSpan span) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= max_spans_) {
+      ++dropped_;
+      return;
+    }
+    spans_.push_back(std::move(span));
+  }
+
+  const std::size_t max_spans_;
+  MetricsRegistry* const registry_;
+  mutable std::mutex mu_;
+  std::vector<PhaseSpan> spans_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span. Tolerates a null tracer — it then degrades to a plain
+/// stopwatch, so instrumented code paths need no `if (obs)` branching and
+/// `ElapsedSeconds()` keeps working for results reporting (this is the
+/// sanctioned replacement for ad-hoc WallTimer use in algo/rrset/serve).
+class PhaseScope {
+ public:
+  PhaseScope(PhaseTracer* tracer, std::string name)
+      : tracer_(tracer), name_(std::move(name)), start_(Clock::now()) {
+    if (tracer_ != nullptr) {
+      depth_ = ThreadDepth()++;
+      if (tracer_->registry_ != nullptr) {
+        open_snapshot_ = tracer_->registry_->Snapshot();
+      }
+    }
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  ~PhaseScope() { Close(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Ends the span early (idempotent); the destructor then does nothing.
+  void Close() {
+    if (closed_) {
+      return;
+    }
+    closed_ = true;
+    if (tracer_ == nullptr) {
+      return;
+    }
+    --ThreadDepth();
+    PhaseSpan span;
+    span.name = std::move(name_);
+    span.seconds = ElapsedSeconds();
+    span.depth = depth_;
+    if (tracer_->registry_ != nullptr) {
+      span.counter_deltas =
+          tracer_->registry_->Snapshot().CounterDeltaSince(open_snapshot_);
+    }
+    tracer_->Record(std::move(span));
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static int& ThreadDepth() {
+    thread_local int depth = 0;
+    return depth;
+  }
+
+  PhaseTracer* tracer_;
+  std::string name_;
+  Clock::time_point start_;
+  MetricsSnapshot open_snapshot_;
+  int depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_OBS_PHASE_TRACER_H_

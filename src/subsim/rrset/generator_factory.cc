@@ -6,13 +6,38 @@
 
 namespace subsim {
 
-void RrGenerator::Fill(Rng& rng, std::size_t count,
-                       RrCollection* collection) {
+void RrGenerator::Fill(Rng& rng, std::size_t count, RrCollection* collection,
+                       const ObsContext& obs) {
+  MetricsRegistry::HistogramHandle set_size;
+  if (obs.metrics != nullptr) {
+    set_size = obs.metrics->Histogram("rr.set_size");
+  }
+  const RrGenStats before = stats();
   std::vector<NodeId> scratch;
   for (std::size_t i = 0; i < count; ++i) {
     const bool hit = Generate(rng, &scratch);
     collection->Add(scratch, hit);
+    set_size.Observe(scratch.size());
   }
+  FlushRrGenStatsDelta(before, stats(), obs.metrics);
+}
+
+void FlushRrGenStatsDelta(const RrGenStats& before, const RrGenStats& after,
+                          MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  metrics->Counter("rr.sets_generated")
+      .Add(after.sets_generated - before.sets_generated);
+  metrics->Counter("rr.nodes_added").Add(after.nodes_added - before.nodes_added);
+  metrics->Counter("rr.edges_examined")
+      .Add(after.edges_examined - before.edges_examined);
+  metrics->Counter("rr.sentinel_hits")
+      .Add(after.sentinel_hits - before.sentinel_hits);
+  metrics->Counter("rr.geometric_skips")
+      .Add(after.geometric_skips - before.geometric_skips);
+  metrics->Counter("rr.rejection_accepts")
+      .Add(after.rejection_accepts - before.rejection_accepts);
 }
 
 Result<std::unique_ptr<RrGenerator>> MakeRrGenerator(GeneratorKind kind,

@@ -12,6 +12,8 @@ struct WorkerBuffer {
   std::vector<NodeId> nodes;
   std::vector<std::uint32_t> sizes;
   std::vector<std::uint8_t> hits;
+  /// Final generator stats; flushed to metrics after the join.
+  RrGenStats stats;
 };
 
 }  // namespace
@@ -69,6 +71,7 @@ Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
       buffer.sizes.push_back(static_cast<std::uint32_t>(scratch.size()));
       buffer.hits.push_back(hit ? 1 : 0);
     }
+    buffer.stats = (*generator)->stats();
   };
 
   if (num_threads == 1) {
@@ -84,6 +87,12 @@ Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
     }
   }
 
+  MetricsRegistry::HistogramHandle set_size;
+  if (options.obs.metrics != nullptr) {
+    set_size = options.obs.metrics->Histogram("rr.set_size");
+    options.obs.metrics->Counter("fill.parallel_rounds").Increment();
+  }
+
   // Deterministic merge: worker order, generation order within worker.
   for (const WorkerBuffer& buffer : buffers) {
     std::size_t offset = 0;
@@ -92,8 +101,10 @@ Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
           std::span<const NodeId>(buffer.nodes.data() + offset,
                                   buffer.sizes[i]),
           buffer.hits[i] != 0);
+      set_size.Observe(buffer.sizes[i]);
       offset += buffer.sizes[i];
     }
+    FlushRrGenStatsDelta(RrGenStats(), buffer.stats, options.obs.metrics);
   }
   return Status::Ok();
 }
@@ -102,14 +113,18 @@ Status FillCollection(GeneratorKind kind, const Graph& graph,
                       RrGenerator& sequential, Rng& rng, std::size_t count,
                       unsigned num_threads,
                       std::span<const NodeId> sentinels,
-                      RrCollection* collection) {
+                      RrCollection* collection, const ObsContext& obs) {
   if (num_threads == 1) {
-    sequential.Fill(rng, count, collection);
+    if (obs.metrics != nullptr) {
+      obs.metrics->Counter("fill.sequential_rounds").Increment();
+    }
+    sequential.Fill(rng, count, collection, obs);
     return Status::Ok();
   }
   ParallelFillOptions options;
   options.num_threads = num_threads;
   options.sentinels.assign(sentinels.begin(), sentinels.end());
+  options.obs = obs;
   return ParallelFill(kind, graph, rng, count, options, collection);
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "subsim/graph/graph.h"
+#include "subsim/obs/obs_context.h"
 #include "subsim/random/rng.h"
 #include "subsim/rrset/generator_factory.h"
 #include "subsim/rrset/rr_collection.h"
@@ -17,6 +18,10 @@ struct ParallelFillOptions {
   unsigned num_threads = 0;
   /// Sentinel set installed in every worker's generator (Algorithm 5).
   std::vector<NodeId> sentinels;
+  /// Optional metrics sinks. Worker stats are merged and flushed once per
+  /// fill (after the join), so attaching a registry never perturbs the
+  /// workers' RNG streams or scheduling.
+  ObsContext obs;
 };
 
 /// Generates `count` RR sets with `options.num_threads` workers and appends
@@ -49,7 +54,8 @@ Status FillCollection(GeneratorKind kind, const Graph& graph,
                       RrGenerator& sequential, Rng& rng, std::size_t count,
                       unsigned num_threads,
                       std::span<const NodeId> sentinels,
-                      RrCollection* collection);
+                      RrCollection* collection,
+                      const ObsContext& obs = ObsContext());
 
 }  // namespace subsim
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "subsim/graph/types.h"
+#include "subsim/obs/obs_context.h"
 #include "subsim/random/rng.h"
 #include "subsim/rrset/rr_collection.h"
 
@@ -15,12 +16,17 @@ namespace subsim {
 /// candidate in-edges actually probed: for the vanilla generator this is
 /// every in-edge of every activated node (one coin flip each); for SUBSIM
 /// it is only the geometric-skip landings — the gap between the two is the
-/// paper's Section 3 speedup.
+/// paper's Section 3 speedup. `geometric_skips` counts geometric draws in
+/// the skip kernels (uniform, sorted-bucket, and bucket-indexed paths);
+/// `rejection_accepts` counts accepted rejection trials in the non-uniform
+/// kernels. Both stay zero for generators that use neither (vanilla, LT).
 struct RrGenStats {
   std::uint64_t sets_generated = 0;
   std::uint64_t nodes_added = 0;
   std::uint64_t edges_examined = 0;
   std::uint64_t sentinel_hits = 0;
+  std::uint64_t geometric_skips = 0;
+  std::uint64_t rejection_accepts = 0;
 
   double AverageSetSize() const {
     return sets_generated == 0
@@ -55,9 +61,22 @@ class RrGenerator {
   virtual void ResetStats() = 0;
   virtual const char* name() const = 0;
 
-  /// Generates `count` RR sets and appends them to `collection`.
-  void Fill(Rng& rng, std::size_t count, RrCollection* collection);
+  /// Generates `count` RR sets and appends them to `collection`. With a
+  /// metrics registry attached to `obs`, the fill's `RrGenStats` delta is
+  /// flushed to the `rr.*` counters and every set size is observed into the
+  /// `rr.set_size` histogram (see docs/observability.md); the RNG stream is
+  /// identical either way.
+  void Fill(Rng& rng, std::size_t count, RrCollection* collection,
+            const ObsContext& obs);
+  void Fill(Rng& rng, std::size_t count, RrCollection* collection) {
+    Fill(rng, count, collection, ObsContext());
+  }
 };
+
+/// Adds `after - before` to the registry's `rr.*` counters. No-op when
+/// `metrics` is null. Fill paths call this once per fill, never per set.
+void FlushRrGenStatsDelta(const RrGenStats& before, const RrGenStats& after,
+                          MetricsRegistry* metrics);
 
 }  // namespace subsim
 

@@ -46,13 +46,25 @@ Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {
   }
   const std::size_t need = static_cast<std::size_t>(count - have);
   if (options_.num_threads == 1) {
-    s.generator->Fill(s.rng, need, &s.collection);
+    s.generator->Fill(s.rng, need, &s.collection, options_.obs);
   } else {
     ParallelFillOptions fill_options;
     fill_options.num_threads = options_.num_threads;
+    fill_options.obs = options_.obs;
     SUBSIM_RETURN_IF_ERROR(
         ParallelFill(kind_, *graph_, s.rng, need, fill_options,
                      &s.collection));
+  }
+  if (MetricsRegistry* metrics = options_.obs.metrics; metrics != nullptr) {
+    metrics->Counter("store.fill_rounds").Increment();
+    metrics->Counter("store.sets_generated").Add(need);
+    // Recompute bytes inline: ApproxMemoryBytes() takes the shared lock we
+    // already hold exclusively.
+    std::uint64_t bytes = sizeof(SampleStore);
+    for (const Stream& stream : streams_) {
+      bytes += stream.collection.ApproxMemoryBytes();
+    }
+    metrics->Gauge("store.approx_bytes").Set(static_cast<double>(bytes));
   }
   // Store streams carry no sentinels, so no set may be truncated — the
   // invariant that makes them safe to serve to any non-HIST query.

@@ -42,6 +42,10 @@ class SampleStore {
     /// 1 = sequential (prefix-deterministic, required for cross-query
     /// reuse); 0 = hardware concurrency; N = N ParallelFill workers.
     unsigned num_threads = 1;
+    /// Optional metrics sinks; the pointed-to registry/tracer must outlive
+    /// the store. Fills flush `rr.*` deltas plus `store.fill_rounds` /
+    /// `store.sets_generated` counters and the `store.approx_bytes` gauge.
+    ObsContext obs;
   };
 
   /// Builds a store over `graph` (which must outlive the store; the

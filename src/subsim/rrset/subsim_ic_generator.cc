@@ -104,26 +104,33 @@ bool SubsimIcGenerator::ExpandNode(NodeId u, Rng& rng,
       return false;
     case NodePlan::kUniformSkip:
       SampleUniformSubsetSkips(
-          sources.size(), inv_log_q_[u], rng, [&](std::uint32_t i) {
+          sources.size(), inv_log_q_[u], rng,
+          [&](std::uint32_t i) {
             ++stats_.edges_examined;
             Activate(sources[i], out);
-          });
+          },
+          &stats_.geometric_skips);
       return stop_;
     case NodePlan::kGeneral:
       break;
   }
 
   if (strategy_ == GeneralIcStrategy::kSortedIndexFree) {
-    SampleSortedSubset(graph_.InWeights(u), rng, [&](std::uint32_t i) {
-      ++stats_.edges_examined;
-      Activate(sources[i], out);
-    });
+    SampleSortedSubset(
+        graph_.InWeights(u), rng,
+        [&](std::uint32_t i) {
+          ++stats_.edges_examined;
+          Activate(sources[i], out);
+        },
+        &stats_.geometric_skips, &stats_.rejection_accepts);
     return stop_;
   }
 
   // Bucket strategy: the sampler emits into scratch, then we activate.
   scratch_indices_.clear();
-  bucket_samplers_[u]->Sample(rng, &scratch_indices_);
+  bucket_samplers_[u]->SampleCounted(rng, &scratch_indices_,
+                                     &stats_.geometric_skips,
+                                     &stats_.rejection_accepts);
   for (std::uint32_t i : scratch_indices_) {
     ++stats_.edges_examined;
     Activate(sources[i], out);

@@ -104,7 +104,8 @@ BucketSubsetSampler::BucketSubsetSampler(std::vector<double> probs) {
 }
 
 void BucketSubsetSampler::SampleWithinBucket(
-    const Bucket& bucket, Rng& rng, std::vector<std::uint32_t>* out) const {
+    const Bucket& bucket, Rng& rng, std::vector<std::uint32_t>* out,
+    std::uint64_t* geometric_draws, std::uint64_t* rejection_accepts) const {
   const std::uint64_t h = bucket.elements.size();
   if (h == 1) {
     // Singleton shortcut: entry probability already equals the element's
@@ -137,14 +138,23 @@ void BucketSubsetSampler::SampleWithinBucket(
     x = static_cast<double>(h);  // numerical edge of the truncation
   }
   std::uint64_t pos = static_cast<std::uint64_t>(x);
+  if (geometric_draws != nullptr) {
+    ++*geometric_draws;  // the truncated first-hit draw above
+  }
 
   while (true) {
     const std::uint64_t index = pos - 1;
     // Rejection: overall inclusion probability cap * (p/cap) = p.
     if (rng.NextDouble() * bucket.cap < bucket.probs[index]) {
+      if (rejection_accepts != nullptr) {
+        ++*rejection_accepts;
+      }
       out->push_back(bucket.elements[index]);
     }
     const std::uint64_t skip = SampleGeometricFast(rng, bucket.inv_log_q);
+    if (geometric_draws != nullptr) {
+      ++*geometric_draws;
+    }
     if (skip > h - pos) {
       break;
     }
@@ -154,6 +164,12 @@ void BucketSubsetSampler::SampleWithinBucket(
 
 void BucketSubsetSampler::Sample(Rng& rng,
                                  std::vector<std::uint32_t>* out) const {
+  SampleCounted(rng, out, nullptr, nullptr);
+}
+
+void BucketSubsetSampler::SampleCounted(
+    Rng& rng, std::vector<std::uint32_t>* out, std::uint64_t* geometric_draws,
+    std::uint64_t* rejection_accepts) const {
   if (buckets_.empty()) {
     return;
   }
@@ -164,7 +180,8 @@ void BucketSubsetSampler::Sample(Rng& rng,
     if (bucket_id >= buckets_.size()) {
       return;  // terminal outcome
     }
-    SampleWithinBucket(buckets_[bucket_id], rng, out);
+    SampleWithinBucket(buckets_[bucket_id], rng, out, geometric_draws,
+                       rejection_accepts);
     hop = bucket_id + 1;
   }
 }

@@ -28,6 +28,15 @@ class BucketSubsetSampler final : public SubsetSampler {
   explicit BucketSubsetSampler(std::vector<double> probs);
 
   void Sample(Rng& rng, std::vector<std::uint32_t>* out) const override;
+
+  /// Like `Sample`, additionally accumulating the number of geometric
+  /// draws and accepted rejection trials into the non-null counters. The
+  /// RNG stream is identical to `Sample`'s (the singleton and cap==1
+  /// shortcuts take no geometric draws, so they count nothing).
+  void SampleCounted(Rng& rng, std::vector<std::uint32_t>* out,
+                     std::uint64_t* geometric_draws,
+                     std::uint64_t* rejection_accepts) const;
+
   std::size_t size() const override { return num_elements_; }
   double expected_count() const override { return mu_; }
   const char* name() const override { return "bucket"; }
@@ -52,7 +61,9 @@ class BucketSubsetSampler final : public SubsetSampler {
   };
 
   void SampleWithinBucket(const Bucket& bucket, Rng& rng,
-                          std::vector<std::uint32_t>* out) const;
+                          std::vector<std::uint32_t>* out,
+                          std::uint64_t* geometric_draws,
+                          std::uint64_t* rejection_accepts) const;
 
   std::size_t num_elements_ = 0;
   double mu_ = 0.0;

@@ -19,17 +19,28 @@ namespace subsim {
 /// Equal-probability subset sampling via geometric skips (Algorithm 3
 /// lines 7-13). `inv_log_q` must be `GeometricInvLogQ(p)` for the shared
 /// probability p in (0, 1). Expected cost O(1 + h*p).
+///
+/// `geometric_draws`, when non-null, accumulates the number of geometric
+/// samples taken. One invariant the metrics tests lean on: every call
+/// draws exactly `emits + 1` times (each emitted index consumed one draw,
+/// plus the final draw that overshot the list).
 template <typename Emit>
 void SampleUniformSubsetSkips(std::uint64_t h, double inv_log_q, Rng& rng,
-                              Emit&& emit) {
+                              Emit&& emit,
+                              std::uint64_t* geometric_draws = nullptr) {
+  std::uint64_t draws = 1;
   std::uint64_t pos = SampleGeometricFast(rng, inv_log_q);
   while (pos <= h) {
     emit(static_cast<std::uint32_t>(pos - 1));
     const std::uint64_t skip = SampleGeometricFast(rng, inv_log_q);
+    ++draws;
     if (skip > h - pos) {
       break;  // jumped past the end; avoids overflow of pos + skip
     }
     pos += skip;
+  }
+  if (geometric_draws != nullptr) {
+    *geometric_draws += draws;
   }
 }
 
@@ -60,9 +71,13 @@ void SampleSubsetNaive(std::span<const double> probs, Rng& rng, Emit&& emit) {
 ///
 /// Requires probs to be non-increasing; the graph builder's
 /// `sort_in_edges_by_weight` option establishes this.
+///
+/// `geometric_draws` and `rejection_accepts`, when non-null, accumulate the
+/// kernel's geometric samples and accepted rejection trials.
 template <typename Emit>
-void SampleSortedSubset(std::span<const double> probs, Rng& rng,
-                        Emit&& emit) {
+void SampleSortedSubset(std::span<const double> probs, Rng& rng, Emit&& emit,
+                        std::uint64_t* geometric_draws = nullptr,
+                        std::uint64_t* rejection_accepts = nullptr) {
   const std::uint64_t h = probs.size();
   std::uint64_t bucket_begin = 0;  // inclusive, position indices from 0
   std::uint64_t bucket_size = 1;
@@ -86,6 +101,9 @@ void SampleSortedSubset(std::span<const double> probs, Rng& rng,
       std::uint64_t pos = bucket_begin;
       while (true) {
         const std::uint64_t skip = SampleGeometricFast(rng, inv_log_q);
+        if (geometric_draws != nullptr) {
+          ++*geometric_draws;
+        }
         if (skip > end - pos) {
           break;
         }
@@ -94,6 +112,9 @@ void SampleSortedSubset(std::span<const double> probs, Rng& rng,
         // Rejection: accept with probs[index] / p_max so the element's
         // overall inclusion probability is exactly probs[index].
         if (rng.NextDouble() * p_max < probs[index]) {
+          if (rejection_accepts != nullptr) {
+            ++*rejection_accepts;
+          }
           emit(static_cast<std::uint32_t>(index));
         }
       }

@@ -10,7 +10,8 @@
 #include <vector>
 
 #include "subsim/algo/registry.h"
-#include "subsim/util/timer.h"
+#include "subsim/obs/obs_json.h"
+#include "subsim/obs/phase_tracer.h"
 
 namespace subsim {
 
@@ -116,6 +117,19 @@ std::size_t QueryEngine::InvalidateGraph(const std::string& name) {
   return cache_.EraseGraph(name);
 }
 
+std::string QueryEngine::StatsJson() const {
+  std::string out = "{";
+  out += "\"cache_entries\":" + std::to_string(cache_.num_entries());
+  out += ",\"cache_hits\":" + std::to_string(cache_.hits());
+  out += ",\"cache_misses\":" + std::to_string(cache_.misses());
+  out += ",\"cache_evictions\":" + std::to_string(cache_.evictions());
+  out += ",\"cache_bytes\":" + std::to_string(cache_.ApproxMemoryBytes());
+  out += ",";
+  out += ObsJsonFields(metrics_.Snapshot(), &tracer_);
+  out += "}";
+  return out;
+}
+
 QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
                                            std::uint64_t query_id,
                                            double queue_seconds) {
@@ -123,11 +137,24 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
   response.query_id = query_id;
   response.query = query;
   response.stats.queue_seconds = queue_seconds;
-  WallTimer exec_timer;
+  metrics_.Histogram("serve.queue_us")
+      .Observe(static_cast<std::uint64_t>(queue_seconds * 1e6));
+  PhaseScope exec_span(&tracer_, "serve.exec");
 
   const auto finish = [&](Status status) -> QueryResponse {
+    response.stats.exec_seconds = exec_span.ElapsedSeconds();
+    exec_span.Close();
+    metrics_.Histogram("serve.exec_us")
+        .Observe(static_cast<std::uint64_t>(response.stats.exec_seconds * 1e6));
+    metrics_.Counter("serve.queries").Increment();
+    if (!status.ok()) {
+      metrics_.Counter("serve.errors").Increment();
+    }
+    metrics_.Gauge("serve.cache_entries")
+        .Set(static_cast<double>(cache_.num_entries()));
+    metrics_.Gauge("serve.cache_bytes")
+        .Set(static_cast<double>(cache_.ApproxMemoryBytes()));
     response.status = std::move(status);
-    response.stats.exec_seconds = exec_timer.ElapsedSeconds();
     return std::move(response);
   };
 
@@ -140,7 +167,9 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
   if (!algorithm.ok()) {
     return finish(algorithm.status());
   }
-  const ImOptions options = query.ToImOptions();
+  ImOptions options = query.ToImOptions();
+  // Every query — cached or fresh — records into the engine registry.
+  options.obs = ObsContext{&metrics_, &tracer_};
 
   if (!(*algorithm)->SupportsSampleReuse()) {
     // Cache-incompatible (HIST et al.): fresh, private sampling.

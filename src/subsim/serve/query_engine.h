@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "subsim/obs/metrics.h"
+#include "subsim/obs/phase_tracer.h"
 #include "subsim/serve/graph_registry.h"
 #include "subsim/serve/query.h"
 #include "subsim/serve/rr_sketch_cache.h"
@@ -56,12 +58,27 @@ class QueryEngine {
   const RrSketchCache& cache() const { return cache_; }
   GraphRegistry& registry() { return *registry_; }
 
+  /// The engine-lifetime metrics registry every query executes against
+  /// (`serve.*` plus whatever the algorithms and generators record).
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const PhaseTracer& tracer() const { return tracer_; }
+
+  /// One JSON object combining cache-level stats (`cache_entries`, ...)
+  /// with the observability fields (docs/observability.md) — what the
+  /// serve REPL's `stats` command prints.
+  std::string StatsJson() const;
+
  private:
   struct Impl;
 
   QueryResponse ExecuteInternal(const SelectSeedsQuery& query,
                                 std::uint64_t query_id, double queue_seconds);
 
+  // Declared before the cache: cached SampleStores carry ObsContext
+  // pointers into the registry, so they must be destroyed first.
+  MetricsRegistry metrics_;
+  PhaseTracer tracer_{4096, &metrics_};
   GraphRegistry* registry_;
   RrSketchCache cache_;
   std::unique_ptr<Impl> impl_;

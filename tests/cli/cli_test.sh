@@ -56,6 +56,76 @@ expect_in_output "run prints monte-carlo spread" "monte-carlo spread"
 check "run degree heuristic" 0 \
   "$CLI" run --in="$WORK/wc.txt" --algo=degree-discount --k=5
 
+# --- observability: run --metrics-json golden schema ---
+check "run emits metrics json" 0 \
+  "$CLI" run --in="$WORK/wc.txt" --algo=opim-c --k=5 --eps=0.2 \
+  --seed=3 --threads=1 --metrics-json="$WORK/metrics.json"
+expect_in_output "run reports metrics path" "metrics:"
+MJSON="$WORK/metrics.json"
+if [ -s "$MJSON" ]; then
+  echo "ok: metrics json written"
+else
+  echo "FAIL: metrics json missing or empty"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Top-level schema markers.
+for pattern in '"schema_version":1' '"counters":{' '"gauges":{' \
+    '"histograms":{' '"rr.set_size":{"count":' '"spans":\[' \
+    '"name":"opim_c.run"'; do
+  if grep -q "$pattern" "$MJSON"; then
+    echo "ok: metrics json has $pattern"
+  else
+    echo "FAIL: metrics json missing $pattern"
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+
+# Counter keys must match the documented schema exactly (values vary
+# with the doubling schedule, so only the keys are golden).
+sed -n 's/.*"counters":{\([^}]*\)}.*/\1/p' "$MJSON" | tr ',' '\n' \
+  | sed 's/:.*//' | sort > "$WORK/counter_keys.txt"
+cat > "$WORK/counter_keys_golden.txt" <<'EOF'
+"rr.edges_examined"
+"rr.geometric_skips"
+"rr.nodes_added"
+"rr.rejection_accepts"
+"rr.sentinel_hits"
+"rr.sets_generated"
+"store.fill_rounds"
+"store.sets_generated"
+EOF
+if diff "$WORK/counter_keys_golden.txt" "$WORK/counter_keys.txt" \
+    > "$WORK/keys.diff" 2>&1; then
+  echo "ok: metrics counter keys match golden schema"
+else
+  echo "FAIL: metrics counter keys diverge from golden schema"
+  sed 's/^/    /' "$WORK/keys.diff"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Value checks with tolerance: every RR set the stores generated is
+# counted once, and the certified ratio is a probability.
+SETS=$(sed -n 's/.*"rr.sets_generated":\([0-9]*\).*/\1/p' "$MJSON")
+STORE_SETS=$(sed -n 's/.*"store.sets_generated":\([0-9]*\).*/\1/p' "$MJSON")
+HIST_COUNT=$(sed -n 's/.*"rr.set_size":{"count":\([0-9]*\).*/\1/p' "$MJSON")
+if [ -n "$SETS" ] && [ "$SETS" -gt 0 ] && [ "$SETS" = "$STORE_SETS" ] \
+    && [ "$SETS" = "$HIST_COUNT" ]; then
+  echo "ok: metrics set counts agree ($SETS sets)"
+else
+  echo "FAIL: metrics set counts inconsistent" \
+       "(rr=$SETS store=$STORE_SETS hist=$HIST_COUNT)"
+  FAILURES=$((FAILURES + 1))
+fi
+RATIO=$(sed -n 's/.*"opim_c.approx_ratio":\([0-9.eE+-]*\).*/\1/p' "$MJSON")
+if [ -n "$RATIO" ] && \
+    awk "BEGIN{exit !($RATIO > 0.0 && $RATIO <= 1.0)}"; then
+  echo "ok: certified approx ratio in (0, 1] ($RATIO)"
+else
+  echo "FAIL: opim_c.approx_ratio missing or out of range ($RATIO)"
+  FAILURES=$((FAILURES + 1))
+fi
+
 check "calibrate uniform p" 0 \
   "$CLI" calibrate --in="$WORK/raw.txt" --model=uniform --target=50
 expect_in_output "calibrate reports p" "p = "
@@ -102,6 +172,8 @@ check "serve answers a REPL session" 0 \
 expect_in_output "serve lists graphs" '"graphs":\["wc"\]'
 expect_in_output "serve answers query" '"seeds":\[[0-9]'
 expect_in_output "serve reports cache stats" '"cache_entries"'
+expect_in_output "serve stats folds in metrics" '"schema_version":1'
+expect_in_output "serve stats counts queries" '"serve.queries":1'
 
 check "batch requires at least one graph" 1 \
   sh -c "echo 'graph=wc k=2' | '$CLI' batch"

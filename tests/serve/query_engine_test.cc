@@ -200,6 +200,57 @@ TEST_F(QueryEngineTest, InvalidateGraphDropsCacheEntries) {
   EXPECT_FALSE(after.stats.cache_hit);
 }
 
+TEST_F(QueryEngineTest, PerQueryMetricsFoldIntoEngineStats) {
+  QueryEngine engine(&registry_);
+
+  const QueryResponse cold = engine.Execute(BaseQuery("g"));
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  const QueryResponse warm = engine.Execute(BaseQuery("g"));
+  ASSERT_TRUE(warm.status.ok());
+  SelectSeedsQuery bad = BaseQuery("nope");
+  EXPECT_FALSE(engine.Execute(bad).status.ok());
+
+  const MetricsSnapshot snapshot = engine.metrics().Snapshot();
+  EXPECT_EQ(snapshot.counters.at("serve.queries"), 3u);
+  EXPECT_EQ(snapshot.counters.at("serve.errors"), 1u);
+  // Query execution latencies all land in the histogram...
+  EXPECT_EQ(snapshot.histograms.at("serve.exec_us").count, 3u);
+  // ...and the algorithm + generator work of both successful queries
+  // flowed into the same registry (the cold fill generated RR sets).
+  EXPECT_GE(snapshot.counters.at("rr.sets_generated"),
+            cold.stats.rr_sets_generated);
+  EXPECT_GT(snapshot.counters.count("store.fill_rounds"), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("serve.cache_entries"), 1.0);
+
+  // The engine run traces spans for both serve and algorithm phases.
+  bool saw_exec = false;
+  bool saw_algo = false;
+  for (const PhaseSpan& span : engine.tracer().Spans()) {
+    saw_exec = saw_exec || span.name == "serve.exec";
+    saw_algo = saw_algo || span.name == "opim_c.run";
+  }
+  EXPECT_TRUE(saw_exec);
+  EXPECT_TRUE(saw_algo);
+}
+
+TEST_F(QueryEngineTest, StatsJsonMergesCacheAndMetrics) {
+  QueryEngine engine(&registry_);
+  ASSERT_TRUE(engine.Execute(BaseQuery("g")).status.ok());
+
+  const std::string json = engine.StatsJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Cache keys keep their documented names (the serve REPL's `stats`
+  // output is greppable on "cache_entries")...
+  EXPECT_NE(json.find("\"cache_entries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_misses\":1"), std::string::npos);
+  // ...and the observability fields ride along in the same object.
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.queries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rr.set_size\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+}
+
 TEST(QueryParseTest, RoundTripsThroughEngine) {
   GraphRegistry registry;
   ASSERT_TRUE(registry.Register("g", ServeGraph(5)).ok());

@@ -1,0 +1,14 @@
+// Fixture: WallTimer inside the instrumented layers (algo/rrset/serve)
+// must be flagged — PhaseScope is the sanctioned stopwatch there. Never
+// compiled — linted only by subsim_lint.py --self-test.
+#include "subsim/util/timer.h"
+
+double TimeAPhaseByHand() {
+  subsim::WallTimer timer;  // LINT-EXPECT: ad-hoc-timer
+  return timer.ElapsedSeconds();
+}
+
+double TimeAPhaseWithAnExcuse() {
+  subsim::WallTimer timer;  // SUBSIM-NOLINT(ad-hoc-timer): fixture shows a reasoned suppression passes
+  return timer.ElapsedSeconds();
+}

@@ -10,7 +10,7 @@
 //   stats     --in=FILE
 //   run       --in=FILE --algo=imm|opim-c|ssa|hist|celf-mc [--k=K]
 //             [--eps=E] [--generator=vanilla|subsim|lt] [--seed=S]
-//             [--threads=N] [--evaluate[=SIMS]]
+//             [--threads=N] [--evaluate[=SIMS]] [--metrics-json=FILE]
 //   calibrate --in=FILE --model=wc-variant|uniform --target=AVG [--seed=S]
 //   batch     --graph=NAME=FILE [--graph=...] [--in=QUERIES|-]
 //             [--workers=N] [--cache-mb=M]
@@ -40,6 +40,9 @@
 #include "subsim/graph/graph_io.h"
 #include "subsim/graph/graph_stats.h"
 #include "subsim/graph/weight_models.h"
+#include "subsim/obs/metrics.h"
+#include "subsim/obs/obs_json.h"
+#include "subsim/obs/phase_tracer.h"
 #include "subsim/serve/graph_registry.h"
 #include "subsim/serve/query.h"
 #include "subsim/serve/query_engine.h"
@@ -269,9 +272,29 @@ int CmdRun(const Flags& flags) {
   options.generator = *generator;
   options.num_threads = static_cast<unsigned>(*threads);
 
+  // Observability is opt-in: without --metrics-json the run carries no
+  // registry and the instrumentation handles stay no-ops.
+  const std::string metrics_path = flags.Get("metrics-json", "");
+  MetricsRegistry metrics;
+  PhaseTracer tracer(/*max_spans=*/4096, &metrics);
+  if (!metrics_path.empty()) {
+    options.obs = ObsContext{&metrics, &tracer};
+  }
+
   const auto result = (*algorithm)->Run(*graph, options);
   if (!result.ok()) {
     return Fail(result.status());
+  }
+
+  if (!metrics_path.empty()) {
+    const std::string json = ObsJson(metrics.Snapshot(), &tracer);
+    std::FILE* out = std::fopen(metrics_path.c_str(), "w");
+    if (out == nullptr) {
+      return Fail(Status::IoError("cannot open " + metrics_path));
+    }
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("metrics: %s\n", metrics_path.c_str());
   }
 
   std::printf("seeds:");
@@ -492,7 +515,9 @@ int CmdServe(const Flags& flags) {
       continue;
     }
     if (text == "stats") {
-      std::printf("%s\n", CacheStatsJson(engine.cache()).c_str());
+      // Cache stats plus the engine's metrics snapshot, one JSON object
+      // (docs/observability.md documents the schema).
+      std::printf("%s\n", engine.StatsJson().c_str());
       std::fflush(stdout);
       continue;
     }

@@ -22,6 +22,11 @@ repository's architecture:
                        outside util/logging and util/check.h. Ad-hoc stderr
                        writes bypass the log-level filter and interleave
                        badly under concurrency.
+  ad-hoc-timer         No WallTimer inside src/subsim/{algo,rrset,serve}.
+                       Timing in instrumented layers flows through
+                       PhaseScope (src/subsim/obs/phase_tracer.h) so every
+                       measured interval shows up as a traced span; a
+                       null-tracer PhaseScope is still a plain stopwatch.
   nolint-needs-reason  A subsim NOLINT suppression must carry a reason:
                        `// SUBSIM-NOLINT(<rule>): <why>`.
 
@@ -52,6 +57,15 @@ RAW_THREAD_ALLOWED = (
     "serve/query_engine.cc",
 )
 IOSTREAM_ALLOWED = ("util/logging.h", "util/logging.cc", "util/check.h")
+
+# Inverse of the lists above: ad-hoc-timer fires only *inside* these paths
+# (instrumented layers where PhaseScope is the sanctioned stopwatch).
+AD_HOC_TIMER_FORBIDDEN = (
+    "src/subsim/algo/",
+    "src/subsim/rrset/",
+    "src/subsim/serve/",
+    "tools/lint_fixtures/",
+)
 
 NOLINT_RE = re.compile(
     r"SUBSIM-NOLINT\((?P<rules>[\w,\- ]+)\)(?::\s*(?P<reason>\S[^\n]*))?")
@@ -101,12 +115,17 @@ IOSTREAM_RE = re.compile(
     r"|\b(?:std::)?(?:printf|fprintf|puts|fputs)\s*\(",
     re.MULTILINE,
 )
+# Any mention of the type is a use: you cannot time with WallTimer without
+# naming it. (The include path itself lives in a string literal and is
+# blanked before matching, so the type name is the reliable signal.)
+AD_HOC_TIMER_RE = re.compile(r"\bWallTimer\b")
 
 ALL_RULES = (
     "status-discarded",
     "raw-random",
     "raw-thread",
     "iostream-logging",
+    "ad-hoc-timer",
     "nolint-needs-reason",
 )
 
@@ -276,6 +295,15 @@ def lint_file(
             report(line_of(code, m.start()), "iostream-logging",
                    "direct console output is forbidden outside util/logging;"
                    " use SUBSIM_LOG(level)")
+
+    # Rule: ad-hoc-timer (note the inverted path logic: the rule applies
+    # only inside the instrumented layers).
+    if allowed(path, AD_HOC_TIMER_FORBIDDEN):
+        for m in AD_HOC_TIMER_RE.finditer(code):
+            report(line_of(code, m.start()), "ad-hoc-timer",
+                   "WallTimer is forbidden in src/subsim/{algo,rrset,serve};"
+                   " time phases with PhaseScope (subsim/obs/phase_tracer.h)"
+                   " so the interval is traced as a span")
 
     # Rule: status-discarded.
     for offset, stmt in iter_statements(code):
