@@ -1,0 +1,173 @@
+// Parallel fill scaling: the thread-invariance contract plus the payoff.
+//
+// One FillCollection request is timed at 1/2/4/8 threads on the WC
+// benchmark graph. Because every RR set is a pure function of
+// (base_seed, set_index), every thread count must produce the same
+// ordered sample stream — this binary re-checks that byte for byte before
+// trusting any timing, so a scheduler regression can never masquerade as
+// a speedup.
+//
+// Pass criteria (checked, non-zero exit on failure):
+//   - every thread count's stream is byte-identical to the 1-thread run;
+//   - >= 3x fill speedup at 8 threads (enforced only when the machine
+//     actually has >= 8 hardware threads; reported otherwise).
+//
+// --metrics-json=FILE additionally dumps `bench.speedup_t<N>` gauges and
+// the fill counters in the standard observability schema.
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "subsim/benchsup/reporting.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/rrset/parallel_fill.h"
+#include "subsim/util/threading.h"
+#include "subsim/util/timer.h"
+
+namespace {
+
+subsim::Result<subsim::Graph> BuildBenchGraph(std::uint64_t seed) {
+  auto list = subsim::GenerateBarabasiAlbert(20000, 4, true, seed);
+  if (!list.ok()) {
+    return list.status();
+  }
+  if (const subsim::Status status = subsim::AssignWeights(
+          subsim::WeightModel::kWeightedCascade, {}, &list.value());
+      !status.ok()) {
+    return status;
+  }
+  return subsim::BuildGraph(std::move(list).value());
+}
+
+bool Identical(const subsim::RrCollection& a, const subsim::RrCollection& b) {
+  if (a.num_sets() != b.num_sets() || a.total_nodes() != b.total_nodes()) {
+    return false;
+  }
+  for (subsim::RrId id = 0; id < a.num_sets(); ++id) {
+    const auto sa = a.Set(id);
+    const auto sb = b.Set(id);
+    if (sa.size() != sb.size() ||
+        !std::equal(sa.begin(), sa.end(), sb.begin())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = subsim::ExperimentArgs::Parse(argc, argv, 1.0);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  subsim_bench::BenchObs obs(*args);
+
+  auto graph = BuildBenchGraph(args->seed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t count = args->quick ? 20000 : 100000;
+  const int reps = args->quick ? 1 : 3;
+  const unsigned hardware = subsim::ResolveNumThreads(0);
+
+  std::printf(
+      "Parallel fill scaling: BA n=%u WC, %zu SUBSIM-IC RR sets, "
+      "seed=%llu, %u hardware threads\n\n",
+      graph->num_nodes(), count,
+      static_cast<unsigned long long>(args->seed), hardware);
+
+  auto fill = [&](unsigned threads, subsim::RrCollection* out) {
+    subsim::RngStream rng = subsim::MakeRngStream(args->seed, 1);
+    subsim::FillRequest request;
+    request.kind = subsim::GeneratorKind::kSubsimIc;
+    request.graph = &*graph;
+    request.rng = &rng;
+    request.count = count;
+    request.num_threads = threads;
+    request.obs = obs.Context();
+    return subsim::FillCollection(request, out);
+  };
+
+  subsim::TablePrinter table({"threads", "best s", "sets/s", "speedup",
+                              "identical"});
+  subsim::RrCollection reference(graph->num_nodes());
+  double base_seconds = 0.0;
+  double speedup_at_8 = 0.0;
+  bool all_identical = true;
+
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    double best = 0.0;
+    subsim::RrCollection collection(graph->num_nodes());
+    for (int rep = 0; rep < reps; ++rep) {
+      subsim::RrCollection fresh(graph->num_nodes());
+      const subsim::WallTimer timer;
+      if (const subsim::Status status = fill(threads, &fresh); !status.ok()) {
+        std::fprintf(stderr, "fill t=%u: %s\n", threads,
+                     status.ToString().c_str());
+        return 1;
+      }
+      const double seconds = timer.ElapsedSeconds();
+      if (rep == 0 || seconds < best) {
+        best = seconds;
+      }
+      collection = std::move(fresh);
+    }
+
+    bool identical = true;
+    if (threads == 1) {
+      reference = std::move(collection);
+      base_seconds = best;
+    } else {
+      identical = Identical(reference, collection);
+      all_identical = all_identical && identical;
+    }
+    const double speedup = base_seconds / best;
+    if (threads == 8) {
+      speedup_at_8 = speedup;
+    }
+    if (obs.enabled()) {
+      obs.Context()
+          .metrics->Gauge("bench.speedup_t" + std::to_string(threads))
+          .Set(speedup);
+    }
+    table.AddRow({std::to_string(threads),
+                  subsim::FormatDouble(best, 3),
+                  subsim::FormatDouble(static_cast<double>(count) / best, 0),
+                  subsim::FormatDouble(speedup, 2),
+                  identical ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  if (!obs.Write()) {
+    return 1;
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "\nFAIL: sample streams differ across thread counts\n");
+    return 1;
+  }
+  std::printf("\nall thread counts byte-identical to the 1-thread stream\n");
+
+  if (hardware >= 8 && speedup_at_8 < 3.0) {
+    std::fprintf(stderr, "FAIL: speedup at 8 threads %.2fx < 3x\n",
+                 speedup_at_8);
+    return 1;
+  }
+  if (hardware < 8) {
+    std::printf("speedup bar skipped: only %u hardware threads\n", hardware);
+  } else {
+    std::printf("speedup at 8 threads: %.2fx (bar: 3x)\n", speedup_at_8);
+  }
+  return 0;
+}

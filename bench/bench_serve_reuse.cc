@@ -4,9 +4,9 @@
 // workload (an analyst ratcheting the budget up). Cold, every query pays
 // its full RR-sampling bill from scratch; warm, the shared `SampleStore`
 // means each query only generates the gap beyond the longest prefix any
-// earlier query committed. The sequential stores make this reuse exact:
-// every warm answer is bit-identical to the cold solve with the same
-// options.
+// earlier query committed. Counter-based sample streams make this reuse
+// exact: every warm answer is bit-identical to the cold solve with the
+// same options, whatever thread count filled the store.
 //
 // Pass criteria (checked, non-zero exit on failure):
 //   - warm runs generate >= 5x fewer new RR sets than cold runs in total;

@@ -58,10 +58,9 @@ struct SentinelPhase {
 
 /// Algorithm 7: SentinelSet(G, k, eps1, delta1).
 Result<SentinelPhase> RunSentinelSet(const Graph& graph,
-                                     RrGenerator& generator,
-                                     RrGenerator& sentinel_generator,
                                      const ImOptions& options, double eps1,
-                                     double delta1, Rng& rng1, Rng& rng2) {
+                                     double delta1, RngStream& rng1,
+                                     RngStream& rng2) {
   const NodeId n = graph.num_nodes();
   const std::uint32_t k = options.k;
 
@@ -76,9 +75,11 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
 
   SentinelPhase phase;
   RrCollection r1(n);
-  SUBSIM_RETURN_IF_ERROR(FillCollection(options.generator, graph, generator,
-                                        rng1, theta0, options.num_threads, {},
-                                        &r1, options.obs));
+  SUBSIM_RETURN_IF_ERROR(FillCollection(
+      {.kind = options.generator, .graph = &graph, .rng = &rng1,
+       .count = theta0, .num_threads = options.num_threads,
+       .sentinels = {}, .obs = options.obs},
+      &r1));
   MeterHistFill(metrics, /*truncated=*/false, r1, 0, 0, 0);
 
   CoverageGreedyOptions greedy_options;
@@ -115,13 +116,15 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
                                     greedy.seeds.begin() + b);
       const double target = HistApproxTarget(k, b, eps1);
 
-      // Lines 9-12: verify on an independent sentinel-truncated R2.
-      sentinel_generator.SetSentinels(candidate);
+      // Lines 9-12: verify on an independent sentinel-truncated R2. The
+      // rng2 cursor persists across iterations even though r2 is rebuilt,
+      // so every iteration verifies on fresh samples.
       RrCollection r2(n);
-      SUBSIM_RETURN_IF_ERROR(
-          FillCollection(options.generator, graph, sentinel_generator, rng2,
-                         r1.num_sets(), options.num_threads, candidate, &r2,
-                         options.obs));
+      SUBSIM_RETURN_IF_ERROR(FillCollection(
+          {.kind = options.generator, .graph = &graph, .rng = &rng2,
+           .count = r1.num_sets(), .num_threads = options.num_threads,
+           .sentinels = candidate, .obs = options.obs},
+          &r2));
       MeterHistFill(metrics, /*truncated=*/true, r2, 0, 0, 0);
       std::uint64_t cov = ComputeCoverage(r2, candidate);
       double lower = OpimLowerBound(cov, r2.num_sets(), n, delta_l);
@@ -136,11 +139,11 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
       const std::uint64_t r2_sets = r2.num_sets();
       const std::uint64_t r2_nodes = r2.total_nodes();
       const std::uint64_t r2_hits = r2.num_hit_sentinel();
-      SUBSIM_RETURN_IF_ERROR(FillCollection(options.generator, graph,
-                                            sentinel_generator, rng2,
-                                            3 * r1.num_sets(),
-                                            options.num_threads, candidate,
-                                            &r2, options.obs));
+      SUBSIM_RETURN_IF_ERROR(FillCollection(
+          {.kind = options.generator, .graph = &graph, .rng = &rng2,
+           .count = 3 * r1.num_sets(), .num_threads = options.num_threads,
+           .sentinels = candidate, .obs = options.obs},
+          &r2));
       MeterHistFill(metrics, /*truncated=*/true, r2, r2_sets, r2_nodes,
                     r2_hits);
       cov = ComputeCoverage(r2, candidate);
@@ -158,10 +161,11 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
     if (i < i_max) {
       const std::uint64_t r1_sets = r1.num_sets();
       const std::uint64_t r1_nodes = r1.total_nodes();
-      SUBSIM_RETURN_IF_ERROR(
-          FillCollection(options.generator, graph, generator, rng1,
-                         r1.num_sets(), options.num_threads, {}, &r1,
-                         options.obs));
+      SUBSIM_RETURN_IF_ERROR(FillCollection(
+          {.kind = options.generator, .graph = &graph, .rng = &rng1,
+           .count = r1.num_sets(), .num_threads = options.num_threads,
+           .sentinels = {}, .obs = options.obs},
+          &r1));
       MeterHistFill(metrics, /*truncated=*/false, r1, r1_sets, r1_nodes, 0);
     }
   }
@@ -191,22 +195,13 @@ Result<ImResult> Hist::Run(const Graph& graph,
   const double delta1 = delta / 2.0;
   const double delta2 = delta / 2.0;
 
-  Result<std::unique_ptr<RrGenerator>> gen_plain =
-      MakeRrGenerator(options.generator, graph);
-  if (!gen_plain.ok()) {
-    return gen_plain.status();
-  }
-  Result<std::unique_ptr<RrGenerator>> gen_sentinel =
-      MakeRrGenerator(options.generator, graph);
-  if (!gen_sentinel.ok()) {
-    return gen_sentinel.status();
-  }
-
-  Rng master(options.rng_seed);
-  Rng rng1 = master.Fork(1);
-  Rng rng2 = master.Fork(2);
-  Rng rng3 = master.Fork(3);
-  Rng rng4 = master.Fork(4);
+  // Four independent counter-based sample streams; fills construct their
+  // own generators, and each stream's cursor makes its samples a pure
+  // function of (rng_seed, stream, index) — invariant to thread count.
+  RngStream rng1 = MakeRngStream(options.rng_seed, 1);
+  RngStream rng2 = MakeRngStream(options.rng_seed, 2);
+  RngStream rng3 = MakeRngStream(options.rng_seed, 3);
+  RngStream rng4 = MakeRngStream(options.rng_seed, 4);
 
   // ---- Phase 1: sentinel selection (Algorithm 7). ----
   // Guard: the sentinel phase only pays off when its relaxed target
@@ -220,9 +215,8 @@ Result<ImResult> Hist::Run(const Graph& graph,
 
   SentinelPhase phase1;
   if (sentinel_phase_useful) {
-    Result<SentinelPhase> sentinel_result = RunSentinelSet(
-        graph, **gen_plain, **gen_sentinel, options, eps1, delta1, rng1,
-        rng2);
+    Result<SentinelPhase> sentinel_result =
+        RunSentinelSet(graph, options, eps1, delta1, rng1, rng2);
     if (!sentinel_result.ok()) {
       return sentinel_result.status();
     }
@@ -252,7 +246,6 @@ Result<ImResult> Hist::Run(const Graph& graph,
   // With an empty sentinel set (b == 0) phase 2 degenerates to plain
   // OPIM-C-style sampling, so its sets are metered as untruncated.
   const bool phase2_truncated = b > 0;
-  (*gen_sentinel)->SetSentinels(sentinels);
   const std::uint64_t theta0 = InitialTheta(delta2);
   const std::uint64_t theta_max = HistPhase2ThetaMax(n, k, b, eps2, delta2);
   const std::uint32_t i_max = DoublingIterations(theta0, theta_max);
@@ -261,13 +254,17 @@ Result<ImResult> Hist::Run(const Graph& graph,
 
   RrCollection r1(n);
   RrCollection r2(n);
-  SUBSIM_RETURN_IF_ERROR(
-      FillCollection(options.generator, graph, **gen_sentinel, rng3, theta0,
-                     options.num_threads, sentinels, &r1, options.obs));
+  SUBSIM_RETURN_IF_ERROR(FillCollection(
+      {.kind = options.generator, .graph = &graph, .rng = &rng3,
+       .count = theta0, .num_threads = options.num_threads,
+       .sentinels = sentinels, .obs = options.obs},
+      &r1));
   MeterHistFill(metrics, phase2_truncated, r1, 0, 0, 0);
-  SUBSIM_RETURN_IF_ERROR(
-      FillCollection(options.generator, graph, **gen_sentinel, rng4, theta0,
-                     options.num_threads, sentinels, &r2, options.obs));
+  SUBSIM_RETURN_IF_ERROR(FillCollection(
+      {.kind = options.generator, .graph = &graph, .rng = &rng4,
+       .count = theta0, .num_threads = options.num_threads,
+       .sentinels = sentinels, .obs = options.obs},
+      &r2));
   MeterHistFill(metrics, phase2_truncated, r2, 0, 0, 0);
 
   CoverageGreedyOptions greedy_options;
@@ -320,18 +317,20 @@ Result<ImResult> Hist::Run(const Graph& graph,
     }
     const std::uint64_t r1_marks[3] = {r1.num_sets(), r1.total_nodes(),
                                        r1.num_hit_sentinel()};
-    SUBSIM_RETURN_IF_ERROR(
-        FillCollection(options.generator, graph, **gen_sentinel, rng3,
-                       r1.num_sets(), options.num_threads, sentinels, &r1,
-                       options.obs));
+    SUBSIM_RETURN_IF_ERROR(FillCollection(
+        {.kind = options.generator, .graph = &graph, .rng = &rng3,
+         .count = r1.num_sets(), .num_threads = options.num_threads,
+         .sentinels = sentinels, .obs = options.obs},
+        &r1));
     MeterHistFill(metrics, phase2_truncated, r1, r1_marks[0], r1_marks[1],
                   r1_marks[2]);
     const std::uint64_t r2_marks[3] = {r2.num_sets(), r2.total_nodes(),
                                        r2.num_hit_sentinel()};
-    SUBSIM_RETURN_IF_ERROR(
-        FillCollection(options.generator, graph, **gen_sentinel, rng4,
-                       r2.num_sets(), options.num_threads, sentinels, &r2,
-                       options.obs));
+    SUBSIM_RETURN_IF_ERROR(FillCollection(
+        {.kind = options.generator, .graph = &graph, .rng = &rng4,
+         .count = r2.num_sets(), .num_threads = options.num_threads,
+         .sentinels = sentinels, .obs = options.obs},
+        &r2));
     MeterHistFill(metrics, phase2_truncated, r2, r2_marks[0], r2_marks[1],
                   r2_marks[2]);
   }

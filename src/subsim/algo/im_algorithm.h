@@ -34,11 +34,11 @@ struct ImOptions {
   /// its "HIST+SUBSIM".
   GeneratorKind generator = GeneratorKind::kVanillaIc;
 
-  /// Worker threads for RR-set generation (`ParallelFill`): 1 (default)
-  /// keeps the sequential reference path — byte-identical across machines
-  /// and required for cross-query sample reuse; 0 = hardware concurrency;
-  /// N = N workers. Parallel runs are deterministic for a fixed
-  /// (rng_seed, thread count) but not comparable to sequential runs.
+  /// Worker threads for RR-set generation (`FillCollection`): 1 (default)
+  /// runs fills inline; 0 = hardware concurrency; N = N workers. Every RR
+  /// set is drawn from a counter-based substream of `rng_seed`, so the
+  /// sample stream — and therefore the selected seeds — is byte-identical
+  /// for every value; the thread count changes wall-clock time only.
   unsigned num_threads = 1;
 
   /// Optional observability sinks (must outlive the run). Attaching them

@@ -11,15 +11,15 @@ namespace subsim {
 
 Result<std::unique_ptr<SampleStore>> Imm::MakeSampleStore(
     const Graph& graph, const ImOptions& options) const {
-  // Stream 0 carries the single IMM collection (fork 1, matching the cold
-  // run); stream 1 (fork 2) exists for the store's fixed shape and stays
-  // empty.
-  Rng master(options.rng_seed);
+  // Stream 0 carries the single IMM collection (logical stream 1, matching
+  // the cold run); stream 1 (logical stream 2) exists for the store's fixed
+  // shape and stays empty.
   SampleStore::Options store_options;
   store_options.num_threads = options.num_threads;
   store_options.obs = options.obs;
   return SampleStore::Create(graph, options.generator,
-                             {master.Fork(1), master.Fork(2)},
+                             {MakeRngStream(options.rng_seed, 1),
+                              MakeRngStream(options.rng_seed, 2)},
                              store_options);
 }
 

@@ -14,13 +14,13 @@ namespace subsim {
 Result<std::unique_ptr<SampleStore>> OpimC::MakeSampleStore(
     const Graph& graph, const ImOptions& options) const {
   // Same stream lineage as the original cold run: R1 and R2 are fed by
-  // independent forks 1 and 2 of the master seed.
-  Rng master(options.rng_seed);
+  // independent logical streams 1 and 2 of the master seed.
   SampleStore::Options store_options;
   store_options.num_threads = options.num_threads;
   store_options.obs = options.obs;
   return SampleStore::Create(graph, options.generator,
-                             {master.Fork(1), master.Fork(2)},
+                             {MakeRngStream(options.rng_seed, 1),
+                              MakeRngStream(options.rng_seed, 2)},
                              store_options);
 }
 

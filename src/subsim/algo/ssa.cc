@@ -22,12 +22,6 @@ Result<ImResult> Ssa::Run(const Graph& graph,
   const double eps = options.epsilon;
   const double delta = options.EffectiveDelta(n);
 
-  Result<std::unique_ptr<RrGenerator>> generator =
-      MakeRrGenerator(options.generator, graph);
-  if (!generator.ok()) {
-    return generator.status();
-  }
-
   // Epsilon split: eps1 guards the stare test (validated estimate vs
   // selection estimate), eps3 the concentration floor.
   const double eps1 = eps / 2.0;
@@ -48,9 +42,8 @@ Result<ImResult> Ssa::Run(const Graph& graph,
   const std::uint32_t i_max = DoublingIterations(theta0, theta_max);
   const double delta_iter = delta / (3.0 * i_max);
 
-  Rng master(options.rng_seed);
-  Rng rng1 = master.Fork(1);
-  Rng rng2 = master.Fork(2);
+  RngStream rng1 = MakeRngStream(options.rng_seed, 1);
+  RngStream rng2 = MakeRngStream(options.rng_seed, 2);
   RrCollection r1(n);
   RrCollection r2(n);
 
@@ -61,10 +54,11 @@ Result<ImResult> Ssa::Run(const Graph& graph,
   for (std::uint32_t i = 1; i <= i_max; ++i) {
     PhaseScope round_span(options.obs.tracer, "ssa.round");
     const std::uint64_t target = theta0 << (i - 1);
-    SUBSIM_RETURN_IF_ERROR(
-        FillCollection(options.generator, graph, **generator, rng1,
-                       target - r1.num_sets(), options.num_threads, {}, &r1,
-                       options.obs));
+    SUBSIM_RETURN_IF_ERROR(FillCollection(
+        {.kind = options.generator, .graph = &graph, .rng = &rng1,
+         .count = target - r1.num_sets(), .num_threads = options.num_threads,
+         .sentinels = {}, .obs = options.obs},
+        &r1));
 
     const CoverageGreedyResult greedy = RunCoverageGreedy(r1, greedy_options);
     const double selection_estimate =
@@ -73,10 +67,11 @@ Result<ImResult> Ssa::Run(const Graph& graph,
         static_cast<double>(r1.num_sets());
 
     // Stare: validate on the independent collection.
-    SUBSIM_RETURN_IF_ERROR(
-        FillCollection(options.generator, graph, **generator, rng2,
-                       target - r2.num_sets(), options.num_threads, {}, &r2,
-                       options.obs));
+    SUBSIM_RETURN_IF_ERROR(FillCollection(
+        {.kind = options.generator, .graph = &graph, .rng = &rng2,
+         .count = target - r2.num_sets(), .num_threads = options.num_threads,
+         .sentinels = {}, .obs = options.obs},
+        &r2));
     const std::uint64_t cov2 = ComputeCoverage(r2, greedy.seeds);
     const double validated_estimate = static_cast<double>(n) *
                                       static_cast<double>(cov2) /

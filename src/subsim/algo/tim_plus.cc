@@ -29,8 +29,10 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
     return generator.status();
   }
 
-  Rng master(options.rng_seed);
-  Rng gen_rng = master.Fork(1);
+  // The KPT* probe loop below draws sets one at a time (it inspects each
+  // set before deciding whether to stop), so it keeps a plain sequential
+  // Rng; the bulk fills use counter-based streams 2 and 3.
+  Rng gen_rng(DeriveStreamSeed(options.rng_seed, 1));
   RrCollection collection(n);
   std::vector<NodeId> scratch;
 
@@ -87,14 +89,15 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
         std::ceil((2.0 + eps_prime) * l * ln_n * static_cast<double>(n) /
                   (eps_prime * eps_prime * kpt_star)));
     RrCollection refine(n);
-    Rng refine_rng = master.Fork(2);
+    RngStream refine_rng = MakeRngStream(options.rng_seed, 2);
     // Cap the refinement effort; it is a heuristic tightener.
     const std::uint64_t capped =
         std::min<std::uint64_t>(refine_batch, 1u << 18);
-    SUBSIM_RETURN_IF_ERROR(
-        FillCollection(options.generator, graph, **generator, refine_rng,
-                       capped, options.num_threads, {}, &refine,
-                       options.obs));
+    SUBSIM_RETURN_IF_ERROR(FillCollection(
+        {.kind = options.generator, .graph = &graph, .rng = &refine_rng,
+         .count = capped, .num_threads = options.num_threads,
+         .sentinels = {}, .obs = options.obs},
+        &refine));
     const std::uint64_t cov = ComputeCoverage(refine, candidate.seeds);
     const double estimate = static_cast<double>(cov) * n /
                             static_cast<double>(refine.num_sets());
@@ -114,11 +117,12 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
   // TIM+ regenerates its RR sets for the selection phase (unlike IMM, its
   // analysis needs independence from the estimation phase).
   RrCollection selection(n);
-  Rng selection_rng = master.Fork(3);
-  SUBSIM_RETURN_IF_ERROR(
-      FillCollection(options.generator, graph, **generator, selection_rng,
-                     theta, options.num_threads, {}, &selection,
-                     options.obs));
+  RngStream selection_rng = MakeRngStream(options.rng_seed, 3);
+  SUBSIM_RETURN_IF_ERROR(FillCollection(
+      {.kind = options.generator, .graph = &graph, .rng = &selection_rng,
+       .count = theta, .num_threads = options.num_threads,
+       .sentinels = {}, .obs = options.obs},
+      &selection));
   const CoverageGreedyResult greedy =
       RunCoverageGreedy(selection, greedy_options);
 

@@ -88,4 +88,19 @@ Rng Rng::Fork(std::uint64_t stream) const {
   return Rng(seed ^ stream);
 }
 
+Rng Rng::Substream(std::uint64_t base_seed, std::uint64_t set_index) {
+  // Same mixing recipe as Fork, but keyed on a plain seed instead of live
+  // engine state so the result is a pure function of its two arguments.
+  std::uint64_t mix =
+      base_seed ^ Rotl(base_seed, 29) ^ (set_index * 0xd1342543de82ef95ull);
+  std::uint64_t seed = SplitMix64(&mix);
+  return Rng(seed ^ set_index);
+}
+
+std::uint64_t DeriveStreamSeed(std::uint64_t master_seed,
+                               std::uint64_t stream) {
+  std::uint64_t mix = master_seed ^ (stream * 0x94d049bb133111ebull);
+  return SplitMix64(&mix) ^ stream;
+}
+
 }  // namespace subsim

@@ -42,6 +42,14 @@ class Rng {
   /// independent; forking does not advance this generator.
   Rng Fork(std::uint64_t stream) const;
 
+  /// Counter-based substream: an independent generator that is a pure
+  /// function of `(base_seed, set_index)` — no parent state involved. This
+  /// is the thread-invariance primitive: when every RR set at index `i` is
+  /// generated from `Substream(base_seed, i)`, the ordered sample stream is
+  /// byte-identical regardless of how indices are scheduled across worker
+  /// threads. Uses the same SplitMix-style mixing as `Fork`.
+  static Rng Substream(std::uint64_t base_seed, std::uint64_t set_index);
+
   using result_type = std::uint64_t;
   result_type operator()() { return NextU64(); }
   static constexpr result_type min() { return 0; }
@@ -50,6 +58,33 @@ class Rng {
  private:
   std::uint64_t s_[4];
 };
+
+/// Derives the base seed of logical stream `stream` from a master seed.
+/// This is how algorithms split one `rng_seed` into independent sample
+/// streams (R1/R2, sentinel stream, ...) without holding a parent `Rng`:
+/// the result feeds `RngStream::base_seed`, and individual sets come from
+/// `Rng::Substream(base_seed, index)`.
+std::uint64_t DeriveStreamSeed(std::uint64_t master_seed,
+                               std::uint64_t stream);
+
+/// Cursor over a counter-based sample stream. Element `i` of the stream is
+/// `Rng::Substream(base_seed, i)`; fills consume indices starting at
+/// `next_index` and advance it. The cursor is owned by the caller (not by
+/// any collection), so a logical stream survives collection resets — e.g.
+/// HIST regenerates a fresh sentinel collection every iteration while
+/// continuing the same stream — and a fill's output depends only on
+/// `(base_seed, next_index, count)`, never on thread count or on how the
+/// same total was split across calls.
+struct RngStream {
+  std::uint64_t base_seed = 0;
+  std::uint64_t next_index = 0;
+};
+
+/// Stream `stream` of master seed `master_seed`, positioned at index 0.
+inline RngStream MakeRngStream(std::uint64_t master_seed,
+                               std::uint64_t stream) {
+  return RngStream{DeriveStreamSeed(master_seed, stream), 0};
+}
 
 }  // namespace subsim
 

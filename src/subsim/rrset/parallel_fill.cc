@@ -1,11 +1,21 @@
 #include "subsim/rrset/parallel_fill.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "subsim/util/check.h"
+#include "subsim/util/threading.h"
 
 namespace subsim {
 
 namespace {
+
+/// Sets per scheduler chunk. Small enough to load-balance heavy-tailed set
+/// sizes across workers, large enough that the atomic claim is noise.
+constexpr std::size_t kChunkSize = 64;
 
 /// One worker's output: flattened sets plus their boundaries and flags.
 struct WorkerBuffer {
@@ -14,118 +24,138 @@ struct WorkerBuffer {
   std::vector<std::uint8_t> hits;
   /// Final generator stats; flushed to metrics after the join.
   RrGenStats stats;
+  std::uint64_t chunks_claimed = 0;
+};
+
+/// Where a chunk's sets landed. Written once by the claiming worker, read
+/// by the merge after the join.
+struct ChunkRef {
+  unsigned worker = 0;
+  std::size_t set_begin = 0;   // index into the worker's sizes/hits
+  std::size_t node_begin = 0;  // index into the worker's nodes
+  std::size_t count = 0;
 };
 
 }  // namespace
 
-Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
-                    std::size_t count, const ParallelFillOptions& options,
-                    RrCollection* collection) {
-  unsigned num_threads = options.num_threads;
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) {
-      num_threads = 1;
-    }
-  }
-  if (num_threads > count) {
-    num_threads = count > 0 ? static_cast<unsigned>(count) : 1;
-  }
+Status FillCollection(const FillRequest& request, RrCollection* collection) {
+  SUBSIM_CHECK(request.graph != nullptr, "FillRequest.graph must be set");
+  SUBSIM_CHECK(request.rng != nullptr, "FillRequest.rng must be set");
+  SUBSIM_CHECK(collection != nullptr, "FillCollection needs a collection");
 
-  // Validate generator construction once up front (e.g. LT weight sums) so
-  // workers cannot fail after threads have started.
-  {
-    Result<std::unique_ptr<RrGenerator>> probe = MakeRrGenerator(kind, graph);
-    if (!probe.ok()) {
-      return probe.status();
-    }
+  // Validate generator construction up front (e.g. LT weight sums) so
+  // workers cannot fail after threads have started; the probe then serves
+  // as worker 0's generator so index-building generators are built once.
+  Result<std::unique_ptr<RrGenerator>> probe =
+      MakeRrGenerator(request.kind, *request.graph);
+  if (!probe.ok()) {
+    return probe.status();
   }
+  const std::size_t count = request.count;
   if (count == 0) {
     return Status::Ok();
   }
 
-  std::vector<WorkerBuffer> buffers(num_threads);
-  std::vector<Rng> worker_rngs;
-  worker_rngs.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    worker_rngs.push_back(rng.Fork(0x9E3779B9ull + t));
+  unsigned num_threads = ResolveNumThreads(request.num_threads);
+  if (num_threads > count) {
+    num_threads = static_cast<unsigned>(count);
   }
-  rng.NextU64();  // advance the parent so the next call forks new streams
 
-  auto worker = [&](unsigned t) {
-    const std::size_t begin = count * t / num_threads;
-    const std::size_t end = count * (t + 1) / num_threads;
-    Result<std::unique_ptr<RrGenerator>> generator =
-        MakeRrGenerator(kind, graph);
-    // Construction succeeded on the probe above; a failure here would mean
-    // non-deterministic construction, which the factories do not do.
-    SUBSIM_CHECK(generator.ok(), "generator construction raced");
-    (*generator)->SetSentinels(options.sentinels);
+  const std::uint64_t base_seed = request.rng->base_seed;
+  const std::uint64_t first_index = request.rng->next_index;
+  const std::size_t num_chunks = (count + kChunkSize - 1) / kChunkSize;
 
+  std::vector<ChunkRef> chunks(num_chunks);
+  std::vector<WorkerBuffer> buffers(num_threads);
+  std::atomic<std::size_t> next_chunk{0};
+
+  // Workers claim chunks of consecutive set indices off the shared counter.
+  // Set `first_index + i` is a pure function of `(base_seed, first_index +
+  // i)` — no worker-local RNG state — so which worker generates it is
+  // irrelevant to its bytes, and the chunk table lets the merge restore
+  // index order exactly.
+  auto worker = [&](unsigned t, RrGenerator* generator) {
+    generator->SetSentinels(request.sentinels);
     WorkerBuffer& buffer = buffers[t];
     std::vector<NodeId> scratch;
-    for (std::size_t i = begin; i < end; ++i) {
-      const bool hit = (*generator)->Generate(worker_rngs[t], &scratch);
-      buffer.nodes.insert(buffer.nodes.end(), scratch.begin(),
-                          scratch.end());
-      buffer.sizes.push_back(static_cast<std::uint32_t>(scratch.size()));
-      buffer.hits.push_back(hit ? 1 : 0);
+    for (;;) {
+      const std::size_t chunk =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) {
+        break;
+      }
+      ++buffer.chunks_claimed;
+      const std::size_t begin = chunk * kChunkSize;
+      const std::size_t end = std::min(begin + kChunkSize, count);
+      ChunkRef& ref = chunks[chunk];
+      ref.worker = t;
+      ref.set_begin = buffer.sizes.size();
+      ref.node_begin = buffer.nodes.size();
+      ref.count = end - begin;
+      for (std::size_t i = begin; i < end; ++i) {
+        Rng set_rng = Rng::Substream(base_seed, first_index + i);
+        const bool hit = generator->Generate(set_rng, &scratch);
+        buffer.nodes.insert(buffer.nodes.end(), scratch.begin(),
+                            scratch.end());
+        buffer.sizes.push_back(static_cast<std::uint32_t>(scratch.size()));
+        buffer.hits.push_back(hit ? 1 : 0);
+      }
     }
-    buffer.stats = (*generator)->stats();
+    buffer.stats = generator->stats();
   };
 
   if (num_threads == 1) {
-    worker(0);
+    worker(0, probe->get());
   } else {
     std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-      threads.emplace_back(worker, t);
+    threads.reserve(num_threads - 1);
+    for (unsigned t = 1; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        Result<std::unique_ptr<RrGenerator>> generator =
+            MakeRrGenerator(request.kind, *request.graph);
+        // Construction succeeded on the probe above; a failure here would
+        // mean non-deterministic construction, which the factories do not
+        // do.
+        SUBSIM_CHECK(generator.ok(), "generator construction raced");
+        worker(t, generator->get());
+      });
     }
+    worker(0, probe->get());
     for (std::thread& thread : threads) {
       thread.join();
     }
   }
 
   MetricsRegistry::HistogramHandle set_size;
-  if (options.obs.metrics != nullptr) {
-    set_size = options.obs.metrics->Histogram("rr.set_size");
-    options.obs.metrics->Counter("fill.parallel_rounds").Increment();
+  if (request.obs.metrics != nullptr) {
+    set_size = request.obs.metrics->Histogram("rr.set_size");
+    request.obs.metrics->Counter("fill.chunks_claimed")
+        .Add(static_cast<std::uint64_t>(num_chunks));
+    request.obs.metrics->Counter("fill.substream_forks")
+        .Add(static_cast<std::uint64_t>(count));
   }
 
-  // Deterministic merge: worker order, generation order within worker.
-  for (const WorkerBuffer& buffer : buffers) {
-    std::size_t offset = 0;
-    for (std::size_t i = 0; i < buffer.sizes.size(); ++i) {
+  // Index-order merge: chunk c holds sets [c*kChunkSize, ...), so walking
+  // the chunk table front to back appends the stream in index order no
+  // matter which worker produced each chunk.
+  for (const ChunkRef& ref : chunks) {
+    const WorkerBuffer& buffer = buffers[ref.worker];
+    std::size_t offset = ref.node_begin;
+    for (std::size_t i = 0; i < ref.count; ++i) {
+      const std::uint32_t size = buffer.sizes[ref.set_begin + i];
       collection->Add(
-          std::span<const NodeId>(buffer.nodes.data() + offset,
-                                  buffer.sizes[i]),
-          buffer.hits[i] != 0);
-      set_size.Observe(buffer.sizes[i]);
-      offset += buffer.sizes[i];
+          std::span<const NodeId>(buffer.nodes.data() + offset, size),
+          buffer.hits[ref.set_begin + i] != 0);
+      set_size.Observe(size);
+      offset += size;
     }
-    FlushRrGenStatsDelta(RrGenStats(), buffer.stats, options.obs.metrics);
   }
-  return Status::Ok();
-}
+  for (const WorkerBuffer& buffer : buffers) {
+    FlushRrGenStatsDelta(RrGenStats(), buffer.stats, request.obs.metrics);
+  }
 
-Status FillCollection(GeneratorKind kind, const Graph& graph,
-                      RrGenerator& sequential, Rng& rng, std::size_t count,
-                      unsigned num_threads,
-                      std::span<const NodeId> sentinels,
-                      RrCollection* collection, const ObsContext& obs) {
-  if (num_threads == 1) {
-    if (obs.metrics != nullptr) {
-      obs.metrics->Counter("fill.sequential_rounds").Increment();
-    }
-    sequential.Fill(rng, count, collection, obs);
-    return Status::Ok();
-  }
-  ParallelFillOptions options;
-  options.num_threads = num_threads;
-  options.sentinels.assign(sentinels.begin(), sentinels.end());
-  options.obs = obs;
-  return ParallelFill(kind, graph, rng, count, options, collection);
+  request.rng->next_index = first_index + count;
+  return Status::Ok();
 }
 
 }  // namespace subsim

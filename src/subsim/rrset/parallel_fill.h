@@ -2,6 +2,7 @@
 #define SUBSIM_RRSET_PARALLEL_FILL_H_
 
 #include <cstddef>
+#include <span>
 
 #include "subsim/graph/graph.h"
 #include "subsim/obs/obs_context.h"
@@ -12,50 +13,51 @@
 
 namespace subsim {
 
-/// Options for multi-threaded RR-set generation.
-struct ParallelFillOptions {
-  /// Worker count; 0 means std::thread::hardware_concurrency() (min 1).
-  unsigned num_threads = 0;
+/// One RR-set fill, fully described. Designated-initializer friendly:
+///
+///   RngStream stream = MakeRngStream(seed, 1);
+///   SUBSIM_RETURN_IF_ERROR(FillCollection(
+///       {.kind = GeneratorKind::kSubsimIc, .graph = &graph, .rng = &stream,
+///        .count = theta, .num_threads = options.num_threads},
+///       &collection));
+struct FillRequest {
+  /// RR-set generation strategy; generators are constructed internally
+  /// (one per worker), so construction failures (e.g. LT weight-sum
+  /// violations) surface as the fill's Status.
+  GeneratorKind kind = GeneratorKind::kVanillaIc;
+  const Graph* graph = nullptr;
+  /// Stream cursor. Set `i` of the fill is generated from
+  /// `Rng::Substream(rng->base_seed, rng->next_index + i)`; the fill
+  /// advances `rng->next_index` by `count` on success.
+  RngStream* rng = nullptr;
+  std::size_t count = 0;
+  /// Worker threads: 1 (default) runs inline, 0 = hardware concurrency,
+  /// N = N workers. The output stream is byte-identical for every value.
+  unsigned num_threads = 1;
   /// Sentinel set installed in every worker's generator (Algorithm 5).
-  std::vector<NodeId> sentinels;
+  std::span<const NodeId> sentinels;
   /// Optional metrics sinks. Worker stats are merged and flushed once per
   /// fill (after the join), so attaching a registry never perturbs the
   /// workers' RNG streams or scheduling.
   ObsContext obs;
 };
 
-/// Generates `count` RR sets with `options.num_threads` workers and appends
-/// them to `collection`.
+/// Generates `request.count` RR sets and appends them to `collection` in
+/// stream-index order. The single fill entry point for the whole library.
 ///
-/// Each worker owns a private generator (the `RrGenerator` interface is
-/// stateful and not thread-safe) seeded from an independent fork of `rng`,
-/// and writes into a private buffer; buffers are appended in worker order
-/// after the join, so the resulting collection is deterministic for a given
-/// (seed, num_threads) regardless of scheduling. `rng` is advanced once so
-/// consecutive calls draw fresh streams.
+/// Thread-count invariant: every set is generated from its own counter-based
+/// substream (`Rng::Substream`), and workers claim fixed-size index chunks
+/// off an atomic counter, with the merge reassembling chunks in index order.
+/// The appended sets are therefore byte-identical for any `num_threads` —
+/// parallelism changes only wall-clock time, never the sample stream. Each
+/// worker owns a private generator (the `RrGenerator` interface is stateful
+/// and not thread-safe); the up-front validation probe is reused as worker
+/// 0's generator so index-building generators pay construction once.
 ///
-/// This is an extension beyond the paper (which is single-threaded); RR-set
-/// generation is embarrassingly parallel and this routine exists so
-/// downstream users are not stuck at one core.
-Status ParallelFill(GeneratorKind kind, const Graph& graph, Rng& rng,
-                    std::size_t count, const ParallelFillOptions& options,
-                    RrCollection* collection);
-
-/// Routes a fill through `sequential` when `num_threads == 1` (the
-/// byte-reproducible single-stream reference path — `rng` is consumed in
-/// place exactly as a plain `Fill`) or through `ParallelFill` otherwise
-/// (0 = hardware concurrency). `sentinels` configures the parallel workers;
-/// the sequential generator keeps whatever sentinels it already has, so
-/// pass the same set the caller installed on it.
-///
-/// This is how `ImOptions::num_threads` reaches the algorithms' sampling
-/// loops without disturbing the sequential behavior existing tests pin.
-Status FillCollection(GeneratorKind kind, const Graph& graph,
-                      RrGenerator& sequential, Rng& rng, std::size_t count,
-                      unsigned num_threads,
-                      std::span<const NodeId> sentinels,
-                      RrCollection* collection,
-                      const ObsContext& obs = ObsContext());
+/// Parallelism is an extension beyond the paper (which is single-threaded);
+/// generation is embarrassingly parallel and the counter-based streams make
+/// the speedup free of reproducibility cost.
+Status FillCollection(const FillRequest& request, RrCollection* collection);
 
 }  // namespace subsim
 

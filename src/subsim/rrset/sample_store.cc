@@ -8,29 +8,27 @@
 namespace subsim {
 
 SampleStore::SampleStore(const Graph& graph, GeneratorKind kind,
-                         std::array<Rng, kNumStreams> stream_rngs,
+                         std::array<RngStream, kNumStreams> streams,
                          const Options& options)
     : graph_(&graph),
       kind_(kind),
       num_nodes_(graph.num_nodes()),
       options_(options),
-      streams_{Stream(graph.num_nodes(), stream_rngs[0]),
-               Stream(graph.num_nodes(), stream_rngs[1])} {}
+      streams_{Stream(graph.num_nodes(), streams[0]),
+               Stream(graph.num_nodes(), streams[1])} {}
 
 Result<std::unique_ptr<SampleStore>> SampleStore::Create(
     const Graph& graph, GeneratorKind kind,
-    std::array<Rng, kNumStreams> stream_rngs, const Options& options) {
-  std::unique_ptr<SampleStore> store(
-      new SampleStore(graph, kind, stream_rngs, options));
-  for (Stream& stream : store->streams_) {
-    Result<std::unique_ptr<RrGenerator>> generator =
-        MakeRrGenerator(kind, graph);
-    if (!generator.ok()) {
-      return generator.status();
-    }
-    stream.generator = std::move(generator).value();
+    std::array<RngStream, kNumStreams> streams, const Options& options) {
+  // Fills construct their own generators, but probe once here so a graph
+  // the kind rejects (e.g. LT weight sums) fails at creation, not on the
+  // first EnsureSets.
+  Result<std::unique_ptr<RrGenerator>> probe = MakeRrGenerator(kind, graph);
+  if (!probe.ok()) {
+    return probe.status();
   }
-  return store;
+  return std::unique_ptr<SampleStore>(
+      new SampleStore(graph, kind, streams, options));
 }
 
 Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {
@@ -45,16 +43,14 @@ Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {
     return Status::Ok();
   }
   const std::size_t need = static_cast<std::size_t>(count - have);
-  if (options_.num_threads == 1) {
-    s.generator->Fill(s.rng, need, &s.collection, options_.obs);
-  } else {
-    ParallelFillOptions fill_options;
-    fill_options.num_threads = options_.num_threads;
-    fill_options.obs = options_.obs;
-    SUBSIM_RETURN_IF_ERROR(
-        ParallelFill(kind_, *graph_, s.rng, need, fill_options,
-                     &s.collection));
-  }
+  FillRequest request;
+  request.kind = kind_;
+  request.graph = graph_;
+  request.rng = &s.rng;
+  request.count = need;
+  request.num_threads = options_.num_threads;
+  request.obs = options_.obs;
+  SUBSIM_RETURN_IF_ERROR(FillCollection(request, &s.collection));
   if (MetricsRegistry* metrics = options_.obs.metrics; metrics != nullptr) {
     metrics->Counter("store.fill_rounds").Increment();
     metrics->Counter("store.sets_generated").Add(need);

@@ -17,12 +17,13 @@ namespace subsim {
 
 /// Resumable, shareable RR-set sampling state: two independent streams of
 /// plain (never sentinel-truncated) RR sets, each a pure function of
-/// (graph, generator kind, its rng stream) — the i-th set of a stream is
-/// the same no matter how many `EnsureSets` calls produced it. That prefix
-/// property is what lets one store serve many queries: a `k = 50, eps = 0.1`
-/// query extends the sets an earlier `k = 10, eps = 0.3` query generated
-/// instead of resampling, and any query evaluating a prefix sees exactly
-/// what a cold run with that many sets would have seen.
+/// (graph, generator kind, its stream base seed) — set `i` of a stream is
+/// `Rng::Substream(base_seed, i)`'s output, the same no matter how many
+/// `EnsureSets` calls produced it or how many threads filled it. That
+/// prefix property is what lets one store serve many queries: a `k = 50,
+/// eps = 0.1` query extends the sets an earlier `k = 10, eps = 0.3` query
+/// generated instead of resampling, and any query evaluating a prefix sees
+/// exactly what a cold run with that many sets would have seen.
 ///
 /// Concurrency: appends happen under an exclusive (writer) lock and commit
 /// their new length to an atomic watermark; reads take a shared lock
@@ -30,17 +31,18 @@ namespace subsim {
 /// number of queries can evaluate committed prefixes while at most one
 /// extends the streams. All methods are thread-safe.
 ///
-/// The sequential mode (`Options::num_threads == 1`, the default) is the
-/// only mode with the cross-call prefix property; parallel extension
-/// (`ParallelFill`) is deterministic per call pattern but not resumable,
-/// so the serving cache always uses sequential stores.
+/// Every thread count has the cross-call prefix property — fills go through
+/// the thread-invariant `FillCollection`, so `num_threads` changes only how
+/// fast streams grow, never their contents. Warm cache hits are therefore
+/// bit-identical to cold multi-threaded runs.
 class SampleStore {
  public:
   static constexpr std::size_t kNumStreams = 2;
 
   struct Options {
-    /// 1 = sequential (prefix-deterministic, required for cross-query
-    /// reuse); 0 = hardware concurrency; N = N ParallelFill workers.
+    /// Worker threads per fill: 1 (default) runs inline, 0 = hardware
+    /// concurrency, N = N workers. Stream contents are identical for every
+    /// value.
     unsigned num_threads = 1;
     /// Optional metrics sinks; the pointed-to registry/tracer must outlive
     /// the store. Fills flush `rr.*` deltas plus `store.fill_rounds` /
@@ -53,11 +55,11 @@ class SampleStore {
   /// the generator kind rejects the graph (e.g. LT weight sums).
   static Result<std::unique_ptr<SampleStore>> Create(
       const Graph& graph, GeneratorKind kind,
-      std::array<Rng, kNumStreams> stream_rngs, const Options& options);
+      std::array<RngStream, kNumStreams> streams, const Options& options);
   static Result<std::unique_ptr<SampleStore>> Create(
       const Graph& graph, GeneratorKind kind,
-      std::array<Rng, kNumStreams> stream_rngs) {
-    return Create(graph, kind, stream_rngs, Options());
+      std::array<RngStream, kNumStreams> streams) {
+    return Create(graph, kind, streams, Options());
   }
 
   SampleStore(const SampleStore&) = delete;
@@ -113,16 +115,17 @@ class SampleStore {
  private:
   struct Stream {
     RrCollection collection;
-    Rng rng;
-    std::unique_ptr<RrGenerator> generator;
+    /// Cursor into the stream's counter-based substream sequence; its
+    /// `next_index` always equals `collection.num_sets()`.
+    RngStream rng;
     std::atomic<std::uint64_t> committed{0};
 
-    Stream(NodeId num_nodes, Rng stream_rng)
-        : collection(num_nodes), rng(stream_rng) {}
+    Stream(NodeId num_nodes, RngStream stream)
+        : collection(num_nodes), rng(stream) {}
   };
 
   SampleStore(const Graph& graph, GeneratorKind kind,
-              std::array<Rng, kNumStreams> stream_rngs,
+              std::array<RngStream, kNumStreams> streams,
               const Options& options);
 
   const Graph* graph_;

@@ -55,7 +55,6 @@ ImOptions SelectSeedsQuery::ToImOptions() const {
   options.delta = delta;
   options.rng_seed = rng_seed;
   options.generator = generator;
-  options.num_threads = 1;
   return options;
 }
 

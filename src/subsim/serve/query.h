@@ -29,9 +29,10 @@ struct SelectSeedsQuery {
   std::uint64_t rng_seed = 1;
   GeneratorKind generator = GeneratorKind::kSubsimIc;
 
-  /// ImOptions equivalent to this query. Serving always runs sequential
-  /// generation (`num_threads = 1`) — the prefix-determinism the cache
-  /// depends on; concurrency comes from running many queries at once.
+  /// ImOptions equivalent to this query. Leaves `num_threads` at its
+  /// default; the engine overrides it from `QueryEngineOptions` — safe
+  /// because generation is thread-count invariant, so the thread count is
+  /// an execution knob, not part of the query's identity.
   ImOptions ToImOptions() const;
 };
 

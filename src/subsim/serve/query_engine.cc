@@ -12,6 +12,7 @@
 #include "subsim/algo/registry.h"
 #include "subsim/obs/obs_json.h"
 #include "subsim/obs/phase_tracer.h"
+#include "subsim/util/threading.h"
 
 namespace subsim {
 
@@ -34,12 +35,7 @@ struct QueryEngine::Impl {
   };
 
   explicit Impl(QueryEngine* engine, unsigned num_workers) : engine(engine) {
-    if (num_workers == 0) {
-      num_workers = std::thread::hardware_concurrency();
-      if (num_workers == 0) {
-        num_workers = 1;
-      }
-    }
+    num_workers = ResolveNumThreads(num_workers);
     workers.reserve(num_workers);
     for (unsigned i = 0; i < num_workers; ++i) {
       workers.emplace_back([this] { WorkerLoop(); });
@@ -89,6 +85,7 @@ QueryEngine::QueryEngine(GraphRegistry* registry,
                          const QueryEngineOptions& options)
     : registry_(registry),
       cache_(options.cache),
+      num_threads_(options.num_threads),
       impl_(std::make_unique<Impl>(this, options.num_workers)) {}
 
 QueryEngine::~QueryEngine() = default;
@@ -170,6 +167,9 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
   ImOptions options = query.ToImOptions();
   // Every query — cached or fresh — records into the engine registry.
   options.obs = ObsContext{&metrics_, &tracer_};
+  // Generation threads are an engine-level knob: results are invariant to
+  // the thread count, so applying it here cannot change any response.
+  options.num_threads = num_threads_;
 
   if (!(*algorithm)->SupportsSampleReuse()) {
     // Cache-incompatible (HIST et al.): fresh, private sampling.

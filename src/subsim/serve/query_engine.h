@@ -17,6 +17,11 @@ namespace subsim {
 struct QueryEngineOptions {
   /// Worker threads executing queries; 0 = hardware concurrency.
   unsigned num_workers = 0;
+  /// RR-generation threads per query (`ImOptions::num_threads`): 1
+  /// (default) fills inline, 0 = hardware concurrency, N = N workers.
+  /// Generation is thread-count invariant, so this changes latency only —
+  /// results and cache contents are byte-identical for every value.
+  unsigned num_threads = 1;
   RrSketchCache::Options cache;
 };
 
@@ -81,6 +86,7 @@ class QueryEngine {
   PhaseTracer tracer_{4096, &metrics_};
   GraphRegistry* registry_;
   RrSketchCache cache_;
+  unsigned num_threads_ = 1;
   std::unique_ptr<Impl> impl_;
 };
 

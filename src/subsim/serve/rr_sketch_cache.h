@@ -20,11 +20,15 @@ namespace subsim {
 /// only when all four coordinates agree:
 ///  - `graph`: the registry name whose snapshot the sets were sampled on;
 ///  - `algo`:  the algorithm name, because each algorithm derives its rng
-///             stream lineage differently (OPIM-C forks 1/2 for R1/R2, IMM
-///             forks 1 for its single stream) and mixing lineages would
-///             break the cold-equivalence guarantee;
+///             stream lineage differently (OPIM-C uses stream seeds 1/2
+///             for R1/R2, IMM uses stream 1 alone) and mixing lineages
+///             would break the cold-equivalence guarantee;
 ///  - `generator`: the RR-set generation strategy (vanilla / subsim / lt);
-///  - `rng_seed`: the master seed the streams are forked from.
+///  - `rng_seed`: the master seed the stream seeds derive from.
+///
+/// The generation thread count is deliberately *not* part of the key:
+/// fills are thread-count invariant, so stores produced at any
+/// `num_threads` are interchangeable.
 struct SketchKey {
   std::string graph;
   std::string algo;

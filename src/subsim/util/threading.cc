@@ -1,0 +1,15 @@
+#include "subsim/util/threading.h"
+
+#include <thread>
+
+namespace subsim {
+
+unsigned ResolveNumThreads(unsigned requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+}  // namespace subsim

@@ -1,0 +1,14 @@
+#ifndef SUBSIM_UTIL_THREADING_H_
+#define SUBSIM_UTIL_THREADING_H_
+
+namespace subsim {
+
+/// Resolves a user-facing thread-count knob to a concrete worker count:
+/// 0 means "one worker per hardware thread" (falling back to 1 when
+/// `hardware_concurrency()` is unknown); any other value passes through.
+/// Always returns >= 1.
+unsigned ResolveNumThreads(unsigned requested);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_UTIL_THREADING_H_

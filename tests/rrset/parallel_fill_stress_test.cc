@@ -1,13 +1,13 @@
-// Stress test for ParallelFill aimed at ThreadSanitizer builds
-// (-DSUBSIM_SANITIZE=thread): it sweeps thread counts, runs several fills
-// concurrently against one shared graph, and checks that the RNG-fork
-// scheme keeps results bit-identical regardless of scheduling.
+// Stress test for the chunked FillCollection scheduler aimed at
+// ThreadSanitizer builds (-DSUBSIM_SANITIZE=thread): it sweeps thread
+// counts, races several fills against one shared graph, and checks that
+// the counter-based substreams keep every thread count byte-identical.
 #include "subsim/rrset/parallel_fill.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
-// SUBSIM-NOLINT-NEXTLINE(raw-thread): stress test races ParallelFill on purpose
+// SUBSIM-NOLINT-NEXTLINE(raw-thread): stress test races FillCollection on purpose
 #include <thread>
 #include <vector>
 
@@ -34,23 +34,30 @@ std::vector<unsigned> ThreadCounts() {
   if (hardware == 0) {
     hardware = 2;
   }
-  return {1u, 2u, hardware};
+  return {1u, 2u, hardware, 0u};  // 0 = auto-detect, same stream contract
 }
 
 RrCollection Fill(const Graph& graph, GeneratorKind kind, std::uint64_t seed,
-                  unsigned threads, std::size_t count) {
+                  unsigned threads, std::size_t count,
+                  std::span<const NodeId> sentinels = {}) {
   RrCollection collection(graph.num_nodes());
-  Rng rng(seed);
-  ParallelFillOptions options;
-  options.num_threads = threads;
-  EXPECT_TRUE(
-      ParallelFill(kind, graph, rng, count, options, &collection).ok());
+  RngStream rng = MakeRngStream(seed, 1);
+  FillRequest request;
+  request.kind = kind;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = count;
+  request.num_threads = threads;
+  request.sentinels = sentinels;
+  EXPECT_TRUE(FillCollection(request, &collection).ok());
+  EXPECT_EQ(rng.next_index, count);
   return collection;
 }
 
 void ExpectIdentical(const RrCollection& a, const RrCollection& b) {
   ASSERT_EQ(a.num_sets(), b.num_sets());
   ASSERT_EQ(a.total_nodes(), b.total_nodes());
+  ASSERT_EQ(a.num_hit_sentinel(), b.num_hit_sentinel());
   for (RrId id = 0; id < a.num_sets(); ++id) {
     const auto sa = a.Set(id);
     const auto sb = b.Set(id);
@@ -61,30 +68,19 @@ void ExpectIdentical(const RrCollection& a, const RrCollection& b) {
   }
 }
 
-TEST(ParallelFillStressTest, SizesHoldAcrossThreadCounts) {
+TEST(ParallelFillStressTest, ByteIdenticalAcrossThreadCounts) {
+  // The headline contract: each RR set is a pure function of
+  // (base_seed, set_index), so the thread count cannot leak into results.
   const Graph graph = StressGraph();
-  const std::size_t count = 1500;
-  for (unsigned threads : ThreadCounts()) {
-    for (GeneratorKind kind :
-         {GeneratorKind::kVanillaIc, GeneratorKind::kSubsimIc}) {
-      const RrCollection c = Fill(graph, kind, 23, threads, count);
-      EXPECT_EQ(c.num_sets(), count)
-          << "threads=" << threads << " kind=" << static_cast<int>(kind);
-      EXPECT_GE(c.total_nodes(), count);  // every set contains its root
+  for (GeneratorKind kind :
+       {GeneratorKind::kVanillaIc, GeneratorKind::kSubsimIc}) {
+    const RrCollection reference = Fill(graph, kind, 23, 1, 1500);
+    EXPECT_EQ(reference.num_sets(), 1500u);
+    EXPECT_GE(reference.total_nodes(), 1500u);  // every set has its root
+    for (unsigned threads : ThreadCounts()) {
+      SCOPED_TRACE(threads);
+      ExpectIdentical(reference, Fill(graph, kind, 23, threads, 1500));
     }
-  }
-}
-
-TEST(ParallelFillStressTest, ForkDeterminismPerThreadCount) {
-  // Same seed + same thread count must be bit-identical run to run: each
-  // worker draws from Fork(0x9E3779B9 + t), never from a shared stream.
-  const Graph graph = StressGraph();
-  for (unsigned threads : ThreadCounts()) {
-    const RrCollection a =
-        Fill(graph, GeneratorKind::kSubsimIc, 31, threads, 1200);
-    const RrCollection b =
-        Fill(graph, GeneratorKind::kSubsimIc, 31, threads, 1200);
-    ExpectIdentical(a, b);
   }
 }
 
@@ -106,9 +102,10 @@ TEST(ParallelFillStressTest, DistinctSeedsDiverge) {
 }
 
 TEST(ParallelFillStressTest, ConcurrentFillsShareGraphSafely) {
-  // Several ParallelFill invocations race on one shared (read-only) graph.
-  // Under TSan this exercises graph reads, generator construction, and the
-  // RNG forks from every worker thread at once; determinism must survive.
+  // Several FillCollection invocations race on one shared (read-only)
+  // graph. Under TSan this exercises graph reads, generator construction,
+  // chunk claiming, and the substream derivation from every worker thread
+  // at once; determinism must survive.
   const Graph graph = StressGraph();
   const std::size_t count = 800;
   const unsigned kConcurrentFills = 4;
@@ -119,17 +116,19 @@ TEST(ParallelFillStressTest, ConcurrentFillsShareGraphSafely) {
     results.emplace_back(graph.num_nodes());
   }
   {
-    // SUBSIM-NOLINT-NEXTLINE(raw-thread): races whole ParallelFill calls
+    // SUBSIM-NOLINT-NEXTLINE(raw-thread): races whole FillCollection calls
     std::vector<std::thread> fills;
     fills.reserve(kConcurrentFills);
     for (unsigned i = 0; i < kConcurrentFills; ++i) {
       fills.emplace_back([&graph, &results, count, i] {
-        Rng rng(100 + i);
-        ParallelFillOptions options;
-        options.num_threads = 2;
-        const Status status =
-            ParallelFill(GeneratorKind::kSubsimIc, graph, rng, count,
-                         options, &results[i]);
+        RngStream rng = MakeRngStream(100 + i, 1);
+        FillRequest request;
+        request.kind = GeneratorKind::kSubsimIc;
+        request.graph = &graph;
+        request.rng = &rng;
+        request.count = count;
+        request.num_threads = 2;
+        const Status status = FillCollection(request, &results[i]);
         EXPECT_TRUE(status.ok()) << status.ToString();
       });
     }
@@ -147,29 +146,46 @@ TEST(ParallelFillStressTest, ConcurrentFillsShareGraphSafely) {
   }
 }
 
-TEST(ParallelFillStressTest, SentinelHitsStableUnderThreads) {
+TEST(ParallelFillStressTest, SentinelHitsIdenticalAcrossThreadCounts) {
+  // Sentinel truncation interacts with the scheduler (hit sets are short,
+  // so chunks finish at very different speeds); the streams must still be
+  // exactly invariant, not merely statistically close.
   const Graph graph = StressGraph();
-  ParallelFillOptions base;
+  std::vector<NodeId> sentinels;
   for (NodeId v = 0; v < 50; ++v) {
-    base.sentinels.push_back(v);
+    sentinels.push_back(v);
   }
-  std::vector<std::size_t> hits;
+  const RrCollection reference =
+      Fill(graph, GeneratorKind::kSubsimIc, 55, 1, 1000, sentinels);
+  EXPECT_GT(reference.num_hit_sentinel(), 0u);
+  EXPECT_LE(reference.num_hit_sentinel(), 1000u);
   for (unsigned threads : ThreadCounts()) {
-    RrCollection collection(graph.num_nodes());
-    Rng rng(55);
-    ParallelFillOptions options = base;
-    options.num_threads = threads;
-    ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, 1000,
-                             options, &collection)
-                    .ok());
-    hits.push_back(collection.num_hit_sentinel());
+    SCOPED_TRACE(threads);
+    ExpectIdentical(reference, Fill(graph, GeneratorKind::kSubsimIc, 55,
+                                    threads, 1000, sentinels));
   }
-  // Thread count only changes work partitioning, not the per-worker RNG
-  // streams, so sentinel-hit counts agree wherever partitions align.
-  for (std::size_t h : hits) {
-    EXPECT_GT(h, 0u);
-    EXPECT_LE(h, 1000u);
+}
+
+TEST(ParallelFillStressTest, ManySmallFillsKeepCursorConsistent) {
+  // Hammer the scheduler with fills smaller than, equal to, and barely
+  // above one chunk; the concatenation must equal one big fill.
+  const Graph graph = StressGraph();
+  const std::size_t pieces[] = {1, 63, 64, 65, 7, 128, 300, 62, 2, 318};
+  RrCollection split(graph.num_nodes());
+  RngStream rng = MakeRngStream(77, 1);
+  std::size_t total = 0;
+  for (std::size_t piece : pieces) {
+    FillRequest request;
+    request.kind = GeneratorKind::kSubsimIc;
+    request.graph = &graph;
+    request.rng = &rng;
+    request.count = piece;
+    request.num_threads = 4;
+    ASSERT_TRUE(FillCollection(request, &split).ok());
+    total += piece;
+    ASSERT_EQ(rng.next_index, total);
   }
+  ExpectIdentical(split, Fill(graph, GeneratorKind::kSubsimIc, 77, 2, total));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "subsim/graph/generators.h"
 #include "subsim/graph/graph_builder.h"
@@ -21,46 +22,115 @@ Graph TestGraph() {
   return std::move(graph).value();
 }
 
-TEST(ParallelFillTest, ProducesRequestedCount) {
-  const Graph graph = TestGraph();
-  RrCollection collection(graph.num_nodes());
-  Rng rng(1);
-  ParallelFillOptions options;
-  options.num_threads = 4;
-  ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, 1000,
-                           options, &collection)
-                  .ok());
-  EXPECT_EQ(collection.num_sets(), 1000u);
-  EXPECT_GE(collection.total_nodes(), 1000u);
-}
-
-TEST(ParallelFillTest, DeterministicPerSeedAndThreadCount) {
-  const Graph graph = TestGraph();
-  auto run = [&](std::uint64_t seed) {
-    RrCollection collection(graph.num_nodes());
-    Rng rng(seed);
-    ParallelFillOptions options;
-    options.num_threads = 3;
-    EXPECT_TRUE(ParallelFill(GeneratorKind::kVanillaIc, graph, rng, 500,
-                             options, &collection)
-                    .ok());
-    return collection;
-  };
-  const RrCollection a = run(7);
-  const RrCollection b = run(7);
+void ExpectIdentical(const RrCollection& a, const RrCollection& b) {
   ASSERT_EQ(a.num_sets(), b.num_sets());
-  EXPECT_EQ(a.total_nodes(), b.total_nodes());
+  ASSERT_EQ(a.total_nodes(), b.total_nodes());
   for (RrId id = 0; id < a.num_sets(); ++id) {
     const auto sa = a.Set(id);
     const auto sb = b.Set(id);
     ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
     for (std::size_t i = 0; i < sa.size(); ++i) {
-      EXPECT_EQ(sa[i], sb[i]);
+      ASSERT_EQ(sa[i], sb[i]) << "set " << id << " pos " << i;
     }
   }
 }
 
-TEST(ParallelFillTest, DistributionMatchesSerialFill) {
+TEST(FillCollectionTest, ProducesRequestedCount) {
+  const Graph graph = TestGraph();
+  RrCollection collection(graph.num_nodes());
+  RngStream rng = MakeRngStream(1, 1);
+  FillRequest request;
+  request.kind = GeneratorKind::kSubsimIc;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = 1000;
+  request.num_threads = 4;
+  ASSERT_TRUE(FillCollection(request, &collection).ok());
+  EXPECT_EQ(collection.num_sets(), 1000u);
+  EXPECT_GE(collection.total_nodes(), 1000u);
+  EXPECT_EQ(rng.next_index, 1000u);
+}
+
+TEST(FillCollectionTest, DeterministicPerSeed) {
+  const Graph graph = TestGraph();
+  auto run = [&](std::uint64_t seed) {
+    RrCollection collection(graph.num_nodes());
+    RngStream rng = MakeRngStream(seed, 1);
+    FillRequest request;
+    request.kind = GeneratorKind::kVanillaIc;
+    request.graph = &graph;
+    request.rng = &rng;
+    request.count = 500;
+    request.num_threads = 3;
+    EXPECT_TRUE(FillCollection(request, &collection).ok());
+    return collection;
+  };
+  ExpectIdentical(run(7), run(7));
+}
+
+TEST(FillCollectionTest, SplitFillsMatchOneFill) {
+  // The cursor makes a fill's output depend only on (base_seed, next_index,
+  // count): 300 + 700 sets must equal one 1000-set fill byte for byte.
+  const Graph graph = TestGraph();
+  RrCollection split(graph.num_nodes());
+  {
+    RngStream rng = MakeRngStream(9, 2);
+    FillRequest request;
+    request.kind = GeneratorKind::kSubsimIc;
+    request.graph = &graph;
+    request.rng = &rng;
+    request.count = 300;
+    ASSERT_TRUE(FillCollection(request, &split).ok());
+    EXPECT_EQ(rng.next_index, 300u);
+    request.count = 700;
+    request.num_threads = 4;
+    ASSERT_TRUE(FillCollection(request, &split).ok());
+    EXPECT_EQ(rng.next_index, 1000u);
+  }
+  RrCollection whole(graph.num_nodes());
+  {
+    RngStream rng = MakeRngStream(9, 2);
+    FillRequest request;
+    request.kind = GeneratorKind::kSubsimIc;
+    request.graph = &graph;
+    request.rng = &rng;
+    request.count = 1000;
+    ASSERT_TRUE(FillCollection(request, &whole).ok());
+  }
+  ExpectIdentical(split, whole);
+}
+
+TEST(FillCollectionTest, StreamSurvivesCollectionReset) {
+  // A fresh collection with the same live cursor draws *new* samples —
+  // the HIST sentinel phase depends on this.
+  const Graph graph = TestGraph();
+  RngStream rng = MakeRngStream(21, 1);
+  RrCollection first(graph.num_nodes());
+  FillRequest request;
+  request.kind = GeneratorKind::kSubsimIc;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = 200;
+  ASSERT_TRUE(FillCollection(request, &first).ok());
+  RrCollection second(graph.num_nodes());
+  ASSERT_TRUE(FillCollection(request, &second).ok());
+  EXPECT_EQ(rng.next_index, 400u);
+
+  ASSERT_EQ(first.num_sets(), second.num_sets());
+  bool all_equal = true;
+  for (RrId id = 0; id < first.num_sets(); ++id) {
+    const auto sa = first.Set(id);
+    const auto sb = second.Set(id);
+    if (sa.size() != sb.size() ||
+        !std::equal(sa.begin(), sa.end(), sb.begin())) {
+      all_equal = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(FillCollectionTest, DistributionMatchesSerialFill) {
   // Different RNG stream layout than serial Fill, but the same
   // distribution: compare average set sizes.
   const Graph graph = TestGraph();
@@ -68,12 +138,14 @@ TEST(ParallelFillTest, DistributionMatchesSerialFill) {
 
   RrCollection parallel(graph.num_nodes());
   {
-    Rng rng(11);
-    ParallelFillOptions options;
-    options.num_threads = 8;
-    ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, count,
-                             options, &parallel)
-                    .ok());
+    RngStream rng = MakeRngStream(11, 1);
+    FillRequest request;
+    request.kind = GeneratorKind::kSubsimIc;
+    request.graph = &graph;
+    request.rng = &rng;
+    request.count = count;
+    request.num_threads = 8;
+    ASSERT_TRUE(FillCollection(request, &parallel).ok());
   }
   RrCollection serial(graph.num_nodes());
   {
@@ -88,35 +160,43 @@ TEST(ParallelFillTest, DistributionMatchesSerialFill) {
       << parallel.average_size() << " vs " << serial.average_size();
 }
 
-TEST(ParallelFillTest, SentinelsApplyInEveryWorker) {
+TEST(FillCollectionTest, SentinelsApplyInEveryWorker) {
   const Graph graph = TestGraph();
   RrCollection collection(graph.num_nodes());
-  Rng rng(13);
-  ParallelFillOptions options;
-  options.num_threads = 4;
+  RngStream rng = MakeRngStream(13, 1);
+  std::vector<NodeId> sentinels;
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    options.sentinels.push_back(v);  // everything is a sentinel
+    sentinels.push_back(v);  // everything is a sentinel
   }
-  ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, 200,
-                           options, &collection)
-                  .ok());
+  FillRequest request;
+  request.kind = GeneratorKind::kSubsimIc;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = 200;
+  request.num_threads = 4;
+  request.sentinels = sentinels;
+  ASSERT_TRUE(FillCollection(request, &collection).ok());
   EXPECT_EQ(collection.num_hit_sentinel(), 200u);
   for (RrId id = 0; id < collection.num_sets(); ++id) {
     EXPECT_EQ(collection.Set(id).size(), 1u);  // root-only sets
   }
 }
 
-TEST(ParallelFillTest, ZeroCountIsNoop) {
+TEST(FillCollectionTest, ZeroCountIsNoop) {
   const Graph graph = TestGraph();
   RrCollection collection(graph.num_nodes());
-  Rng rng(14);
-  ASSERT_TRUE(ParallelFill(GeneratorKind::kSubsimIc, graph, rng, 0, {},
-                           &collection)
-                  .ok());
+  RngStream rng = MakeRngStream(14, 1);
+  FillRequest request;
+  request.kind = GeneratorKind::kSubsimIc;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = 0;
+  ASSERT_TRUE(FillCollection(request, &collection).ok());
   EXPECT_EQ(collection.num_sets(), 0u);
+  EXPECT_EQ(rng.next_index, 0u);
 }
 
-TEST(ParallelFillTest, PropagatesGeneratorConstructionFailure) {
+TEST(FillCollectionTest, PropagatesGeneratorConstructionFailure) {
   // LT requires in-weight sums <= 1; violate it.
   GraphBuilder builder(3);
   builder.AddEdge(0, 2, 0.9);
@@ -124,22 +204,29 @@ TEST(ParallelFillTest, PropagatesGeneratorConstructionFailure) {
   Result<Graph> graph = std::move(builder).Build();
   ASSERT_TRUE(graph.ok());
   RrCollection collection(graph->num_nodes());
-  Rng rng(15);
-  const Status status =
-      ParallelFill(GeneratorKind::kLt, *graph, rng, 10, {}, &collection);
+  RngStream rng = MakeRngStream(15, 1);
+  FillRequest request;
+  request.kind = GeneratorKind::kLt;
+  request.graph = &*graph;
+  request.rng = &rng;
+  request.count = 10;
+  const Status status = FillCollection(request, &collection);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(collection.num_sets(), 0u);
+  EXPECT_EQ(rng.next_index, 0u);  // failed fills consume no indices
 }
 
-TEST(ParallelFillTest, MoreThreadsThanSetsStillWorks) {
+TEST(FillCollectionTest, MoreThreadsThanSetsStillWorks) {
   const Graph graph = TestGraph();
   RrCollection collection(graph.num_nodes());
-  Rng rng(16);
-  ParallelFillOptions options;
-  options.num_threads = 64;
-  ASSERT_TRUE(ParallelFill(GeneratorKind::kVanillaIc, graph, rng, 5, options,
-                           &collection)
-                  .ok());
+  RngStream rng = MakeRngStream(16, 1);
+  FillRequest request;
+  request.kind = GeneratorKind::kVanillaIc;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = 5;
+  request.num_threads = 64;
+  ASSERT_TRUE(FillCollection(request, &collection).ok());
   EXPECT_EQ(collection.num_sets(), 5u);
 }
 

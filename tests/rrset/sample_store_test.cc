@@ -1,7 +1,7 @@
 // SampleStore is the reuse substrate of the serving cache: its streams must
-// be byte-identical to a plain sequential Fill with the same rng, no matter
-// how the growth was chunked, and its committed watermarks must expose only
-// fully generated prefixes.
+// be byte-identical to a one-shot FillCollection with the same stream, no
+// matter how the growth was chunked or how many threads filled it, and its
+// committed watermarks must expose only fully generated prefixes.
 
 #include "subsim/rrset/sample_store.h"
 
@@ -15,6 +15,7 @@
 #include "subsim/graph/generators.h"
 #include "subsim/graph/graph_builder.h"
 #include "subsim/graph/weight_models.h"
+#include "subsim/rrset/parallel_fill.h"
 
 namespace subsim {
 namespace {
@@ -29,17 +30,31 @@ Graph SmallWcGraph() {
   return std::move(graph).value();
 }
 
-std::array<Rng, SampleStore::kNumStreams> ForkedRngs(std::uint64_t seed) {
-  Rng master(seed);
-  return {master.Fork(1), master.Fork(2)};
+std::array<RngStream, SampleStore::kNumStreams> MakeStreams(
+    std::uint64_t seed) {
+  return {MakeRngStream(seed, 1), MakeRngStream(seed, 2)};
 }
 
-TEST(SampleStoreTest, ChunkedGrowthMatchesDirectSequentialFill) {
+void ExpectViewEquals(const RrCollectionView& view,
+                      const RrCollection& expected) {
+  ASSERT_EQ(view.num_sets(), expected.num_sets());
+  EXPECT_EQ(view.total_nodes(), expected.total_nodes());
+  for (RrId id = 0; id < view.num_sets(); ++id) {
+    const auto a = view.Set(id);
+    const auto b = expected.Set(id);
+    ASSERT_EQ(a.size(), b.size()) << "set " << id;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "set " << id << " pos " << i;
+    }
+  }
+}
+
+TEST(SampleStoreTest, ChunkedGrowthMatchesOneShotFill) {
   const Graph graph = SmallWcGraph();
 
   // Grow stream 0 in awkward chunks through the store...
   Result<std::unique_ptr<SampleStore>> store = SampleStore::Create(
-      graph, GeneratorKind::kSubsimIc, ForkedRngs(42));
+      graph, GeneratorKind::kSubsimIc, MakeStreams(42));
   ASSERT_TRUE(store.ok());
   for (const std::uint64_t target : {1u, 5u, 5u, 64u, 65u, 500u}) {
     ASSERT_TRUE((*store)->EnsureSets(0, target).ok());
@@ -48,25 +63,50 @@ TEST(SampleStoreTest, ChunkedGrowthMatchesDirectSequentialFill) {
   EXPECT_EQ((*store)->num_sets(0), 500u);
   EXPECT_EQ((*store)->num_sets(1), 0u);
 
-  // ...and compare with one straight Fill from the same fork.
-  Result<std::unique_ptr<RrGenerator>> generator =
-      MakeRrGenerator(GeneratorKind::kSubsimIc, graph);
-  ASSERT_TRUE(generator.ok());
-  Rng master(42);
-  Rng rng = master.Fork(1);
+  // ...and compare with one straight FillCollection from the same stream.
   RrCollection direct(graph.num_nodes());
-  (*generator)->Fill(rng, 500, &direct);
+  RngStream rng = MakeRngStream(42, 1);
+  FillRequest request;
+  request.kind = GeneratorKind::kSubsimIc;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = 500;
+  ASSERT_TRUE(FillCollection(request, &direct).ok());
 
   const SampleStore::ReadGuard read = (*store)->Read();
-  const RrCollectionView view = read.View(0, 500);
-  ASSERT_EQ(view.num_sets(), direct.num_sets());
-  EXPECT_EQ(view.total_nodes(), direct.total_nodes());
-  for (RrId id = 0; id < 500; ++id) {
-    const auto a = view.Set(id);
-    const auto b = direct.Set(id);
-    ASSERT_EQ(a.size(), b.size()) << "set " << id;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      EXPECT_EQ(a[i], b[i]) << "set " << id << " pos " << i;
+  ExpectViewEquals(read.View(0, 500), direct);
+}
+
+TEST(SampleStoreTest, ParallelStoreMatchesSequentialStore) {
+  // The serving cache hands warm sketches across queries regardless of the
+  // thread count that generated them, so a store grown with many threads
+  // must equal one grown sequentially, prefix for prefix.
+  const Graph graph = SmallWcGraph();
+  SampleStore::Options parallel_options;
+  parallel_options.num_threads = 8;
+  Result<std::unique_ptr<SampleStore>> parallel = SampleStore::Create(
+      graph, GeneratorKind::kSubsimIc, MakeStreams(9), parallel_options);
+  ASSERT_TRUE(parallel.ok());
+  Result<std::unique_ptr<SampleStore>> sequential = SampleStore::Create(
+      graph, GeneratorKind::kSubsimIc, MakeStreams(9));
+  ASSERT_TRUE(sequential.ok());
+
+  ASSERT_TRUE((*parallel)->EnsureSets(0, 400).ok());
+  ASSERT_TRUE((*sequential)->EnsureSets(0, 150).ok());
+  ASSERT_TRUE((*sequential)->EnsureSets(0, 400).ok());
+
+  const SampleStore::ReadGuard a = (*parallel)->Read();
+  const SampleStore::ReadGuard b = (*sequential)->Read();
+  const RrCollectionView va = a.View(0, 400);
+  const RrCollectionView vb = b.View(0, 400);
+  ASSERT_EQ(va.num_sets(), vb.num_sets());
+  EXPECT_EQ(va.total_nodes(), vb.total_nodes());
+  for (RrId id = 0; id < va.num_sets(); ++id) {
+    const auto sa = va.Set(id);
+    const auto sb = vb.Set(id);
+    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i], sb[i]) << "set " << id << " pos " << i;
     }
   }
 }
@@ -74,7 +114,7 @@ TEST(SampleStoreTest, ChunkedGrowthMatchesDirectSequentialFill) {
 TEST(SampleStoreTest, StreamsAreIndependent) {
   const Graph graph = SmallWcGraph();
   Result<std::unique_ptr<SampleStore>> store = SampleStore::Create(
-      graph, GeneratorKind::kVanillaIc, ForkedRngs(7));
+      graph, GeneratorKind::kVanillaIc, MakeStreams(7));
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE((*store)->EnsureSets(0, 50).ok());
   ASSERT_TRUE((*store)->EnsureSets(1, 20).ok());
@@ -98,7 +138,7 @@ TEST(SampleStoreTest, StreamsAreIndependent) {
 TEST(SampleStoreTest, EnsureSetsIsMonotoneAndIdempotent) {
   const Graph graph = SmallWcGraph();
   Result<std::unique_ptr<SampleStore>> store = SampleStore::Create(
-      graph, GeneratorKind::kSubsimIc, ForkedRngs(3));
+      graph, GeneratorKind::kSubsimIc, MakeStreams(3));
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE((*store)->EnsureSets(0, 100).ok());
   // Shrinking requests are no-ops; repeated requests generate nothing new.
@@ -110,7 +150,7 @@ TEST(SampleStoreTest, EnsureSetsIsMonotoneAndIdempotent) {
 TEST(SampleStoreTest, ReportsGraphAndGeneratorIdentity) {
   const Graph graph = SmallWcGraph();
   Result<std::unique_ptr<SampleStore>> store = SampleStore::Create(
-      graph, GeneratorKind::kSubsimIc, ForkedRngs(1));
+      graph, GeneratorKind::kSubsimIc, MakeStreams(1));
   ASSERT_TRUE(store.ok());
   EXPECT_EQ((*store)->generator_kind(), GeneratorKind::kSubsimIc);
   EXPECT_EQ((*store)->num_graph_nodes(), graph.num_nodes());
@@ -125,7 +165,7 @@ TEST(SampleStoreTest, StoresNeverContainSentinelHits) {
   // verify through the public API that nothing is flagged.
   const Graph graph = SmallWcGraph();
   Result<std::unique_ptr<SampleStore>> store = SampleStore::Create(
-      graph, GeneratorKind::kVanillaIc, ForkedRngs(5));
+      graph, GeneratorKind::kVanillaIc, MakeStreams(5));
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE((*store)->EnsureSets(0, 300).ok());
   const SampleStore::ReadGuard read = (*store)->Read();

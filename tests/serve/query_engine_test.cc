@@ -153,6 +153,48 @@ TEST_F(QueryEngineTest, ConcurrentQueriesShareOneCache) {
   }
 }
 
+TEST_F(QueryEngineTest, WarmHitsMatchColdMultiThreadedRun) {
+  // Generation thread count is an execution knob, not query identity:
+  // a cold run on an 8-thread engine, a cold run on a 1-thread engine,
+  // and a warm cache hit must all return identical results.
+  QueryEngineOptions eight;
+  eight.num_threads = 8;
+  QueryEngine parallel_engine(&registry_, eight);
+  QueryEngine sequential_engine(&registry_);
+  const SelectSeedsQuery query = BaseQuery("g");
+
+  const QueryResponse cold_parallel = parallel_engine.Execute(query);
+  ASSERT_TRUE(cold_parallel.status.ok()) << cold_parallel.status.ToString();
+  EXPECT_FALSE(cold_parallel.stats.cache_hit);
+
+  const QueryResponse cold_sequential = sequential_engine.Execute(query);
+  ASSERT_TRUE(cold_sequential.status.ok());
+  EXPECT_EQ(cold_parallel.result.seeds, cold_sequential.result.seeds);
+  EXPECT_EQ(cold_parallel.result.num_rr_sets,
+            cold_sequential.result.num_rr_sets);
+  EXPECT_DOUBLE_EQ(cold_parallel.result.estimated_spread,
+                   cold_sequential.result.estimated_spread);
+
+  // Warm hit on the parallel engine reuses the multi-threaded samples.
+  const QueryResponse warm = parallel_engine.Execute(query);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.stats.cache_hit);
+  EXPECT_EQ(warm.result.seeds, cold_parallel.result.seeds);
+  EXPECT_DOUBLE_EQ(warm.result.estimated_spread,
+                   cold_parallel.result.estimated_spread);
+
+  // A grown-k warm query extends the 8-thread store and still matches a
+  // cold 1-thread run of the bigger query.
+  SelectSeedsQuery bigger = query;
+  bigger.k = 9;
+  const QueryResponse grown = parallel_engine.Execute(bigger);
+  ASSERT_TRUE(grown.status.ok());
+  EXPECT_TRUE(grown.stats.cache_hit);
+  const QueryResponse cold_bigger = sequential_engine.Execute(bigger);
+  ASSERT_TRUE(cold_bigger.status.ok());
+  EXPECT_EQ(grown.result.seeds, cold_bigger.result.seeds);
+}
+
 TEST_F(QueryEngineTest, HistBypassesTheCache) {
   QueryEngine engine(&registry_);
   SelectSeedsQuery query = BaseQuery("g");

@@ -24,9 +24,9 @@ std::shared_ptr<const Graph> TinyGraph(std::uint64_t seed) {
 
 RrSketchCache::StoreFactory SequentialFactory(std::uint64_t seed) {
   return [seed](const Graph& graph) {
-    Rng master(seed);
-    return SampleStore::Create(graph, GeneratorKind::kSubsimIc,
-                               {master.Fork(1), master.Fork(2)});
+    return SampleStore::Create(
+        graph, GeneratorKind::kSubsimIc,
+        {MakeRngStream(seed, 1), MakeRngStream(seed, 2)});
   };
 }
 
@@ -70,9 +70,9 @@ TEST(RrSketchCacheTest, DistinctKeysGetDistinctStores) {
   SketchKey lt_key = KeyFor("g", 1);
   lt_key.generator = GeneratorKind::kVanillaIc;
   const auto c = cache.GetOrCreate(lt_key, graph, [](const Graph& target) {
-    Rng master(1);
-    return SampleStore::Create(target, GeneratorKind::kVanillaIc,
-                               {master.Fork(1), master.Fork(2)});
+    return SampleStore::Create(
+        target, GeneratorKind::kVanillaIc,
+        {MakeRngStream(1, 1), MakeRngStream(1, 2)});
   });
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
   EXPECT_NE(a->entry.get(), b->entry.get());

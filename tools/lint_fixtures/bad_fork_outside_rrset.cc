@@ -1,0 +1,31 @@
+// Fixture: RR-set bulk generation outside the one FillCollection entry
+// point must be flagged. Never compiled — linted only by
+// subsim_lint.py --self-test.
+
+struct Rng {
+  Rng Fork(unsigned long long stream) const;
+};
+
+void AdHocFill(Rng& master) {
+  Rng worker = master.Fork(1);  // LINT-EXPECT: fill-entry-point
+  (void)worker;
+  Rng* ptr = &master;
+  Rng other = ptr->Fork(2);  // LINT-EXPECT: fill-entry-point
+  (void)other;
+}
+
+void LegacyEntryPoint() {
+  ParallelFill();  // LINT-EXPECT: fill-entry-point
+  ParallelFillOptions options;  // LINT-EXPECT: fill-entry-point
+  (void)options;
+}
+
+// A suppression with a reason is honoured.
+void Sanctioned(Rng& master) {
+  // SUBSIM-NOLINT-NEXTLINE(fill-entry-point): exercising the suppressor
+  Rng worker = master.Fork(3);
+  (void)worker;
+}
+
+// Mentions in comments are fine: ParallelFill, Rng::Fork.
+int fill_entry_points_configured();

@@ -13,8 +13,9 @@
 //             [--threads=N] [--evaluate[=SIMS]] [--metrics-json=FILE]
 //   calibrate --in=FILE --model=wc-variant|uniform --target=AVG [--seed=S]
 //   batch     --graph=NAME=FILE [--graph=...] [--in=QUERIES|-]
-//             [--workers=N] [--cache-mb=M]
-//   serve     [--graph=NAME=FILE ...] [--workers=N] [--cache-mb=M]
+//             [--workers=N] [--threads=N] [--cache-mb=M]
+//   serve     [--graph=NAME=FILE ...] [--workers=N] [--threads=N]
+//             [--cache-mb=M]
 //
 // Files are whitespace-separated edge lists ("src dst [weight]"); lines
 // starting with '#' or '%' are comments. `weight` writes the third column.
@@ -257,8 +258,8 @@ int CmdRun(const Flags& flags) {
   const auto k = flags.GetUint("k", 50);
   const auto eps = flags.GetDouble("eps", 0.1);
   const auto seed = flags.GetUint("seed", 1);
-  // 0 = one ParallelFill worker per hardware thread. Pass --threads=1 for
-  // the sequential reference stream (byte-identical across machines).
+  // 0 = one fill worker per hardware thread. The sample stream is
+  // thread-count invariant, so any value selects the same seeds.
   const auto threads = flags.GetUint("threads", 0);
   if (!k.ok() || !eps.ok() || !seed.ok() || !threads.ok()) {
     return Fail(!k.ok() ? k.status()
@@ -401,11 +402,18 @@ Status LoadGraphFlags(const Flags& flags, GraphRegistry* registry) {
 Result<QueryEngineOptions> EngineOptionsFromFlags(const Flags& flags) {
   QueryEngineOptions options;
   const auto workers = flags.GetUint("workers", 0);
+  // Generation threads per query; results are identical for any value
+  // (generation is thread-count invariant), so the default stays at 1 to
+  // leave cores to the query-level worker pool.
+  const auto threads = flags.GetUint("threads", 1);
   const auto cache_mb = flags.GetUint("cache-mb", 512);
-  if (!workers.ok() || !cache_mb.ok()) {
-    return !workers.ok() ? workers.status() : cache_mb.status();
+  if (!workers.ok() || !threads.ok() || !cache_mb.ok()) {
+    return !workers.ok() ? workers.status()
+                         : !threads.ok() ? threads.status()
+                                         : cache_mb.status();
   }
   options.num_workers = static_cast<unsigned>(*workers);
+  options.num_threads = static_cast<unsigned>(*threads);
   options.cache.max_bytes = *cache_mb << 20;
   return options;
 }

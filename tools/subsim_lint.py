@@ -27,6 +27,13 @@ repository's architecture:
                        PhaseScope (src/subsim/obs/phase_tracer.h) so every
                        measured interval shows up as a traced span; a
                        null-tracer PhaseScope is still a plain stopwatch.
+  fill-entry-point     No direct ParallelFill or Rng::Fork calls outside
+                       src/subsim/random/ and src/subsim/rrset/. RR-set
+                       bulk generation has exactly one entry point —
+                       FillCollection(FillRequest) — whose counter-based
+                       substreams keep results thread-count invariant;
+                       ad-hoc forked streams would silently break that
+                       contract.
   nolint-needs-reason  A subsim NOLINT suppression must carry a reason:
                        `// SUBSIM-NOLINT(<rule>): <why>`.
 
@@ -55,6 +62,12 @@ RAW_RANDOM_ALLOWED = ("src/subsim/random/",)
 RAW_THREAD_ALLOWED = (
     "rrset/parallel_fill.cc",
     "serve/query_engine.cc",
+    "util/threading.cc",  # the hardware_concurrency fallback helper
+)
+FILL_ENTRY_ALLOWED = (
+    "src/subsim/random/",
+    "src/subsim/rrset/",
+    "tests/random/",
 )
 IOSTREAM_ALLOWED = ("util/logging.h", "util/logging.cc", "util/check.h")
 
@@ -119,6 +132,10 @@ IOSTREAM_RE = re.compile(
 # naming it. (The include path itself lives in a string literal and is
 # blanked before matching, so the type name is the reliable signal.)
 AD_HOC_TIMER_RE = re.compile(r"\bWallTimer\b")
+# Direct ParallelFill calls (the pre-FillRequest entry point) and forked Rng
+# streams: both bypass the counter-based substream scheme.
+FILL_ENTRY_RE = re.compile(
+    r"\bParallelFill\s*\(|\bParallelFillOptions\b|(?:\.|->|::)\s*Fork\s*\(")
 
 ALL_RULES = (
     "status-discarded",
@@ -126,6 +143,7 @@ ALL_RULES = (
     "raw-thread",
     "iostream-logging",
     "ad-hoc-timer",
+    "fill-entry-point",
     "nolint-needs-reason",
 )
 
@@ -287,7 +305,7 @@ def lint_file(
             report(line_of(code, m.start()), "raw-thread",
                    "std::thread is forbidden outside rrset/parallel_fill.cc"
                    " and serve/query_engine.cc; route parallelism through"
-                   " ParallelFill or the QueryEngine worker pool")
+                   " FillCollection or the QueryEngine worker pool")
 
     # Rule: iostream-logging.
     if not allowed(path, IOSTREAM_ALLOWED):
@@ -304,6 +322,14 @@ def lint_file(
                    "WallTimer is forbidden in src/subsim/{algo,rrset,serve};"
                    " time phases with PhaseScope (subsim/obs/phase_tracer.h)"
                    " so the interval is traced as a span")
+
+    # Rule: fill-entry-point.
+    if not allowed(path, FILL_ENTRY_ALLOWED):
+        for m in FILL_ENTRY_RE.finditer(code):
+            report(line_of(code, m.start()), "fill-entry-point",
+                   "bulk RR generation must go through FillCollection"
+                   "(FillRequest); direct ParallelFill/Rng::Fork use breaks"
+                   " the thread-count-invariance contract")
 
     # Rule: status-discarded.
     for offset, stmt in iter_statements(code):
