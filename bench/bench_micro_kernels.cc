@@ -16,6 +16,7 @@
 #include "subsim/rrset/subsim_ic_generator.h"
 #include "subsim/rrset/vanilla_ic_generator.h"
 #include "subsim/sampling/sampler_factory.h"
+#include "subsim/util/check.h"
 
 namespace subsim {
 namespace {
@@ -84,7 +85,10 @@ BENCHMARK_CAPTURE(BM_SubsetSampler, bucket, SamplerKind::kBucket)
 const Graph& BenchGraph() {
   static const Graph* const kGraph = [] {
     Result<EdgeList> list = GenerateBarabasiAlbert(50000, 10, false, 5);
-    AssignWeights(WeightModel::kWeightedCascade, {}, &list.value());
+    const Status weights =
+        AssignWeights(WeightModel::kWeightedCascade, {}, &list.value());
+    SUBSIM_CHECK(weights.ok(), "bench graph weights: %s",
+                 weights.ToString().c_str());
     return new Graph(BuildGraph(std::move(list).value()).value());
   }();
   return *kGraph;

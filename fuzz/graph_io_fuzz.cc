@@ -1,0 +1,36 @@
+// Fuzz harness for the untrusted graph-ingestion surface: the binary
+// edge-list snapshot parser (header fields drive allocations) and the SNAP
+// text parser (field splitting, integer/double parsing). The contract under
+// fuzzing: arbitrary bytes may yield an error Status but must never crash,
+// hang, overflow an allocation, or trip a sanitizer.
+//
+// Built two ways (fuzz/CMakeLists.txt): with clang as a libFuzzer binary
+// (-fsanitize=fuzzer), elsewhere linked against standalone_driver.cc which
+// replays corpus files passed on the command line — the form the ctest
+// corpus smoke uses.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "subsim/graph/graph_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(bytes);
+    // SUBSIM-NOLINT-NEXTLINE(status-discarded): fuzzing for crashes, not outcomes
+    (void)subsim::ParseEdgeListBinary(in, "<fuzz>");
+  }
+  {
+    std::istringstream in(bytes);
+    subsim::EdgeListReadOptions options;
+    // Steer both parser modes from the input so the corpus covers them.
+    options.undirected = (size % 2) != 0;
+    options.read_weights = (size % 3) != 0;
+    // SUBSIM-NOLINT-NEXTLINE(status-discarded): fuzzing for crashes, not outcomes
+    (void)subsim::ParseEdgeListText(in, options, "<fuzz>");
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fuzz harness for SelectSeedsQuery text parsing — the line format the
+// serving layer accepts from clients (`graph=dblp algo=opim-c k=50 ...`).
+// Arbitrary bytes may yield an error Status but must never crash or trip a
+// sanitizer; accepted queries must additionally survive being re-rendered
+// through the JSON formatter (escaping of hostile graph/algo names).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "subsim/serve/query.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  subsim::Result<subsim::SelectSeedsQuery> query =
+      subsim::ParseSelectSeedsQuery(line);
+  if (query.ok()) {
+    subsim::QueryResponse response;
+    response.query = *query;
+    response.status = subsim::Status::Ok();
+    const std::string json = subsim::FormatQueryResponseJson(response);
+    if (json.empty()) {
+      __builtin_trap();  // the formatter must always produce an object
+    }
+  }
+  return 0;
+}

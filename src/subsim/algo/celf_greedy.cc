@@ -27,6 +27,10 @@ Result<ImResult> CelfGreedy::Run(const Graph& graph,
   PhaseScope run_span(options.obs.tracer, "celf.run");
 
   SpreadEstimator estimator(graph, model_);
+  // CELF is single-threaded by construction; its Monte-Carlo estimates
+  // consume one sequential stream, and counter-based substreams would
+  // change every published spread value for no invariance gain.
+  // SUBSIM-NOLINT-NEXTLINE(rng-confinement): sequential MC stream by design
   Rng rng(options.rng_seed);
 
   ImResult result;

@@ -89,15 +89,23 @@ Result<EdgeList> GenerateBarabasiAlbert(NodeId num_nodes,
     attachment.insert(attachment.end(), seed_size, u);
   }
 
-  std::unordered_set<NodeId> chosen;
+  // Insertion-ordered (RNG draw order), not an unordered_set: the emission
+  // order below feeds `attachment` and therefore every later draw, so it
+  // must be a pure function of the seed — hash-table iteration order is
+  // implementation-defined and would make the same seed produce different
+  // graphs on different standard libraries. edges_per_node is small, so
+  // the linear dedup scan is cheaper than hashing anyway.
+  std::vector<NodeId> chosen;
+  chosen.reserve(edges_per_node);
   for (NodeId u = seed_size; u < num_nodes; ++u) {
     chosen.clear();
     while (chosen.size() < edges_per_node) {
       const NodeId target = attachment[rng.UniformInt(attachment.size())];
-      if (target == u) {
+      if (target == u ||
+          std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
         continue;
       }
-      chosen.insert(target);
+      chosen.push_back(target);
     }
     for (NodeId target : chosen) {
       list.edges.push_back(Edge{u, target, 0.0});

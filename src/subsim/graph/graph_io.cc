@@ -22,7 +22,12 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
   if (!in) {
     return Status::IoError("cannot open " + path);
   }
+  return ParseEdgeListText(in, options, path);
+}
 
+Result<EdgeList> ParseEdgeListText(std::istream& in,
+                                   const EdgeListReadOptions& options,
+                                   const std::string& origin) {
   EdgeList list;
   NodeId max_id = 0;
   bool any_node = false;
@@ -36,23 +41,23 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
     }
     const auto fields = SplitAndTrim(stripped, " \t,");
     if (fields.size() < 2) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+      return Status::InvalidArgument(origin + ":" + std::to_string(line_no) +
                                      ": expected 'src dst [weight]'");
     }
     std::uint64_t src = 0;
     std::uint64_t dst = 0;
     if (!ParseUint64(fields[0], &src) || !ParseUint64(fields[1], &dst)) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+      return Status::InvalidArgument(origin + ":" + std::to_string(line_no) +
                                      ": malformed node id");
     }
     if (src > 0xFFFFFFFEull || dst > 0xFFFFFFFEull) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+      return Status::InvalidArgument(origin + ":" + std::to_string(line_no) +
                                      ": node id exceeds 32-bit range");
     }
     double weight = 0.0;
     if (options.read_weights && fields.size() >= 3) {
       if (!ParseDouble(fields[2], &weight)) {
-        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+        return Status::InvalidArgument(origin + ":" + std::to_string(line_no) +
                                        ": malformed weight");
       }
     }
@@ -66,7 +71,7 @@ Result<EdgeList> ReadEdgeListText(const std::string& path,
     any_node = true;
   }
   if (in.bad()) {
-    return Status::IoError("read error on " + path);
+    return Status::IoError("read error on " + origin);
   }
   list.num_nodes = any_node ? max_id + 1 : 0;
   return list;
@@ -113,17 +118,23 @@ Result<EdgeList> ReadEdgeListBinary(const std::string& path) {
   if (!in) {
     return Status::IoError("cannot open " + path);
   }
+  return ParseEdgeListBinary(in, path);
+}
+
+Result<EdgeList> ParseEdgeListBinary(std::istream& in,
+                                     const std::string& origin) {
   // The header is untrusted input: every field is validated against the
-  // actual file size before a single byte drives an allocation.
+  // actual stream size before a single byte drives an allocation.
   in.seekg(0, std::ios::end);
-  const std::streamoff file_size = in.tellg();
+  const std::streamoff stream_size = in.tellg();
   in.seekg(0, std::ios::beg);
-  if (!in || file_size < 0) {
-    return Status::IoError(path + ": cannot determine file size");
+  if (!in || stream_size < 0) {
+    return Status::IoError(origin + ": cannot determine stream size");
   }
   constexpr std::streamoff kHeaderBytes = 3 * sizeof(std::uint64_t);
-  if (file_size < kHeaderBytes) {
-    return Status::InvalidArgument(path + ": not a subsim binary edge list");
+  if (stream_size < kHeaderBytes) {
+    return Status::InvalidArgument(origin +
+                                   ": not a subsim binary edge list");
   }
 
   const auto read_u64 = [&in](std::uint64_t* out) {
@@ -135,22 +146,24 @@ Result<EdgeList> ReadEdgeListBinary(const std::string& path) {
   std::uint64_t n = 0;
   std::uint64_t m = 0;
   if (!read_u64(&magic) || magic != kBinaryMagic) {
-    return Status::InvalidArgument(path + ": not a subsim binary edge list");
+    return Status::InvalidArgument(origin +
+                                   ": not a subsim binary edge list");
   }
   if (!read_u64(&n) || !read_u64(&m)) {
-    return Status::IoError(path + ": truncated header");
+    return Status::IoError(origin + ": truncated header");
   }
   if (n > 0xFFFFFFFFull) {
-    return Status::InvalidArgument(path + ": node count exceeds 32-bit range");
+    return Status::InvalidArgument(origin +
+                                   ": node count exceeds 32-bit range");
   }
   const std::uint64_t payload_bytes =
-      static_cast<std::uint64_t>(file_size - kHeaderBytes);
+      static_cast<std::uint64_t>(stream_size - kHeaderBytes);
   // Divide instead of multiplying so a huge m cannot overflow, then be
   // "within bounds", and drive a giant resize.
   if (m > payload_bytes / sizeof(Edge)) {
     return Status::InvalidArgument(
-        path + ": edge count " + std::to_string(m) +
-        " exceeds file payload (" + std::to_string(payload_bytes) + " bytes)");
+        origin + ": edge count " + std::to_string(m) +
+        " exceeds payload (" + std::to_string(payload_bytes) + " bytes)");
   }
 
   EdgeList list;
@@ -160,13 +173,13 @@ Result<EdgeList> ReadEdgeListBinary(const std::string& path) {
       static_cast<std::streamsize>(m * sizeof(Edge));
   in.read(reinterpret_cast<char*>(list.edges.data()), payload);
   if (in.gcount() != payload || !in) {
-    return Status::IoError(path + ": truncated edge payload");
+    return Status::IoError(origin + ": truncated edge payload");
   }
   for (std::size_t i = 0; i < list.edges.size(); ++i) {
     const Edge& e = list.edges[i];
     if (e.src >= n || e.dst >= n) {
       return Status::InvalidArgument(
-          path + ": edge " + std::to_string(i) + " references node " +
+          origin + ": edge " + std::to_string(i) + " references node " +
           std::to_string(std::max(e.src, e.dst)) + " outside [0, " +
           std::to_string(n) + ")");
     }

@@ -1,6 +1,7 @@
 #ifndef SUBSIM_GRAPH_GRAPH_IO_H_
 #define SUBSIM_GRAPH_GRAPH_IO_H_
 
+#include <istream>
 #include <string>
 
 #include "subsim/graph/types.h"
@@ -25,6 +26,14 @@ struct EdgeListReadOptions {
 Result<EdgeList> ReadEdgeListText(const std::string& path,
                                   const EdgeListReadOptions& options = {});
 
+/// Stream-level core of ReadEdgeListText. `origin` labels error messages
+/// (a path for files, "<memory>" for in-memory buffers). Parsing from a
+/// stream keeps the untrusted-input surface testable without touching the
+/// filesystem — the fuzz harnesses drive this directly.
+Result<EdgeList> ParseEdgeListText(std::istream& in,
+                                   const EdgeListReadOptions& options = {},
+                                   const std::string& origin = "<stream>");
+
 /// Writes "src dst weight" lines. Inverse of ReadEdgeListText with
 /// read_weights = true.
 Status WriteEdgeListText(const EdgeList& list, const std::string& path);
@@ -33,6 +42,12 @@ Status WriteEdgeListText(const EdgeList& list, const std::string& path);
 /// edges). Roughly 10x faster to load than text for big graphs.
 Status WriteEdgeListBinary(const EdgeList& list, const std::string& path);
 Result<EdgeList> ReadEdgeListBinary(const std::string& path);
+
+/// Stream-level core of ReadEdgeListBinary; the stream must support
+/// seeking (the header is validated against the total size before any
+/// allocation). Same fuzzing rationale as ParseEdgeListText.
+Result<EdgeList> ParseEdgeListBinary(std::istream& in,
+                                     const std::string& origin = "<stream>");
 
 }  // namespace subsim
 

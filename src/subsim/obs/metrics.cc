@@ -52,7 +52,7 @@ std::map<std::string, std::uint64_t> MetricsSnapshot::CounterDeltaSince(
 
 MetricsRegistry::Metric& MetricsRegistry::FindOrCreate(std::string_view name,
                                                        Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     SUBSIM_CHECK(it->second.kind == kind,
@@ -91,7 +91,7 @@ MetricsRegistry::HistogramHandle MetricsRegistry::Histogram(
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& [name, metric] : metrics_) {
     switch (metric.kind) {
       case Kind::kCounter:

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "subsim/util/mutex.h"
+#include "subsim/util/thread_annotations.h"
 
 namespace subsim {
 
@@ -81,11 +83,11 @@ class MetricsRegistry {
 
   /// Find-or-create by name. Mixing kinds under one name is a programmer
   /// error and aborts.
-  CounterHandle Counter(std::string_view name);
-  GaugeHandle Gauge(std::string_view name);
-  HistogramHandle Histogram(std::string_view name);
+  CounterHandle Counter(std::string_view name) SUBSIM_EXCLUDES(mu_);
+  GaugeHandle Gauge(std::string_view name) SUBSIM_EXCLUDES(mu_);
+  HistogramHandle Histogram(std::string_view name) SUBSIM_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SUBSIM_EXCLUDES(mu_);
 
  private:
   friend class CounterHandle;
@@ -138,14 +140,17 @@ class MetricsRegistry {
     std::unique_ptr<HistogramCells> histogram;
   };
 
-  Metric& FindOrCreate(std::string_view name, Kind kind);
+  Metric& FindOrCreate(std::string_view name, Kind kind) SUBSIM_EXCLUDES(mu_);
 
   /// Shard index for the calling thread: assigned round-robin on first use
   /// so long-lived worker threads spread across shards.
   static std::size_t ThisThreadShard();
 
-  mutable std::mutex mu_;
-  std::map<std::string, Metric, std::less<>> metrics_;
+  /// Leaf lock: nothing else is acquired while holding it. It guards only
+  /// the name→cell map; the cells themselves are written lock-free through
+  /// handles (relaxed atomics) and read with acquire loads by `Snapshot`.
+  mutable Mutex mu_;
+  std::map<std::string, Metric, std::less<>> metrics_ SUBSIM_GUARDED_BY(mu_);
 };
 
 /// Adds to a counter. Copyable, no-op when default-constructed.

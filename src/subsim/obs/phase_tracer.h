@@ -4,11 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "subsim/obs/metrics.h"
+#include "subsim/util/mutex.h"
+#include "subsim/util/thread_annotations.h"
 
 namespace subsim {
 
@@ -48,18 +49,18 @@ class PhaseTracer {
 
   MetricsRegistry* registry() const { return registry_; }
 
-  std::vector<PhaseSpan> Spans() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseSpan> Spans() const SUBSIM_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return spans_;
   }
 
-  std::uint64_t dropped_spans() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped_spans() const SUBSIM_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return dropped_;
   }
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() SUBSIM_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     spans_.clear();
     dropped_ = 0;
   }
@@ -67,8 +68,8 @@ class PhaseTracer {
  private:
   friend class PhaseScope;
 
-  void Record(PhaseSpan span) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Record(PhaseSpan span) SUBSIM_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     if (spans_.size() >= max_spans_) {
       ++dropped_;
       return;
@@ -78,9 +79,10 @@ class PhaseTracer {
 
   const std::size_t max_spans_;
   MetricsRegistry* const registry_;
-  mutable std::mutex mu_;
-  std::vector<PhaseSpan> spans_;
-  std::uint64_t dropped_ = 0;
+  /// Leaf lock; span recording never acquires anything else while held.
+  mutable Mutex mu_;
+  std::vector<PhaseSpan> spans_ SUBSIM_GUARDED_BY(mu_);
+  std::uint64_t dropped_ SUBSIM_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span. Tolerates a null tracer — it then degrades to a plain

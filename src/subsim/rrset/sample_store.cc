@@ -1,6 +1,5 @@
 #include "subsim/rrset/sample_store.h"
 
-#include <mutex>
 #include <utility>
 
 #include "subsim/rrset/parallel_fill.h"
@@ -33,11 +32,11 @@ Result<std::unique_ptr<SampleStore>> SampleStore::Create(
 
 Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {
   SUBSIM_CHECK(stream < kNumStreams, "stream out of range");
-  Stream& s = streams_[stream];
-  if (s.committed.load(std::memory_order_acquire) >= count) {
+  if (committed_[stream].load(std::memory_order_acquire) >= count) {
     return Status::Ok();
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  const WriterMutexLock lock(mu_);
+  Stream& s = streams_[stream];
   const std::uint64_t have = s.collection.num_sets();
   if (have >= count) {
     return Status::Ok();
@@ -57,8 +56,8 @@ Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {
     // Recompute bytes inline: ApproxMemoryBytes() takes the shared lock we
     // already hold exclusively.
     std::uint64_t bytes = sizeof(SampleStore);
-    for (const Stream& stream : streams_) {
-      bytes += stream.collection.ApproxMemoryBytes();
+    for (const Stream& st : streams_) {
+      bytes += st.collection.ApproxMemoryBytes();
     }
     metrics->Gauge("store.approx_bytes").Set(static_cast<double>(bytes));
   }
@@ -66,12 +65,13 @@ Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {
   // invariant that makes them safe to serve to any non-HIST query.
   SUBSIM_DCHECK(s.collection.num_hit_sentinel() == 0,
                 "sentinel-truncated set in a shared sample store");
-  s.committed.store(s.collection.num_sets(), std::memory_order_release);
+  committed_[stream].store(s.collection.num_sets(),
+                           std::memory_order_release);
   return Status::Ok();
 }
 
 std::uint64_t SampleStore::ApproxMemoryBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderMutexLock lock(mu_);
   std::uint64_t bytes = sizeof(SampleStore);
   for (const Stream& stream : streams_) {
     bytes += stream.collection.ApproxMemoryBytes();

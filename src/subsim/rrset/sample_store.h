@@ -5,13 +5,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 
 #include "subsim/graph/graph.h"
 #include "subsim/random/rng.h"
 #include "subsim/rrset/generator_factory.h"
 #include "subsim/rrset/rr_collection.h"
+#include "subsim/util/mutex.h"
 #include "subsim/util/status.h"
+#include "subsim/util/thread_annotations.h"
 
 namespace subsim {
 
@@ -29,7 +30,10 @@ namespace subsim {
 /// their new length to an atomic watermark; reads take a shared lock
 /// (`Read`) and may only view prefixes at or below the watermark, so any
 /// number of queries can evaluate committed prefixes while at most one
-/// extends the streams. All methods are thread-safe.
+/// extends the streams. All methods are thread-safe. The stream bodies
+/// (`streams_`) are `SUBSIM_GUARDED_BY(mu_)`; the watermarks live in a
+/// separate atomic array precisely so the lock-free `num_sets` fast path
+/// needs no capability.
 ///
 /// Every thread count has the cross-call prefix property — fills go through
 /// the thread-invariant `FillCollection`, so `num_threads` changes only how
@@ -68,12 +72,13 @@ class SampleStore {
   /// Grows stream `stream` to at least `count` sets; no-op when the stream
   /// is already that long. Takes the writer lock only when growth is
   /// needed (double-checked against the committed watermark).
-  Status EnsureSets(std::size_t stream, std::uint64_t count);
+  Status EnsureSets(std::size_t stream, std::uint64_t count)
+      SUBSIM_EXCLUDES(mu_);
 
   /// Committed set count of a stream. Lock-free (acquire load).
   std::uint64_t num_sets(std::size_t stream) const {
     SUBSIM_DCHECK(stream < kNumStreams, "stream out of range");
-    return streams_[stream].committed.load(std::memory_order_acquire);
+    return committed_[stream].load(std::memory_order_acquire);
   }
 
   /// Total sets generated across both streams since construction.
@@ -85,15 +90,30 @@ class SampleStore {
   NodeId num_graph_nodes() const { return num_nodes_; }
 
   /// Approximate heap footprint of both collections.
-  std::uint64_t ApproxMemoryBytes() const;
+  std::uint64_t ApproxMemoryBytes() const SUBSIM_EXCLUDES(mu_);
 
   /// Shared-lock handle for reading committed prefixes. Holds the lock for
   /// its lifetime; keep the scope tight.
+  ///
+  /// This is a guard-handle: the shared capability is acquired in one
+  /// object's constructor and consumed by another method (`View`), a shape
+  /// Clang's per-function analysis cannot follow — hence the narrow
+  /// `SUBSIM_NO_THREAD_SAFETY_ANALYSIS` escapes below. Everything the
+  /// handle does is still runtime-correct: construction takes the shared
+  /// lock, `View` only dereferences while it is held, destruction releases.
   class ReadGuard {
    public:
+    ~ReadGuard() SUBSIM_NO_THREAD_SAFETY_ANALYSIS {  // releases ctor's hold
+      store_->mu_.UnlockShared();
+    }
+
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
     /// View of the first `prefix` sets of `stream`. `prefix` must not
     /// exceed the committed watermark.
-    RrCollectionView View(std::size_t stream, std::uint64_t prefix) const {
+    RrCollectionView View(std::size_t stream, std::uint64_t prefix) const
+        SUBSIM_NO_THREAD_SAFETY_ANALYSIS {  // shared hold since construction
       SUBSIM_DCHECK(stream < kNumStreams, "stream out of range");
       SUBSIM_DCHECK(prefix <= store_->num_sets(stream),
                     "view prefix beyond committed watermark");
@@ -104,10 +124,12 @@ class SampleStore {
    private:
     friend class SampleStore;
     explicit ReadGuard(const SampleStore* store)
-        : store_(store), lock_(store->mu_) {}
+        SUBSIM_NO_THREAD_SAFETY_ANALYSIS  // guard-handle acquisition
+        : store_(store) {
+      store_->mu_.LockShared();
+    }
 
     const SampleStore* store_;
-    std::shared_lock<std::shared_mutex> lock_;
   };
 
   ReadGuard Read() const { return ReadGuard(this); }
@@ -118,7 +140,6 @@ class SampleStore {
     /// Cursor into the stream's counter-based substream sequence; its
     /// `next_index` always equals `collection.num_sets()`.
     RngStream rng;
-    std::atomic<std::uint64_t> committed{0};
 
     Stream(NodeId num_nodes, RngStream stream)
         : collection(num_nodes), rng(stream) {}
@@ -132,8 +153,15 @@ class SampleStore {
   GeneratorKind kind_;
   NodeId num_nodes_;
   Options options_;
-  mutable std::shared_mutex mu_;
-  std::array<Stream, kNumStreams> streams_;
+  /// Acquired after `RrSketchCache::mu_` (the cache walks stores for
+  /// budget accounting while holding its own lock; stores never call back
+  /// into the cache).
+  mutable SharedMutex mu_;
+  std::array<Stream, kNumStreams> streams_ SUBSIM_GUARDED_BY(mu_);
+  /// Committed watermarks, readable without the lock: writers publish a
+  /// new length with a release store after appending under the writer
+  /// lock; `num_sets` pairs it with an acquire load.
+  std::array<std::atomic<std::uint64_t>, kNumStreams> committed_{};
 };
 
 }  // namespace subsim

@@ -28,14 +28,14 @@ Status GraphRegistry::Register(const std::string& name, Graph graph) {
     return Status::InvalidArgument("graph name must be non-empty");
   }
   auto snapshot = std::make_shared<const Graph>(std::move(graph));
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   graphs_[name] = std::move(snapshot);
   return Status::Ok();
 }
 
 Result<std::shared_ptr<const Graph>> GraphRegistry::Get(
     const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = graphs_.find(name);
   if (it == graphs_.end()) {
     return Status::NotFound("no graph registered as '" + name + "'");
@@ -44,12 +44,12 @@ Result<std::shared_ptr<const Graph>> GraphRegistry::Get(
 }
 
 bool GraphRegistry::Contains(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return graphs_.count(name) > 0;
 }
 
 std::vector<std::string> GraphRegistry::Names() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(graphs_.size());
   for (const auto& [name, graph] : graphs_) {

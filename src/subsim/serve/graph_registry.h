@@ -3,12 +3,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "subsim/graph/graph.h"
+#include "subsim/util/mutex.h"
 #include "subsim/util/status.h"
+#include "subsim/util/thread_annotations.h"
 
 namespace subsim {
 
@@ -29,22 +30,25 @@ class GraphRegistry {
   /// replacing any previous graph with that name. Callers that cache
   /// per-graph state keyed by name must invalidate it on replacement
   /// (`QueryEngine` does).
-  Status LoadFromFile(const std::string& name, const std::string& path);
+  Status LoadFromFile(const std::string& name, const std::string& path)
+      SUBSIM_EXCLUDES(mu_);
 
   /// Registers an already-built graph under `name` (replaces).
-  Status Register(const std::string& name, Graph graph);
+  Status Register(const std::string& name, Graph graph) SUBSIM_EXCLUDES(mu_);
 
   /// Snapshot lookup. NotFound when no graph has this name.
-  Result<std::shared_ptr<const Graph>> Get(const std::string& name) const;
+  Result<std::shared_ptr<const Graph>> Get(const std::string& name) const
+      SUBSIM_EXCLUDES(mu_);
 
-  bool Contains(const std::string& name) const;
+  bool Contains(const std::string& name) const SUBSIM_EXCLUDES(mu_);
 
   /// Registered names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const SUBSIM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const Graph>> graphs_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<const Graph>> graphs_
+      SUBSIM_GUARDED_BY(mu_);
 };
 
 }  // namespace subsim

@@ -2,9 +2,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -12,6 +10,8 @@
 #include "subsim/algo/registry.h"
 #include "subsim/obs/obs_json.h"
 #include "subsim/obs/phase_tracer.h"
+#include "subsim/util/mutex.h"
+#include "subsim/util/thread_annotations.h"
 #include "subsim/util/threading.h"
 
 namespace subsim {
@@ -44,21 +44,25 @@ struct QueryEngine::Impl {
 
   ~Impl() {
     {
-      const std::lock_guard<std::mutex> lock(mu);
+      const MutexLock lock(mu);
       stopping = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
     for (std::thread& worker : workers) {
       worker.join();
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() SUBSIM_EXCLUDES(mu) {
     for (;;) {
       Job job;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [this] { return stopping || !queue.empty(); });
+        const MutexLock lock(mu);
+        // Predicate is inlined (not a wait() lambda) so the guarded reads
+        // happen where the analysis can prove the lock is held.
+        while (!stopping && queue.empty()) {
+          cv.Wait(mu);
+        }
         if (queue.empty()) {
           return;  // stopping and drained
         }
@@ -73,10 +77,10 @@ struct QueryEngine::Impl {
   }
 
   QueryEngine* engine;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Job> queue;
-  bool stopping = false;
+  Mutex mu;
+  CondVar cv;
+  std::deque<Job> queue SUBSIM_GUARDED_BY(mu);
+  bool stopping SUBSIM_GUARDED_BY(mu) = false;
   std::atomic<std::uint64_t> next_id{1};
   std::vector<std::thread> workers;
 };
@@ -97,10 +101,10 @@ std::future<QueryResponse> QueryEngine::Submit(SelectSeedsQuery query) {
   job.enqueued = std::chrono::steady_clock::now();
   std::future<QueryResponse> future = job.promise.get_future();
   {
-    const std::lock_guard<std::mutex> lock(impl_->mu);
+    const MutexLock lock(impl_->mu);
     impl_->queue.push_back(std::move(job));
   }
-  impl_->cv.notify_one();
+  impl_->cv.NotifyOne();
   return future;
 }
 

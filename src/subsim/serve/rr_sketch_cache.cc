@@ -14,7 +14,7 @@ Result<RrSketchCache::Lookup> RrSketchCache::GetOrCreate(
     const SketchKey& key, std::shared_ptr<const Graph> graph,
     const StoreFactory& factory) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = slots_.find(key);
     if (it != slots_.end()) {
       it->second.last_used = ++tick_;
@@ -35,7 +35,7 @@ Result<RrSketchCache::Lookup> RrSketchCache::GetOrCreate(
   entry->graph = std::move(graph);
   entry->store = std::move(*store);
 
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = slots_.find(key);
   if (it != slots_.end()) {
     it->second.last_used = ++tick_;
@@ -55,7 +55,7 @@ Result<RrSketchCache::Lookup> RrSketchCache::GetOrCreate(
 }
 
 std::size_t RrSketchCache::EraseGraph(const std::string& graph) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::size_t dropped = 0;
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (it->first.graph == graph) {
@@ -69,7 +69,7 @@ std::size_t RrSketchCache::EraseGraph(const std::string& graph) {
 }
 
 void RrSketchCache::EnforceBudget() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [key, slot] : slots_) {
     total += slot.entry->store->ApproxMemoryBytes();
@@ -88,27 +88,27 @@ void RrSketchCache::EnforceBudget() {
 }
 
 std::uint64_t RrSketchCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return hits_;
 }
 
 std::uint64_t RrSketchCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return misses_;
 }
 
 std::uint64_t RrSketchCache::evictions() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return evictions_;
 }
 
 std::size_t RrSketchCache::num_entries() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return slots_.size();
 }
 
 std::uint64_t RrSketchCache::ApproxMemoryBytes() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [key, slot] : slots_) {
     total += slot.entry->store->ApproxMemoryBytes();

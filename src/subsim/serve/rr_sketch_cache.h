@@ -5,14 +5,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "subsim/graph/graph.h"
 #include "subsim/rrset/generator_factory.h"
 #include "subsim/rrset/sample_store.h"
+#include "subsim/util/mutex.h"
 #include "subsim/util/status.h"
+#include "subsim/util/thread_annotations.h"
 
 namespace subsim {
 
@@ -97,24 +98,25 @@ class RrSketchCache {
   /// factory runs at most once per residency.
   Result<Lookup> GetOrCreate(const SketchKey& key,
                              std::shared_ptr<const Graph> graph,
-                             const StoreFactory& factory);
+                             const StoreFactory& factory)
+      SUBSIM_EXCLUDES(mu_);
 
   /// Drops every entry whose key names `graph` — called when a registry
   /// name is re-loaded, since cached sets sampled on the old snapshot must
   /// not serve queries against the new one. Returns the number dropped.
-  std::size_t EraseGraph(const std::string& graph);
+  std::size_t EraseGraph(const std::string& graph) SUBSIM_EXCLUDES(mu_);
 
   /// Evicts least-recently-used entries until within the byte budget.
   /// Called by the engine after queries (stores grow in place, so an entry
   /// can exceed the budget only after use).
-  void EnforceBudget();
+  void EnforceBudget() SUBSIM_EXCLUDES(mu_);
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  std::uint64_t evictions() const;
-  std::size_t num_entries() const;
+  std::uint64_t hits() const SUBSIM_EXCLUDES(mu_);
+  std::uint64_t misses() const SUBSIM_EXCLUDES(mu_);
+  std::uint64_t evictions() const SUBSIM_EXCLUDES(mu_);
+  std::size_t num_entries() const SUBSIM_EXCLUDES(mu_);
   /// Sum of the cached stores' approximate footprints.
-  std::uint64_t ApproxMemoryBytes() const;
+  std::uint64_t ApproxMemoryBytes() const SUBSIM_EXCLUDES(mu_);
 
  private:
   struct Slot {
@@ -123,12 +125,15 @@ class RrSketchCache {
   };
 
   Options options_;
-  mutable std::mutex mu_;
-  std::map<SketchKey, Slot> slots_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// Acquired before `SampleStore::mu_`: budget enforcement and footprint
+  /// accounting call into cached stores while holding the cache lock. The
+  /// reverse order never happens — stores know nothing about the cache.
+  mutable Mutex mu_;
+  std::map<SketchKey, Slot> slots_ SUBSIM_GUARDED_BY(mu_);
+  std::uint64_t tick_ SUBSIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ SUBSIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ SUBSIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ SUBSIM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace subsim

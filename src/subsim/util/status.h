@@ -28,7 +28,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Value-semantic success/error indicator with a message.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes ignoring any Status-returning call a
+/// compile error under `-Werror` (`-Wunused-result`), in every TU, for
+/// every current and future API — the compiler-enforced half of the
+/// `status-discarded` lint rule. Intentional discards must say so with
+/// `(void)` plus a `SUBSIM-NOLINT(status-discarded): <why>` marker.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -60,8 +66,8 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
@@ -73,9 +79,10 @@ class Status {
 };
 
 /// Holds either a `T` or an error `Status`. Accessing the value of an
-/// error result is a checked fatal error.
+/// error result is a checked fatal error. `[[nodiscard]]` for the same
+/// reason as `Status`: a dropped `Result` is a silently ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so functions can `return value;`.
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <utility>
 
 #include "subsim/graph/graph_builder.h"
 #include "subsim/graph/graph_stats.h"
@@ -89,6 +91,43 @@ TEST(BarabasiAlbertTest, ProducesHeavyTail) {
 TEST(BarabasiAlbertTest, RejectsBadParameters) {
   EXPECT_FALSE(GenerateBarabasiAlbert(10, 0, false, 1).ok());
   EXPECT_FALSE(GenerateBarabasiAlbert(5, 5, false, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, NoDuplicateTargetsPerNode) {
+  const Result<EdgeList> list =
+      GenerateBarabasiAlbert(1000, 4, /*undirected=*/false, 11);
+  ASSERT_TRUE(list.ok());
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : list->edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second)
+        << "duplicate edge " << e.src << "->" << e.dst;
+  }
+}
+
+// Regression test: the attachment loop used to emit each node's targets in
+// std::unordered_set iteration order, which is implementation-defined — the
+// same seed produced different graphs on different standard libraries (and
+// the divergence compounds, since emission order feeds the preferential-
+// attachment pool). The stream is now a pure function of the seed, so its
+// checksum is a portable constant; a change here means the generated-graph
+// byte stream changed for everyone and benchmarks/goldens are invalidated.
+TEST(BarabasiAlbertTest, EdgeStreamIsPortablyDeterministic) {
+  const Result<EdgeList> list =
+      GenerateBarabasiAlbert(300, 3, /*undirected=*/false, 42);
+  ASSERT_TRUE(list.ok());
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 1099511628211ull;  // FNV-1a prime
+    }
+  };
+  for (const Edge& e : list->edges) {
+    mix(e.src);
+    mix(e.dst);
+  }
+  EXPECT_EQ(hash, 0xaeebfbcbe40e2deaull);
 }
 
 TEST(PowerLawConfigurationTest, HitsTargetDensityApproximately) {

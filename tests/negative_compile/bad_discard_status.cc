@@ -1,0 +1,16 @@
+// Negative-compile fixture: drops a [[nodiscard]] Status on the floor.
+// Unlike the thread-safety fixtures this must fail under EVERY compiler
+// (-Werror promotes -Wunused-result), so it runs unconditionally — the one
+// negative-compile test that exercises the contract on gcc-only machines.
+#include "subsim/util/status.h"
+
+namespace {
+
+subsim::Status Flush() { return subsim::Status::Ok(); }
+
+}  // namespace
+
+int main() {
+  Flush();  // SUBSIM-NOLINT(status-discarded): negative-compile fixture — the discard is the point
+  return 0;
+}

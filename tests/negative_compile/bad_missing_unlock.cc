@@ -1,0 +1,32 @@
+// Negative-compile fixture: acquires a capability on one path and returns
+// without releasing it. Clang's -Wthread-safety must reject this.
+#include <cstdint>
+
+#include "subsim/util/mutex.h"
+#include "subsim/util/thread_annotations.h"
+
+namespace {
+
+class Leaky {
+ public:
+  bool TakeIfPositive(std::int64_t delta) {
+    mu_.Lock();
+    if (delta > 0) {
+      value_ += delta;
+      return true;  // lock still held on this path: -Wthread-safety error
+    }
+    mu_.Unlock();
+    return false;
+  }
+
+ private:
+  subsim::Mutex mu_;
+  std::int64_t value_ SUBSIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Leaky leaky;
+  return leaky.TakeIfPositive(1) ? 0 : 1;
+}

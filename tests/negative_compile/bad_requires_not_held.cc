@@ -1,0 +1,28 @@
+// Negative-compile fixture: calls a SUBSIM_REQUIRES(mu_) method without
+// holding the mutex. Clang's -Wthread-safety must reject this.
+#include <cstdint>
+
+#include "subsim/util/mutex.h"
+#include "subsim/util/thread_annotations.h"
+
+namespace {
+
+class Store {
+ public:
+  std::uint64_t SizeLocked() const SUBSIM_REQUIRES(mu_) { return size_; }
+
+  std::uint64_t Size() const {
+    return SizeLocked();  // precondition not met: -Wthread-safety error
+  }
+
+ private:
+  mutable subsim::Mutex mu_;
+  std::uint64_t size_ SUBSIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  const Store store;
+  return static_cast<int>(store.Size());
+}

@@ -1,0 +1,33 @@
+// Negative-compile fixture: reads and writes a SUBSIM_GUARDED_BY field
+// without holding its mutex. Clang's -Wthread-safety must reject this
+// translation unit; the ctest registration runs it clang-only with
+// WILL_FAIL so a successful compile fails the test.
+#include <cstdint>
+
+#include "subsim/util/mutex.h"
+#include "subsim/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // guarded access, no lock: -Wthread-safety error
+  }
+
+  std::uint64_t Get() const {
+    return value_;  // guarded access, no lock: -Wthread-safety error
+  }
+
+ private:
+  mutable subsim::Mutex mu_;
+  std::uint64_t value_ SUBSIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return static_cast<int>(counter.Get() - 1);
+}

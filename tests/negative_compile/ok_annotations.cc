@@ -1,0 +1,36 @@
+// Positive control for the thread-safety negative-compile suite: a
+// correctly annotated, correctly locked class. Must compile under every
+// compiler, including clang with -Wthread-safety promoted to an error —
+// proving the bad_*.cc failures come from the seeded violations, not from
+// the harness flags.
+#include <cstdint>
+
+#include "subsim/util/mutex.h"
+#include "subsim/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() SUBSIM_EXCLUDES(mu_) {
+    const subsim::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  std::uint64_t Get() const SUBSIM_EXCLUDES(mu_) {
+    const subsim::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable subsim::Mutex mu_;
+  std::uint64_t value_ SUBSIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return static_cast<int>(counter.Get() - 1);
+}

@@ -1,0 +1,16 @@
+// Positive control for bad_discard_status.cc: the sanctioned explicit
+// discard — a (void) cast with a reasoned suppression — compiles clean
+// under -Werror everywhere.
+#include "subsim/util/status.h"
+
+namespace {
+
+subsim::Status Flush() { return subsim::Status::Ok(); }
+
+}  // namespace
+
+int main() {
+  // SUBSIM-NOLINT-NEXTLINE(status-discarded): best-effort flush at exit
+  (void)Flush();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// ANALYZE-AS: src/subsim/serve/example.cc
+// Fixture: bypassing FillCollection(FillRequest) from the serving layer.
+// Both the legacy ParallelFill entry point and forked Rng streams would
+// break thread-count invariance of the generated samples.
+#include <cstdint>
+
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+void BadFill(Rng& rng) {
+  ParallelFill(nullptr, 128);            // ANALYZE-EXPECT: fill-entry-point
+  Rng forked = rng.Fork(3);              // ANALYZE-EXPECT: fill-entry-point
+  (void)forked;
+}
+
+}  // namespace subsim

@@ -1,0 +1,19 @@
+// ANALYZE-AS: src/subsim/algo/example.cc
+// Fixture: ad-hoc Rng streams in a stream-disciplined layer. A raw seed
+// starts a sequential stream whose draws depend on who consumed how many —
+// exactly what the Substream counter API exists to prevent.
+#include <cstdint>
+
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+std::uint64_t BadStreams(std::uint64_t seed) {
+  Rng rng(seed);                         // ANALYZE-EXPECT: rng-confinement
+  Rng braced{seed};                      // ANALYZE-EXPECT: rng-confinement
+  const auto value = rng.NextU64() + braced.NextU64();
+  Rng temp = Rng(seed + 1);              // ANALYZE-EXPECT: rng-confinement
+  return value + temp.NextU64();
+}
+
+}  // namespace subsim

@@ -1,0 +1,21 @@
+// ANALYZE-AS: src/subsim/graph/example.cc
+// Fixture: iterating a hash container in a layer whose output must be
+// bit-identical across standard libraries. Iteration order is
+// implementation-defined, so anything emitted in that order diverges
+// between libc++ and libstdc++ even with identical seeds. (This is the
+// GenerateBarabasiAlbert bug, reduced.)
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace subsim {
+
+std::vector<std::uint32_t> BadEmit(const std::unordered_set<std::uint32_t>& chosen) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t target : chosen) {  // ANALYZE-EXPECT: unordered-iteration
+    out.push_back(target);
+  }
+  return out;
+}
+
+}  // namespace subsim

@@ -1,0 +1,17 @@
+// ANALYZE-AS: src/subsim/rrset/example.cc
+// Fixture: clock reads inside a deterministic layer. A result that depends
+// on the wall clock cannot be replayed from its seed.
+#include <chrono>
+#include <ctime>
+
+namespace subsim {
+
+double BadTiming() {
+  const auto t0 = std::chrono::steady_clock::now();   // ANALYZE-EXPECT: wall-clock
+  const std::time_t stamp = std::time(nullptr);       // ANALYZE-EXPECT: wall-clock
+  const auto t1 = std::chrono::system_clock::now();   // ANALYZE-EXPECT: wall-clock
+  return static_cast<double>(stamp) +
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace subsim

@@ -1,0 +1,16 @@
+// ANALYZE-AS: src/subsim/rrset/example.cc
+// Fixture: the rrset layer implements the fill machinery, so it may call
+// ParallelFill and fork worker streams. No findings.
+#include <cstdint>
+
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+void ImplementFill(Rng& rng) {
+  ParallelFill(nullptr, 128);
+  Rng worker = rng.Fork(0);
+  (void)worker;
+}
+
+}  // namespace subsim

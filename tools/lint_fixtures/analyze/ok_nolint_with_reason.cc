@@ -1,0 +1,15 @@
+// ANALYZE-AS: src/subsim/algo/example.cc
+// Fixture: a reasoned suppression silences the rule cleanly. No findings.
+#include <cstdint>
+
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+std::uint64_t ReasonedSuppression(std::uint64_t seed) {
+  // SUBSIM-NOLINT-NEXTLINE(rng-confinement): sequential MC stream by design
+  Rng rng(seed);
+  return rng.NextU64();
+}
+
+}  // namespace subsim

@@ -1,0 +1,13 @@
+// ANALYZE-AS: src/subsim/random/example.cc
+// Fixture: the random/ layer itself may touch std::random_device (e.g. to
+// implement an opt-in nondeterministic seeding helper). No findings.
+#include <random>
+
+namespace subsim {
+
+unsigned SanctionedEntropy() {
+  std::random_device dev;
+  return dev();
+}
+
+}  // namespace subsim

@@ -1,0 +1,18 @@
+// ANALYZE-AS: src/subsim/algo/example.cc
+// Fixture: the sanctioned ways to obtain an Rng in a stream-disciplined
+// layer — counter-derived substreams and derived per-stream seeds. No
+// findings.
+#include <cstdint>
+
+#include "subsim/random/rng.h"
+
+namespace subsim {
+
+std::uint64_t GoodStreams(std::uint64_t base_seed, std::uint64_t index) {
+  Rng per_set = Rng::Substream(base_seed, index);
+  Rng derived(DeriveStreamSeed(base_seed, 1));
+  RngStream stream = MakeRngStream(base_seed, 2);
+  return per_set.NextU64() + derived.NextU64() + stream.next_index;
+}
+
+}  // namespace subsim

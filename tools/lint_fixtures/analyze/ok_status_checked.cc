@@ -1,0 +1,19 @@
+// ANALYZE-AS: src/subsim/algo/example.cc
+// Fixture: the sanctioned ways to consume a Status — test it, propagate
+// it, or explicitly discard with a reasoned suppression. No findings.
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+Status FlushCheckedFixture();
+
+Status GoodDiscard() {
+  const Status status = FlushCheckedFixture();
+  if (!status.ok()) {
+    return status;
+  }
+  SUBSIM_RETURN_IF_ERROR(FlushCheckedFixture());
+  return Status::Ok();
+}
+
+}  // namespace subsim

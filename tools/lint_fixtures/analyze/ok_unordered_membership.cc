@@ -1,0 +1,26 @@
+// ANALYZE-AS: src/subsim/graph/example.cc
+// Fixture: hash containers are fine for membership tests, and iterating an
+// *ordered* container is fine anywhere. No findings.
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace subsim {
+
+std::vector<std::uint32_t> GoodEmit(const std::vector<std::uint32_t>& input) {
+  std::unordered_set<std::uint32_t> seen;
+  std::set<std::uint32_t> ordered;
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v : input) {
+    if (seen.insert(v).second) {
+      ordered.insert(v);
+    }
+  }
+  for (std::uint32_t v : ordered) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace subsim

@@ -1,0 +1,14 @@
+// ANALYZE-AS: src/subsim/serve/example.cc
+// Fixture: the serving layer measures latency; clocks are its job. No
+// findings.
+#include <chrono>
+
+namespace subsim {
+
+double QueueSeconds(std::chrono::steady_clock::time_point enqueued) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       enqueued)
+      .count();
+}
+
+}  // namespace subsim

@@ -3,8 +3,13 @@
 # configuration and a compile_commands.json database.
 #
 # Usage:
-#   tools/run_clang_tidy.sh [build-dir] [file...]
+#   tools/run_clang_tidy.sh [--changed-only] [build-dir] [file...]
 #
+#   --changed-only
+#              restrict the run to src/ sources that differ from the merge
+#              base with origin/main (falling back to HEAD~1, then to a
+#              full run when no git history is available). The fast path
+#              for local iteration; CI still runs the full sweep.
 #   build-dir  directory containing compile_commands.json (default: build/;
 #              configured automatically if missing)
 #   file...    restrict the run to specific sources (default: all of src/)
@@ -18,6 +23,13 @@
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+changed_only=0
+if [ "${1:-}" = "--changed-only" ]; then
+  changed_only=1
+  shift
+fi
+
 build_dir=${1:-"${repo_root}/build"}
 [ $# -gt 0 ] && shift
 
@@ -50,6 +62,27 @@ fi
 
 if [ $# -gt 0 ]; then
   files=$*
+elif [ "${changed_only}" -eq 1 ]; then
+  base=$(git -C "${repo_root}" merge-base HEAD origin/main 2>/dev/null ||
+         git -C "${repo_root}" rev-parse HEAD~1 2>/dev/null || true)
+  if [ -z "${base}" ]; then
+    echo "run_clang_tidy.sh: no git base for --changed-only;" \
+         "running the full sweep" >&2
+    files=$(find "${repo_root}/src" -name '*.cc' | sort)
+  else
+    # Committed changes since the base plus uncommitted edits, deletions
+    # excluded (a removed file has nothing to tidy).
+    files=$( (git -C "${repo_root}" diff --name-only --diff-filter=d \
+                  "${base}" -- 'src/*.cc' 'src/**/*.cc';
+              git -C "${repo_root}" diff --name-only --diff-filter=d \
+                  -- 'src/*.cc' 'src/**/*.cc') |
+             sort -u | sed "s|^|${repo_root}/|")
+    if [ -z "${files}" ]; then
+      echo "run_clang_tidy.sh: no changed src/ sources since" \
+           "$(git -C "${repo_root}" rev-parse --short "${base}"); clean."
+      exit 0
+    fi
+  fi
 else
   files=$(find "${repo_root}/src" -name '*.cc' | sort)
 fi
