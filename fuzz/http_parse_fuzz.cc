@@ -1,0 +1,96 @@
+// Fuzz harness for the incremental HTTP/1.1 request parser — the only
+// code that touches bytes straight off a socket. Arbitrary input may
+// produce a parse error but must never crash, trip a sanitizer, or break
+// the parser's own invariants. The first input byte picks a chunking
+// pattern so the same payload is exercised through different Consume()
+// boundaries (one-shot, byte-at-a-time, mixed), since incremental parsers
+// love to hide bugs exactly at chunk seams.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "subsim/net/http.h"
+
+namespace {
+
+using subsim::HttpRequestParser;
+
+void CheckInvariants(const HttpRequestParser& parser) {
+  switch (parser.state()) {
+    case HttpRequestParser::State::kComplete: {
+      const subsim::HttpRequest& request = parser.request();
+      // A complete request always carries a validated request line.
+      if (request.method.empty() || request.target.empty() ||
+          request.version.empty()) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case HttpRequestParser::State::kError:
+      if (parser.error().ok()) {
+        __builtin_trap();  // kError must come with an explanation
+      }
+      break;
+    case HttpRequestParser::State::kNeedMore:
+      break;
+  }
+}
+
+void Feed(HttpRequestParser* parser, std::string_view payload,
+          std::size_t chunk) {
+  while (!payload.empty() &&
+         parser->state() == HttpRequestParser::State::kNeedMore) {
+    const std::size_t n = std::min(chunk, payload.size());
+    (void)parser->Consume(payload.substr(0, n));
+    payload.remove_prefix(n);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  // Small limits so the fuzzer reaches the limit-handling paths with
+  // short inputs instead of needing 16KB of head first.
+  HttpRequestParser::Limits limits;
+  limits.max_head_bytes = 512;
+  limits.max_body_bytes = 256;
+
+  const std::uint8_t mode = data[0];
+  const std::string_view payload(reinterpret_cast<const char*>(data + 1),
+                                 size - 1);
+
+  HttpRequestParser parser(limits);
+  const std::size_t chunk =
+      mode == 0 ? payload.size() + 1 : (mode % 7) + 1;  // one-shot or tiny
+  Feed(&parser, payload, chunk);
+  CheckInvariants(parser);
+
+  // Chunking must never change the outcome: replay one-shot and compare.
+  HttpRequestParser oneshot(limits);
+  (void)oneshot.Consume(payload);
+  CheckInvariants(oneshot);
+  if (oneshot.state() != parser.state()) {
+    __builtin_trap();
+  }
+  if (oneshot.state() == HttpRequestParser::State::kComplete &&
+      (oneshot.request().method != parser.request().method ||
+       oneshot.request().target != parser.request().target ||
+       oneshot.request().body != parser.request().body)) {
+    __builtin_trap();
+  }
+
+  // A completed parse hands back pipelined bytes and resets cleanly.
+  if (parser.state() == HttpRequestParser::State::kComplete) {
+    const std::string rest = parser.TakeRemainder();
+    parser.Reset();
+    Feed(&parser, rest, chunk);
+    CheckInvariants(parser);
+  }
+  return 0;
+}

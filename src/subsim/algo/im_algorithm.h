@@ -10,6 +10,7 @@
 #include "subsim/graph/graph.h"
 #include "subsim/rrset/generator_factory.h"
 #include "subsim/rrset/sample_store.h"
+#include "subsim/util/deadline.h"
 #include "subsim/util/status.h"
 
 namespace subsim {
@@ -46,6 +47,15 @@ struct ImOptions {
   /// flushed outside the sampling loops and spans only read the clock.
   ObsContext obs;
 
+  /// Optional execution budget (serving deadline). Unset (the default)
+  /// costs nothing and changes nothing. When set, the doubling algorithms
+  /// (OPIM-C, IMM) check it at round boundaries only: the first round
+  /// always completes, so a degraded run still returns seeds, and the sets
+  /// evaluated are always an exact prefix of the un-budgeted run's sample
+  /// stream — the response is annotated with the achieved `(epsilon,
+  /// delta)` instead of failing. See `ImResult::deadline_hit`.
+  Deadline deadline;
+
   /// Resolves delta == 0 to 1/n.
   double EffectiveDelta(NodeId num_nodes) const {
     return delta > 0.0 ? delta
@@ -75,6 +85,18 @@ struct ImResult {
 
   /// Wall-clock seconds for the full run.
   double seconds = 0.0;
+
+  /// True when `ImOptions::deadline` expired and the run stopped at a
+  /// round boundary before reaching its requested epsilon. The seeds are
+  /// still a valid greedy solution over the committed sample prefix, and
+  /// `achieved_epsilon` reports the certified slack actually reached.
+  bool deadline_hit = false;
+  /// The epsilon actually certified at the run's delta: for OPIM-C,
+  /// `(1 - 1/e) - approx_ratio` from the last completed round's bounds;
+  /// for IMM, the epsilon the phase-2 sample-size formula yields when
+  /// inverted at the number of sets actually evaluated. Equals at most the
+  /// requested epsilon on a full-budget run; larger on a degraded one.
+  double achieved_epsilon = 0.0;
 
   /// HIST only: sentinel-set size b and per-phase RR counts.
   std::uint32_t sentinel_size = 0;

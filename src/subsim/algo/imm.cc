@@ -71,6 +71,7 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
       static_cast<double>(n) / (eps_prime * eps_prime);
 
   double lower_bound_opt = 1.0;
+  bool deadline_hit = false;
   const int max_rounds = std::max(1, static_cast<int>(std::log2(n)) - 1);
   for (int i = 1; i <= max_rounds; ++i) {
     const double x = static_cast<double>(n) / std::pow(2.0, i);
@@ -90,6 +91,14 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
       lower_bound_opt = estimated / (1.0 + eps_prime);
       break;
     }
+    // Round boundaries are the only deadline checkpoints (round 1 always
+    // completes). Stopping here leaves `lower_bound_opt` at the k floor
+    // applied below — k is unconditionally a lower bound of OPT, so the
+    // degraded run's guarantee stays sound, just looser.
+    if (options.deadline.Expired()) {
+      deadline_hit = true;
+      break;
+    }
   }
   lower_bound_opt = std::max(lower_bound_opt, static_cast<double>(k));
   estimate_span.Close();
@@ -104,16 +113,27 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
   const double alpha = std::sqrt(l * ln_n + std::log(2.0));
   const double beta =
       std::sqrt(kOneMinusInvE * (log_nk + l * ln_n + std::log(2.0)));
-  const double lambda_star = 2.0 * static_cast<double>(n) *
+  // theta(eps') = lambda_base / (eps'^2 * LB); kept un-divided so a
+  // deadline-truncated run can invert it at the sets actually evaluated.
+  const double lambda_base = 2.0 * static_cast<double>(n) *
                              (kOneMinusInvE * alpha + beta) *
-                             (kOneMinusInvE * alpha + beta) / (eps * eps);
+                             (kOneMinusInvE * alpha + beta);
+  const double lambda_star = lambda_base / (eps * eps);
   const std::uint64_t theta =
       static_cast<std::uint64_t>(std::ceil(lambda_star / lower_bound_opt));
   if (options.obs.metrics != nullptr) {
     options.obs.metrics->Gauge("imm.theta").Set(static_cast<double>(theta));
   }
-  cold_sets = std::max(cold_sets, theta);
-  SUBSIM_RETURN_IF_ERROR(store->EnsureSets(0, cold_sets));
+  if (!deadline_hit && cold_sets < theta && options.deadline.Expired()) {
+    deadline_hit = true;
+  }
+  if (!deadline_hit) {
+    cold_sets = std::max(cold_sets, theta);
+    SUBSIM_RETURN_IF_ERROR(store->EnsureSets(0, cold_sets));
+  }
+  // On deadline: select over the phase-1 prefix already committed — the
+  // same sets a cold run would have drawn first, so the degraded result is
+  // reproducible and prefix-consistent with the full-budget run.
 
   const SampleStore::ReadGuard read = store->Read();
   const RrCollectionView view = read.View(0, cold_sets);
@@ -126,6 +146,12 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
                             static_cast<double>(view.num_sets());
   result.num_rr_sets = view.num_sets();
   result.total_rr_nodes = view.total_nodes();
+  result.deadline_hit = deadline_hit;
+  // Invert the phase-2 sample-size formula at the evaluated set count:
+  // the epsilon this many sets certify against the LB actually used.
+  result.achieved_epsilon = std::sqrt(
+      lambda_base /
+      (static_cast<double>(view.num_sets()) * lower_bound_opt));
   select_span.Close();
   result.seconds = run_span.ElapsedSeconds();
   return result;

@@ -91,6 +91,13 @@ Result<ImResult> OpimC::RunWithStore(const Graph& graph,
     result.influence_lower_bound = lower;
     result.optimal_upper_bound = upper;
     result.approx_ratio = upper > 0.0 ? lower / upper : 0.0;
+    // The slack this round certifies. Valid to report even when the run
+    // stops before `target_ratio`: each round's bounds hold with failure
+    // probability delta / (3 * i_max) budgeted for *all* i_max rounds up
+    // front, so truncating the schedule early never spends more than the
+    // requested delta.
+    result.achieved_epsilon =
+        std::max(0.0, kOneMinusInvE - result.approx_ratio);
     result.estimated_spread = static_cast<double>(cov2) *
                               static_cast<double>(n) /
                               static_cast<double>(r2.num_sets());
@@ -100,6 +107,13 @@ Result<ImResult> OpimC::RunWithStore(const Graph& graph,
     lower_gauge.Set(lower);
     ratio_gauge.Set(result.approx_ratio);
     if (result.approx_ratio >= target_ratio || i == i_max) {
+      break;
+    }
+    // Deadline checks happen only at round boundaries (round 1 always
+    // completes), so a degraded run evaluated an exact prefix of the
+    // un-budgeted run's streams and its seeds/bounds are reproducible.
+    if (options.deadline.Expired()) {
+      result.deadline_hit = true;
       break;
     }
   }

@@ -1,0 +1,109 @@
+#ifndef SUBSIM_NET_HTTP_H_
+#define SUBSIM_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// Minimal HTTP/1.1 message types and an incremental request parser.
+///
+/// Deliberately socket-free: every function here is a pure transformation
+/// over byte buffers, so the whole wire-parsing surface is fuzzable
+/// (fuzz/http_parse_fuzz.cc) and unit-testable without a network. The
+/// server in http_server.cc owns the sockets and feeds bytes through this
+/// parser; nothing else in the library may touch the wire format.
+///
+/// Supported subset (docs/serving.md): request line + headers terminated
+/// by CRLF (bare LF tolerated), bodies framed by `Content-Length` only —
+/// `Transfer-Encoding` is rejected up front rather than half-implemented.
+/// Hard limits on head and body sizes turn hostile inputs into clean
+/// errors instead of unbounded buffering.
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // "/v1/select_seeds"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent. Returns the
+  /// first occurrence (duplicates of load-bearing headers are rejected at
+  /// parse time).
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// True when the peer asked to close after this exchange ("Connection:
+  /// close", or any HTTP/1.0 request without "Connection: keep-alive").
+  bool WantsClose() const;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of codes the server emits.
+std::string_view HttpReasonPhrase(int status_code);
+
+/// Serializes a response with `Content-Length` framing. Always emits
+/// `Connection: close` when `close` is set so the peer stops reusing the
+/// connection.
+std::string FormatHttpResponse(const HttpResponse& response, bool close);
+
+/// Incremental HTTP/1.1 request parser. Feed arbitrary byte chunks with
+/// `Consume`; once it returns `kComplete`, `request()` is valid and
+/// `TakeRemainder()` yields any pipelined bytes past the request. After
+/// an error the parser stays in `kError` (`error()` explains) until
+/// `Reset`.
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  struct Limits {
+    /// Request line + headers, including terminator.
+    std::size_t max_head_bytes = 16 * 1024;
+    /// Declared Content-Length ceiling.
+    std::size_t max_body_bytes = 1024 * 1024;
+  };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(const Limits& limits) : limits_(limits) {}
+
+  /// Appends `data` and advances. Idempotent once complete or failed.
+  State Consume(std::string_view data);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+  const Status& error() const { return error_; }
+
+  /// Bytes received beyond the completed request (start of the next
+  /// pipelined request). Only meaningful in `kComplete`.
+  std::string TakeRemainder();
+
+  /// Ready for the next request on the same connection.
+  void Reset();
+
+ private:
+  State Fail(Status status);
+  State Advance();
+  Status ParseHead(std::string_view head);
+
+  Limits limits_;
+  State state_ = State::kNeedMore;
+  std::string buffer_;
+  std::size_t body_bytes_needed_ = 0;
+  bool head_done_ = false;
+  HttpRequest request_;
+  Status error_ = Status::Ok();
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_NET_HTTP_H_

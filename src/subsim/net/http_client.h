@@ -1,0 +1,70 @@
+#ifndef SUBSIM_NET_HTTP_CLIENT_H_
+#define SUBSIM_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// A parsed HTTP response as seen by the client.
+struct HttpClientResponse {
+  int status_code = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// A minimal blocking HTTP/1.1 client over one keep-alive connection.
+///
+/// Exists so tests and benchmarks can drive `HttpServer` without making
+/// raw socket calls themselves — the raw-socket lint rule confines those
+/// to src/subsim/net/, and this class is the sanctioned doorway. Not a
+/// general-purpose client: IPv4 only, Content-Length framing only, one
+/// in-flight request at a time per connection.
+class HttpClient {
+ public:
+  /// `timeout_seconds` bounds connect/send/recv individually.
+  HttpClient(std::string host, std::uint16_t port, int timeout_seconds = 10);
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Sends one request and reads the full response, reconnecting if the
+  /// server closed the kept-alive connection. `body` may be empty.
+  Result<HttpClientResponse> Request(std::string_view method,
+                                     std::string_view target,
+                                     std::string_view body);
+
+  Result<HttpClientResponse> Get(std::string_view target) {
+    return Request("GET", target, "");
+  }
+  Result<HttpClientResponse> Post(std::string_view target,
+                                  std::string_view body) {
+    return Request("POST", target, body);
+  }
+
+  /// Drops the connection (the next request reconnects).
+  void Disconnect();
+
+ private:
+  Status Connect();
+  Result<HttpClientResponse> RequestOnce(std::string_view method,
+                                         std::string_view target,
+                                         std::string_view body);
+
+  std::string host_;
+  std::uint16_t port_;
+  int timeout_seconds_;
+  int fd_ = -1;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_NET_HTTP_CLIENT_H_

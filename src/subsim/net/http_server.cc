@@ -1,0 +1,276 @@
+#include "subsim/net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "subsim/util/logging.h"
+#include "subsim/util/threading.h"
+
+namespace subsim {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Best-effort full write; a slow or dead peer gives up via SO_SNDTIMEO.
+void WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+void SetSocketTimeouts(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    SUBSIM_LOG(kWarning) << "setsockopt(SO_RCVTIMEO/SO_SNDTIMEO) failed: "
+                         << std::strerror(errno);
+  }
+  // Small JSON responses on a latency-sensitive path: disable Nagle so a
+  // response is not parked behind a delayed ACK.
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    SUBSIM_LOG(kWarning) << "setsockopt(TCP_NODELAY) failed: "
+                         << std::strerror(errno);
+  }
+}
+
+HttpResponse CannedResponse(int status_code, std::string body) {
+  HttpResponse response;
+  response.status_code = status_code;
+  response.headers.emplace_back("Content-Type", "text/plain");
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Handler handler, const Options& options)
+    : handler_(std::move(handler)), options_(options) {
+  if (options_.metrics != nullptr) {
+    shed_counter_ = options_.metrics->Counter("serve.shed");
+    accepted_counter_ = options_.metrics->Counter("http.accepted");
+    requests_counter_ = options_.metrics->Counter("http.requests");
+    parse_error_counter_ = options_.metrics->Counter("http.parse_errors");
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    SUBSIM_LOG(kWarning) << "setsockopt(SO_REUSEADDR) failed: "
+                         << std::strerror(errno);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    const Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status status =
+        Status::IoError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  const unsigned num_workers = ResolveNumThreads(options_.num_workers);
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  // shutdown() (not just close) reliably wakes a thread blocked in
+  // accept() on the same fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  cv_.NotifyAll();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      SUBSIM_LOG(kError) << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    SetSocketTimeouts(fd, options_.io_timeout_seconds);
+    bool shed = false;
+    {
+      const MutexLock lock(mu_);
+      if (pending_.size() >= options_.max_pending) {
+        shed = true;
+      } else {
+        PendingConn conn;
+        conn.fd = fd;
+        conn.enqueued = std::chrono::steady_clock::now();
+        pending_.push_back(conn);
+      }
+    }
+    if (shed) {
+      // Admission control: a full pending queue means every worker is busy
+      // and a backlog is already waiting — tell the client to back off now
+      // instead of growing the queue until every request misses its SLO.
+      shed_counter_.Increment();
+      HttpResponse response =
+          CannedResponse(429, "server overloaded, retry later\n");
+      response.headers.emplace_back("Retry-After", "1");
+      WriteAll(fd, FormatHttpResponse(response, /*close=*/true));
+      ::close(fd);
+      continue;
+    }
+    accepted_counter_.Increment();
+    cv_.NotifyOne();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    PendingConn conn;
+    {
+      const MutexLock lock(mu_);
+      while (!stopping_.load(std::memory_order_relaxed) && pending_.empty()) {
+        cv_.Wait(mu_);
+      }
+      if (pending_.empty()) {
+        return;  // stopping and drained
+      }
+      conn = pending_.front();
+      pending_.pop_front();
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      // Connections still queued at shutdown get a clean refusal.
+      WriteAll(conn.fd,
+               FormatHttpResponse(
+                   CannedResponse(503, "server shutting down\n"),
+                   /*close=*/true));
+      ::close(conn.fd);
+      continue;
+    }
+    ServeConnection(conn.fd, SecondsSince(conn.enqueued));
+  }
+}
+
+void HttpServer::ServeConnection(int fd, double queue_seconds) {
+  HttpRequestParser parser(options_.limits);
+  double queue_s = queue_seconds;
+  char buf[8192];
+  bool open = true;
+  while (open) {
+    while (parser.state() == HttpRequestParser::State::kNeedMore) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        open = false;  // EOF, IO timeout, or error: drop the connection
+        break;
+      }
+      (void)parser.Consume(
+          std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    if (parser.state() == HttpRequestParser::State::kNeedMore) {
+      break;  // peer went away mid-request
+    }
+    if (parser.state() == HttpRequestParser::State::kError) {
+      parse_error_counter_.Increment();
+      WriteAll(fd, FormatHttpResponse(
+                       CannedResponse(400, parser.error().message() + "\n"),
+                       /*close=*/true));
+      break;
+    }
+    requests_counter_.Increment();
+    HttpRequestContext context;
+    context.queue_seconds = queue_s;
+    queue_s = 0.0;  // keep-alive follow-ups never sat in the queue
+    const HttpResponse response = handler_(parser.request(), context);
+    const bool close_conn = parser.request().WantsClose() ||
+                            stopping_.load(std::memory_order_relaxed);
+    WriteAll(fd, FormatHttpResponse(response, close_conn));
+    if (close_conn) {
+      break;
+    }
+    const std::string carry = parser.TakeRemainder();
+    parser.Reset();
+    if (!carry.empty()) {
+      (void)parser.Consume(carry);  // pipelined start of the next request
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace subsim

@@ -1,0 +1,153 @@
+#include "subsim/net/serve_app.h"
+
+#include <utility>
+
+#include "subsim/obs/metrics.h"
+#include "subsim/util/deadline.h"
+
+namespace subsim {
+
+namespace {
+
+std::string JsonEscapeMinimal(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+HttpResponse JsonResponse(int status_code, std::string body) {
+  HttpResponse response;
+  response.status_code = status_code;
+  response.headers.emplace_back("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse JsonError(int status_code, std::string_view message) {
+  return JsonResponse(status_code, "{\"ok\":false,\"error\":\"" +
+                                       JsonEscapeMinimal(message) + "\"}\n");
+}
+
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kDeadlineExceeded:
+      return 429;
+    case StatusCode::kUnavailable:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+}  // namespace
+
+ServeApp::ServeApp(QueryEngine* engine) : engine_(engine) {
+  // Pre-register the SLO gauges so /metricsz carries the keys before the
+  // first query lands.
+  engine_->metrics().Gauge("slo.queue_us_p50").Set(0.0);
+  engine_->metrics().Gauge("slo.queue_us_p99").Set(0.0);
+  engine_->metrics().Gauge("slo.exec_us_p50").Set(0.0);
+  engine_->metrics().Gauge("slo.exec_us_p99").Set(0.0);
+}
+
+std::string ServeApp::MetricsJson() {
+  // Refresh the SLO gauges from the latency histograms at scrape time:
+  // scraping is rare, quantile extraction is O(buckets), and the gauges
+  // then ride along in the same stats JSON as everything else.
+  const MetricsSnapshot snapshot = engine_->metrics().Snapshot();
+  const auto refresh = [&](const char* histogram, const char* base) {
+    const auto it = snapshot.histograms.find(histogram);
+    if (it == snapshot.histograms.end()) {
+      return;
+    }
+    engine_->metrics()
+        .Gauge(std::string("slo.") + base + "_p50")
+        .Set(it->second.ApproxQuantile(0.5));
+    engine_->metrics()
+        .Gauge(std::string("slo.") + base + "_p99")
+        .Set(it->second.ApproxQuantile(0.99));
+  };
+  refresh("serve.queue_us", "queue_us");
+  refresh("serve.exec_us", "exec_us");
+  return engine_->StatsJson();
+}
+
+HttpResponse ServeApp::Handle(const HttpRequest& request,
+                              const HttpRequestContext& context) {
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      return JsonError(405, "use GET");
+    }
+    return JsonResponse(
+        200, "{\"ok\":true,\"graphs\":" +
+                 std::to_string(engine_->registry().Names().size()) + "}\n");
+  }
+  if (request.target == "/metricsz") {
+    if (request.method != "GET") {
+      return JsonError(405, "use GET");
+    }
+    return JsonResponse(200, MetricsJson() + "\n");
+  }
+  if (request.target == "/v1/select_seeds") {
+    if (request.method != "POST") {
+      return JsonError(405, "use POST");
+    }
+    return HandleSelectSeeds(request, context);
+  }
+  return JsonError(404, "no such endpoint");
+}
+
+HttpResponse ServeApp::HandleSelectSeeds(const HttpRequest& request,
+                                         const HttpRequestContext& context) {
+  Result<SelectSeedsQuery> query = ParseSelectSeedsQuery(request.body);
+  if (!query.ok()) {
+    return JsonError(400, query.status().ToString());
+  }
+
+  QueryEngine::ExecContext exec;
+  exec.queue_seconds = context.queue_seconds;
+  if (query->deadline_ms > 0) {
+    // The budget covers queueing too: subtract the time already spent
+    // waiting for a worker. A budget that is already gone is shed here —
+    // cheaper for everyone than starting work the client gave up on.
+    const double remaining_seconds =
+        static_cast<double>(query->deadline_ms) / 1000.0 -
+        context.queue_seconds;
+    if (remaining_seconds <= 0.0) {
+      engine_->metrics().Counter("serve.shed").Increment();
+      HttpResponse response =
+          JsonError(429, "deadline consumed while queued");
+      response.headers.emplace_back("Retry-After", "1");
+      return response;
+    }
+    exec.deadline = Deadline::AfterSeconds(remaining_seconds);
+  }
+
+  const QueryResponse query_response = engine_->Execute(*query, exec);
+  HttpResponse response = JsonResponse(
+      HttpStatusFor(query_response.status),
+      FormatQueryResponseJson(query_response) + "\n");
+  if (response.status_code == 429 || response.status_code == 503) {
+    response.headers.emplace_back("Retry-After", "1");
+  }
+  return response;
+}
+
+}  // namespace subsim

@@ -96,6 +96,11 @@ Result<SelectSeedsQuery> ParseSelectSeedsQuery(std::string_view line) {
       if (!ParseUint64(value, &query.rng_seed)) {
         return Status::InvalidArgument("seed must be a non-negative integer");
       }
+    } else if (key == "deadline_ms" || key == "deadline") {
+      if (!ParseUint64(value, &query.deadline_ms)) {
+        return Status::InvalidArgument(
+            "deadline_ms must be a non-negative integer");
+      }
     } else if (key == "generator" || key == "gen") {
       Result<GeneratorKind> kind = ParseGeneratorKind(std::string(value));
       if (!kind.ok()) {
@@ -136,6 +141,12 @@ std::string FormatQueryResponseJson(const QueryResponse& response) {
   if (response.result.optimal_upper_bound > 0.0) {
     out += ",\"approx_ratio\":" + JsonDouble(response.result.approx_ratio);
   }
+  if (response.result.achieved_epsilon > 0.0) {
+    out += ",\"achieved_eps\":" + JsonDouble(response.result.achieved_epsilon);
+  }
+  if (response.result.deadline_hit) {
+    out += ",\"deadline_hit\":true";
+  }
   out += ",\"rr_sets\":" + std::to_string(response.result.num_rr_sets);
   const QueryStats& stats = response.stats;
   out += ",\"cache_eligible\":";
@@ -144,6 +155,9 @@ std::string FormatQueryResponseJson(const QueryResponse& response) {
   out += stats.cache_hit ? "true" : "false";
   out += ",\"rr_sets_reused\":" + std::to_string(stats.rr_sets_reused);
   out += ",\"rr_sets_generated\":" + std::to_string(stats.rr_sets_generated);
+  if (stats.coalesced) {
+    out += ",\"coalesced\":true";
+  }
   out += ",\"queue_ms\":" + JsonDouble(stats.queue_seconds * 1000.0);
   out += ",\"exec_ms\":" + JsonDouble(stats.exec_seconds * 1000.0);
   out += "}";

@@ -19,7 +19,8 @@ namespace subsim {
 ///   graph=dblp algo=opim-c k=50 eps=0.1 seed=7 generator=subsim
 ///
 /// `graph` is required; everything else has the defaults below. Accepted
-/// keys: graph, algo, k, eps (or epsilon), delta, seed, generator.
+/// keys: graph, algo, k, eps (or epsilon), delta, seed, generator,
+/// deadline_ms (or deadline).
 struct SelectSeedsQuery {
   std::string graph;
   std::string algo = "opim-c";
@@ -28,6 +29,13 @@ struct SelectSeedsQuery {
   double delta = 0.0;  // 0 = 1/n
   std::uint64_t rng_seed = 1;
   GeneratorKind generator = GeneratorKind::kSubsimIc;
+  /// Wall-clock budget in milliseconds; 0 = unbounded. The budget covers
+  /// queueing *and* execution: time spent queued is subtracted before the
+  /// algorithm starts, an exhausted budget before any work is shed
+  /// (DeadlineExceeded / HTTP 429), and one that expires mid-run degrades —
+  /// the doubling algorithms stop at a round boundary and annotate the
+  /// achieved bound (docs/serving.md).
+  std::uint64_t deadline_ms = 0;
 
   /// ImOptions equivalent to this query. Leaves `num_threads` at its
   /// default; the engine overrides it from `QueryEngineOptions` — safe
@@ -56,6 +64,11 @@ struct QueryStats {
   /// Seconds spent queued behind other work, then executing.
   double queue_seconds = 0.0;
   double exec_seconds = 0.0;
+  /// True when this query waited for an in-flight compatible query (same
+  /// `SketchKey`, k no larger) to finish filling the shared store instead
+  /// of competing for the store's writer lock. Pure scheduling detail:
+  /// coalesced responses are byte-identical to un-coalesced ones.
+  bool coalesced = false;
 };
 
 /// Everything a query returns: the outcome status, the IM result when ok,

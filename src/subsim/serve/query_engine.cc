@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <map>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -24,6 +26,13 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+Deadline DeadlineFromQuery(const SelectSeedsQuery& query) {
+  return query.deadline_ms > 0
+             ? Deadline::AfterMillis(
+                   static_cast<std::int64_t>(query.deadline_ms))
+             : Deadline();
+}
+
 }  // namespace
 
 struct QueryEngine::Impl {
@@ -32,6 +41,7 @@ struct QueryEngine::Impl {
     SelectSeedsQuery query;
     std::promise<QueryResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    Deadline deadline;
   };
 
   explicit Impl(QueryEngine* engine, unsigned num_workers) : engine(engine) {
@@ -51,6 +61,22 @@ struct QueryEngine::Impl {
     for (std::thread& worker : workers) {
       worker.join();
     }
+    // Workers drain the queue before exiting, so this is normally empty.
+    // If anything is left (it should not be), fail the promises explicitly
+    // rather than let their destruction raise broken_promise on waiters.
+    const MutexLock lock(mu);
+    for (Job& job : queue) {
+      job.promise.set_value(Rejected(job, "query engine shut down"));
+    }
+    queue.clear();
+  }
+
+  static QueryResponse Rejected(const Job& job, std::string why) {
+    QueryResponse response;
+    response.query_id = job.id;
+    response.query = job.query;
+    response.status = Status::Unavailable(std::move(why));
+    return response;
   }
 
   void WorkerLoop() SUBSIM_EXCLUDES(mu) {
@@ -71,9 +97,73 @@ struct QueryEngine::Impl {
       }
       QueryResponse response =
           engine->ExecuteInternal(job.query, job.id,
-                                  SecondsSince(job.enqueued));
+                                  SecondsSince(job.enqueued), job.deadline);
       job.promise.set_value(std::move(response));
     }
+  }
+
+  // ---- Coalescer ----------------------------------------------------
+  //
+  // One in-flight record per SketchKey currently executing against the
+  // shared store. A new cache-eligible query whose k is dominated by the
+  // in-flight maximum subscribes: it waits (bounded by its own deadline)
+  // for the current fill to finish, then evaluates on the warmed store.
+  // A query with a larger k joins as a co-leader instead — it is the one
+  // extending the fill, so blocking it would help nobody. `coalesce_mu`
+  // is a leaf lock: nothing else is acquired while it is held, and the
+  // leader it waits on is by construction already past its own Enter call
+  // and executing, so the wait cannot cycle.
+
+  struct InFlight {
+    std::uint32_t max_k = 0;
+    int count = 0;
+  };
+
+  /// Returns true when the query waited behind a compatible leader.
+  bool EnterFill(const std::string& key, std::uint32_t k,
+                 const Deadline& deadline) SUBSIM_EXCLUDES(coalesce_mu) {
+    const MutexLock lock(coalesce_mu);
+    bool waited = false;
+    for (;;) {
+      const auto it = inflight.find(key);
+      if (it == inflight.end()) {
+        inflight.emplace(key, InFlight{k, 1});
+        return waited;
+      }
+      if (k > it->second.max_k) {
+        it->second.max_k = k;
+        ++it->second.count;
+        return waited;
+      }
+      if (deadline.is_set()) {
+        const double remaining = deadline.RemainingSeconds();
+        if (remaining <= 0.0) {
+          // Budget gone: stop waiting and run now (the run itself will
+          // degrade at its first round boundary).
+          ++it->second.count;
+          return waited;
+        }
+        waited = true;
+        // Timeout or notify, the loop re-checks the table either way.
+        (void)coalesce_cv.WaitFor(
+            coalesce_mu, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::duration<double>(remaining)));
+      } else {
+        waited = true;
+        coalesce_cv.Wait(coalesce_mu);
+      }
+    }
+  }
+
+  void LeaveFill(const std::string& key) SUBSIM_EXCLUDES(coalesce_mu) {
+    {
+      const MutexLock lock(coalesce_mu);
+      const auto it = inflight.find(key);
+      if (it != inflight.end() && --it->second.count == 0) {
+        inflight.erase(it);
+      }
+    }
+    coalesce_cv.NotifyAll();
   }
 
   QueryEngine* engine;
@@ -81,6 +171,9 @@ struct QueryEngine::Impl {
   CondVar cv;
   std::deque<Job> queue SUBSIM_GUARDED_BY(mu);
   bool stopping SUBSIM_GUARDED_BY(mu) = false;
+  Mutex coalesce_mu;
+  CondVar coalesce_cv;
+  std::map<std::string, InFlight> inflight SUBSIM_GUARDED_BY(coalesce_mu);
   std::atomic<std::uint64_t> next_id{1};
   std::vector<std::thread> workers;
 };
@@ -90,7 +183,18 @@ QueryEngine::QueryEngine(GraphRegistry* registry,
     : registry_(registry),
       cache_(options.cache),
       num_threads_(options.num_threads),
-      impl_(std::make_unique<Impl>(this, options.num_workers)) {}
+      impl_(std::make_unique<Impl>(this, options.num_workers)) {
+  // Register the serve-level instruments up front so /metricsz exposes
+  // every golden key (docs/serving.md) from the first scrape, before any
+  // traffic arrives.
+  metrics_.Counter("serve.queries");
+  metrics_.Counter("serve.errors");
+  metrics_.Counter("serve.shed");
+  metrics_.Counter("serve.coalesced");
+  metrics_.Counter("serve.deadline_hits");
+  metrics_.Histogram("serve.queue_us");
+  metrics_.Histogram("serve.exec_us");
+}
 
 QueryEngine::~QueryEngine() = default;
 
@@ -99,10 +203,23 @@ std::future<QueryResponse> QueryEngine::Submit(SelectSeedsQuery query) {
   job.id = impl_->next_id.fetch_add(1, std::memory_order_relaxed);
   job.query = std::move(query);
   job.enqueued = std::chrono::steady_clock::now();
+  job.deadline = DeadlineFromQuery(job.query);
   std::future<QueryResponse> future = job.promise.get_future();
+  bool rejected = false;
   {
     const MutexLock lock(impl_->mu);
-    impl_->queue.push_back(std::move(job));
+    if (impl_->stopping) {
+      // Racing the destructor: resolve the promise now — after `stopping`
+      // flips, no worker is guaranteed to look at the queue again.
+      rejected = true;
+    } else {
+      impl_->queue.push_back(std::move(job));
+    }
+  }
+  if (rejected) {
+    job.promise.set_value(
+        Impl::Rejected(job, "query engine is shutting down"));
+    return future;
   }
   impl_->cv.NotifyOne();
   return future;
@@ -111,7 +228,15 @@ std::future<QueryResponse> QueryEngine::Submit(SelectSeedsQuery query) {
 QueryResponse QueryEngine::Execute(const SelectSeedsQuery& query) {
   return ExecuteInternal(
       query, impl_->next_id.fetch_add(1, std::memory_order_relaxed),
-      /*queue_seconds=*/0.0);
+      /*queue_seconds=*/0.0, DeadlineFromQuery(query));
+}
+
+QueryResponse QueryEngine::Execute(const SelectSeedsQuery& query,
+                                   const ExecContext& ctx) {
+  return ExecuteInternal(
+      query, impl_->next_id.fetch_add(1, std::memory_order_relaxed),
+      ctx.queue_seconds,
+      ctx.deadline.is_set() ? ctx.deadline : DeadlineFromQuery(query));
 }
 
 std::size_t QueryEngine::InvalidateGraph(const std::string& name) {
@@ -133,7 +258,8 @@ std::string QueryEngine::StatsJson() const {
 
 QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
                                            std::uint64_t query_id,
-                                           double queue_seconds) {
+                                           double queue_seconds,
+                                           const Deadline& deadline) {
   QueryResponse response;
   response.query_id = query_id;
   response.query = query;
@@ -151,6 +277,9 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
     if (!status.ok()) {
       metrics_.Counter("serve.errors").Increment();
     }
+    if (response.result.deadline_hit) {
+      metrics_.Counter("serve.deadline_hits").Increment();
+    }
     metrics_.Gauge("serve.cache_entries")
         .Set(static_cast<double>(cache_.num_entries()));
     metrics_.Gauge("serve.cache_bytes")
@@ -158,6 +287,15 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
     response.status = std::move(status);
     return std::move(response);
   };
+
+  // A budget fully consumed before execution starts is shed here — running
+  // anyway would only make the caller's overload worse. Budgets that
+  // expire mid-run degrade at a round boundary instead (ImOptions).
+  if (deadline.is_set() && deadline.Expired()) {
+    metrics_.Counter("serve.shed").Increment();
+    return finish(Status::DeadlineExceeded(
+        "deadline expired before execution started"));
+  }
 
   Result<std::shared_ptr<const Graph>> graph = registry_->Get(query.graph);
   if (!graph.ok()) {
@@ -174,6 +312,7 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
   // Generation threads are an engine-level knob: results are invariant to
   // the thread count, so applying it here cannot change any response.
   options.num_threads = num_threads_;
+  options.deadline = deadline;
 
   if (!(*algorithm)->SupportsSampleReuse()) {
     // Cache-incompatible (HIST et al.): fresh, private sampling.
@@ -201,12 +340,22 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
   }
   response.stats.cache_hit = lookup->hit;
 
+  // Coalesce with any in-flight fill of the same key that dominates this
+  // query's k; by the time EnterFill returns the store holds (at least)
+  // the prefix this query needs, so evaluation is read-mostly.
+  const std::string fill_key = key.ToString();
+  if (impl_->EnterFill(fill_key, query.k, deadline)) {
+    response.stats.coalesced = true;
+    metrics_.Counter("serve.coalesced").Increment();
+  }
+
   // Run against the entry's pinned snapshot (it may predate a registry
   // re-load; its sets were sampled on exactly that snapshot).
   const std::shared_ptr<RrSketchCache::Entry> entry = lookup->entry;
   const std::uint64_t generated_before = entry->store->total_generated();
   Result<ImResult> result =
       (*algorithm)->RunWithStore(*entry->graph, options, entry->store.get());
+  impl_->LeaveFill(fill_key);
   if (!result.ok()) {
     return finish(result.status());
   }

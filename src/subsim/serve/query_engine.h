@@ -11,6 +11,7 @@
 #include "subsim/serve/graph_registry.h"
 #include "subsim/serve/query.h"
 #include "subsim/serve/rr_sketch_cache.h"
+#include "subsim/util/deadline.h"
 
 namespace subsim {
 
@@ -38,9 +39,32 @@ struct QueryEngineOptions {
 /// options (`SelectSeedsQuery::ToImOptions`).
 ///
 /// Thread-safety: `Submit` and `Execute` may be called from any thread.
-/// The destructor completes all submitted queries before returning.
+/// Shutdown ordering: the destructor drains every already-submitted query
+/// (each future is fulfilled with its real response) before tearing the
+/// workers down; a `Submit` that races the destructor never loses its
+/// promise — it resolves immediately with `StatusCode::kUnavailable`.
+///
+/// Concurrent compatible queries coalesce: while a query with SketchKey K
+/// is filling the shared store, an arriving query with the same K and a k
+/// no larger subscribes to that fill (waits for the leader, then evaluates
+/// on the warmed store) instead of competing round-by-round for the
+/// store's writer lock. Responses are identical either way; the wait is
+/// bounded by the follower's own deadline.
 class QueryEngine {
  public:
+  /// Per-call execution context for `Execute` — lets a network front end
+  /// account queue time it measured itself and pass the remaining deadline
+  /// budget.
+  struct ExecContext {
+    /// Seconds the request waited upstream (admission queue); recorded in
+    /// `serve.queue_us` and echoed in `QueryStats::queue_seconds`.
+    double queue_seconds = 0.0;
+    /// Remaining execution budget. An already-expired deadline is shed
+    /// with `kDeadlineExceeded` before any work; one that expires mid-run
+    /// degrades at a round boundary (see `ImOptions::deadline`).
+    Deadline deadline;
+  };
+
   explicit QueryEngine(GraphRegistry* registry,
                        const QueryEngineOptions& options = QueryEngineOptions());
   ~QueryEngine();
@@ -49,11 +73,18 @@ class QueryEngine {
 
   /// Enqueues a query for the worker pool; the future carries the response
   /// (never an exception — failures land in `QueryResponse::status`).
+  /// `query.deadline_ms` starts counting here, so time spent queued burns
+  /// budget; a budget fully consumed in the queue sheds the query.
   std::future<QueryResponse> Submit(SelectSeedsQuery query);
 
   /// Runs a query synchronously on the calling thread, sharing the same
-  /// cache as pooled queries. `queue_seconds` stays 0.
+  /// cache as pooled queries. `queue_seconds` stays 0 and
+  /// `query.deadline_ms` starts counting at the call.
   QueryResponse Execute(const SelectSeedsQuery& query);
+
+  /// As above with caller-supplied queue accounting and deadline; when
+  /// `ctx.deadline` is unset, `query.deadline_ms` applies from now.
+  QueryResponse Execute(const SelectSeedsQuery& query, const ExecContext& ctx);
 
   /// Drops cache entries keyed to a graph name — call after re-loading the
   /// name in the registry. Returns the number of entries dropped.
@@ -78,7 +109,8 @@ class QueryEngine {
   struct Impl;
 
   QueryResponse ExecuteInternal(const SelectSeedsQuery& query,
-                                std::uint64_t query_id, double queue_seconds);
+                                std::uint64_t query_id, double queue_seconds,
+                                const Deadline& deadline);
 
   // Declared before the cache: cached SampleStores carry ObsContext
   // pointers into the registry, so they must be destroyed first.

@@ -1,0 +1,85 @@
+#ifndef SUBSIM_UTIL_DEADLINE_H_
+#define SUBSIM_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace subsim {
+
+/// A wall-clock execution budget, passed by value through option structs.
+///
+/// A default-constructed `Deadline` is *unset*: `Expired()` is `false` and
+/// `RemainingSeconds()` is +inf without ever reading the clock, so code
+/// paths that never receive a deadline stay bit-for-bit identical to code
+/// written before deadlines existed. This is also why the algorithm layer
+/// may call `Expired()` despite the repo-wide wall-clock confinement rule
+/// (`subsim_analyze.py` forbids direct `steady_clock::now` reads in
+/// src/subsim/{algo,rrset,random}): the clock read lives here in util/,
+/// happens only when a serving deadline was explicitly set, and its result
+/// only ever *truncates* a doubling schedule at a round boundary — it can
+/// reorder no RNG stream and change no committed sample.
+class Deadline {
+ public:
+  /// Unset — never expires.
+  Deadline() = default;
+
+  /// A deadline `seconds` from now. Negative budgets expire immediately.
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.when_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// A deadline `ms` milliseconds from now.
+  static Deadline AfterMillis(std::int64_t ms) {
+    return AfterSeconds(static_cast<double>(ms) / 1000.0);
+  }
+
+  /// An already-expired deadline (no clock read). Useful in tests that
+  /// need deterministic "budget exhausted" behaviour with no timing race.
+  static Deadline AlreadyExpired() {
+    Deadline d;
+    d.when_ = std::chrono::steady_clock::time_point::min();
+    return d;
+  }
+
+  bool is_set() const {
+    return when_ != std::chrono::steady_clock::time_point::max();
+  }
+
+  /// True when the budget is exhausted. Never reads the clock when unset
+  /// or when forced via `AlreadyExpired()`.
+  bool Expired() const {
+    if (!is_set()) {
+      return false;
+    }
+    if (when_ == std::chrono::steady_clock::time_point::min()) {
+      return true;
+    }
+    return std::chrono::steady_clock::now() >= when_;
+  }
+
+  /// Seconds until expiry: +inf when unset, <= 0 when expired.
+  double RemainingSeconds() const {
+    if (!is_set()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (when_ == std::chrono::steady_clock::time_point::min()) {
+      return 0.0;
+    }
+    return std::chrono::duration<double>(when_ -
+                                         std::chrono::steady_clock::now())
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point when_ =
+      std::chrono::steady_clock::time_point::max();
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_UTIL_DEADLINE_H_

@@ -22,6 +22,8 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
@@ -64,6 +66,17 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The service cannot take the request right now (shutting down, or shed
+  /// under overload) — the caller may retry later.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The request's time budget ran out before any useful work could start.
+  /// (Budgets that expire *mid-run* degrade instead: the algorithms stop at
+  /// a round boundary and return seeds with the achieved bound.)
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

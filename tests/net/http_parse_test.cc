@@ -1,0 +1,169 @@
+// Unit tests for the socket-free HTTP/1.1 request parser: framing,
+// incremental feeding in arbitrary chunk sizes, header validation, limits,
+// pipelining via TakeRemainder, and response serialization. Anything that
+// gets past these tests is also continuously exercised by
+// fuzz/http_parse_fuzz.cc.
+
+#include "subsim/net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace subsim {
+namespace {
+
+using State = HttpRequestParser::State;
+
+TEST(HttpParseTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  EXPECT_TRUE(parser.request().body.empty());
+  ASSERT_NE(parser.request().FindHeader("host"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("HOST"), "x");
+}
+
+TEST(HttpParseTest, ParsesPostWithBody) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /v1/select_seeds HTTP/1.1\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "graph=g k=5";
+  ASSERT_EQ(parser.Consume(wire), State::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "graph=g k=5");
+}
+
+TEST(HttpParseTest, ByteAtATimeFeedMatchesOneShot) {
+  const std::string wire =
+      "POST /q HTTP/1.1\r\nContent-Length: 5\r\nX-A: b\r\n\r\nhello";
+  HttpRequestParser parser;
+  for (const char c : wire) {
+    ASSERT_NE(parser.Consume(std::string_view(&c, 1)), State::kError);
+  }
+  ASSERT_EQ(parser.state(), State::kComplete);
+  EXPECT_EQ(parser.request().body, "hello");
+  ASSERT_NE(parser.request().FindHeader("x-a"), nullptr);
+}
+
+TEST(HttpParseTest, ToleratesBareLfLineEndings) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume("GET / HTTP/1.1\nHost: x\n\n"), State::kComplete);
+  EXPECT_EQ(parser.request().target, "/");
+}
+
+TEST(HttpParseTest, NeedsMoreUntilBodyArrives) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nab"),
+            State::kNeedMore);
+  EXPECT_EQ(parser.Consume("cd"), State::kComplete);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpParseTest, PipelinedBytesLandInRemainder) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().target, "/a");
+  const std::string rest = parser.TakeRemainder();
+  parser.Reset();
+  ASSERT_EQ(parser.Consume(rest), State::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(HttpParseTest, RejectsMalformedRequestLine) {
+  const char* bad[] = {
+      "GET\r\n\r\n",                     // missing target/version
+      "GET / HTTP/2.0\r\n\r\n",          // unsupported version
+      "G3T / HTTP/1.1\r\n\r\n",          // non-alpha method
+      "GET /a b HTTP/1.1\r\n\r\n",       // space in target
+      " GET / HTTP/1.1\r\n\r\n",         // leading space
+  };
+  for (const char* wire : bad) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Consume(wire), State::kError) << wire;
+    EXPECT_FALSE(parser.error().ok()) << wire;
+  }
+}
+
+TEST(HttpParseTest, RejectsMalformedHeaders) {
+  const char* bad[] = {
+      "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+      "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",
+      "GET / HTTP/1.1\r\n: empty\r\n\r\n",
+      "GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+      "GET / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n",
+  };
+  for (const char* wire : bad) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Consume(wire), State::kError) << wire;
+  }
+}
+
+TEST(HttpParseTest, RejectsTransferEncoding) {
+  HttpRequestParser parser;
+  EXPECT_EQ(
+      parser.Consume("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      State::kError);
+}
+
+TEST(HttpParseTest, EnforcesHeadLimit) {
+  HttpRequestParser::Limits limits;
+  limits.max_head_bytes = 64;
+  HttpRequestParser parser(limits);
+  const std::string wire =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'a') + "\r\n\r\n";
+  EXPECT_EQ(parser.Consume(wire), State::kError);
+}
+
+TEST(HttpParseTest, EnforcesBodyLimit) {
+  HttpRequestParser::Limits limits;
+  limits.max_body_bytes = 8;
+  HttpRequestParser parser(limits);
+  EXPECT_EQ(parser.Consume("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+            State::kError);
+}
+
+TEST(HttpParseTest, ErrorStateIsStickyUntilReset) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume("BROKEN\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.Consume("GET / HTTP/1.1\r\n\r\n"), State::kError);
+  parser.Reset();
+  EXPECT_EQ(parser.Consume("GET / HTTP/1.1\r\n\r\n"), State::kComplete);
+}
+
+TEST(HttpParseTest, WantsCloseSemantics) {
+  HttpRequestParser keep;
+  ASSERT_EQ(keep.Consume("GET / HTTP/1.1\r\n\r\n"), State::kComplete);
+  EXPECT_FALSE(keep.request().WantsClose());
+
+  HttpRequestParser close;
+  ASSERT_EQ(close.Consume("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            State::kComplete);
+  EXPECT_TRUE(close.request().WantsClose());
+
+  HttpRequestParser legacy;
+  ASSERT_EQ(legacy.Consume("GET / HTTP/1.0\r\n\r\n"), State::kComplete);
+  EXPECT_TRUE(legacy.request().WantsClose());
+}
+
+TEST(HttpParseTest, FormatsResponseWithContentLength) {
+  HttpResponse response;
+  response.status_code = 429;
+  response.headers.emplace_back("Retry-After", "1");
+  response.body = "slow down";
+  const std::string wire = FormatHttpResponse(response, /*close=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 429 "), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 9\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nslow down"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subsim

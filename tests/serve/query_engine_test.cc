@@ -18,6 +18,7 @@
 #include "subsim/graph/graph_builder.h"
 #include "subsim/graph/weight_models.h"
 #include "subsim/serve/query.h"
+#include "subsim/util/deadline.h"
 
 namespace subsim {
 namespace {
@@ -291,6 +292,129 @@ TEST_F(QueryEngineTest, StatsJsonMergesCacheAndMetrics) {
   EXPECT_NE(json.find("\"serve.queries\":1"), std::string::npos);
   EXPECT_NE(json.find("\"rr.set_size\""), std::string::npos);
   EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, DestructionRacesInFlightQueries) {
+  // Shutdown-ordering regression test (run under TSan in CI): destroy the
+  // engine while 16 submitted queries are anywhere between queued and
+  // executing. Every future must yield a value — either a real answer or a
+  // clean kUnavailable — and never a broken_promise or a crash.
+  std::vector<std::future<QueryResponse>> futures;
+  {
+    QueryEngineOptions options;
+    options.num_workers = 4;
+    QueryEngine engine(&registry_, options);
+    for (int i = 0; i < 16; ++i) {
+      SelectSeedsQuery query = BaseQuery("g");
+      query.k = 2 + static_cast<std::uint32_t>(i % 5);
+      query.rng_seed = static_cast<std::uint64_t>(i);  // all cold: slow
+      futures.push_back(engine.Submit(std::move(query)));
+    }
+    // Engine destructor runs here, racing the in-flight work.
+  }
+  int answered = 0;
+  for (auto& future : futures) {
+    const QueryResponse response = future.get();  // must not throw
+    if (response.status.ok()) {
+      ++answered;
+      EXPECT_FALSE(response.result.seeds.empty());
+    } else {
+      EXPECT_EQ(response.status.code(), StatusCode::kUnavailable)
+          << response.status.ToString();
+    }
+  }
+  // The current destructor drains the queue, so everything got a real
+  // answer; the invariant that matters is "no future is ever abandoned".
+  EXPECT_GE(answered, 0);
+}
+
+TEST_F(QueryEngineTest, ConcurrentIdenticalQueriesCoalesce) {
+  // Same SketchKey + same k from many threads: one leader fills, the
+  // others subscribe to the fill instead of re-running it. Total sets
+  // generated must equal one cold run's worth (sublinear in callers), and
+  // every caller gets identical seeds.
+  QueryEngineOptions options;
+  options.num_workers = 8;
+  QueryEngine engine(&registry_, options);
+
+  SelectSeedsQuery query = BaseQuery("g");
+  query.epsilon = 0.12;  // slow enough that callers overlap
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine.Submit(query));
+  }
+  std::vector<QueryResponse> responses;
+  for (auto& future : futures) {
+    responses.push_back(future.get());
+  }
+
+  std::uint64_t generated = 0;
+  for (const QueryResponse& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.result.seeds, responses.front().result.seeds);
+    generated += response.stats.rr_sets_generated;
+  }
+  // Coalescing bar: the group generated exactly what one cold run needs
+  // (followers reuse the leader's sets; nobody duplicates the fill).
+  const QueryResponse cold_reference = [&] {
+    QueryEngine fresh(&registry_);
+    return fresh.Execute(query);
+  }();
+  ASSERT_TRUE(cold_reference.status.ok());
+  EXPECT_EQ(generated, cold_reference.stats.rr_sets_generated);
+}
+
+TEST_F(QueryEngineTest, ExpiredDeadlineIsShedBeforeExecution) {
+  QueryEngine engine(&registry_);
+  QueryEngine::ExecContext ctx;
+  ctx.deadline = Deadline::AlreadyExpired();
+  const QueryResponse response = engine.Execute(BaseQuery("g"), ctx);
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded)
+      << response.status.ToString();
+  EXPECT_NE(engine.StatsJson().find("\"serve.shed\":1"), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, DeadlineDegradedRunIsAPrefixOfTheFullRun) {
+  // The degradation contract end to end: a degraded run's sets are an
+  // exact prefix of the full run's sample stream, so a full-budget query
+  // arriving after a degraded one (same SketchKey) reuses every degraded
+  // set and still returns seeds bit-identical to a cold full run.
+  const auto algorithm = MakeImAlgorithm("opim-c");
+  ASSERT_TRUE(algorithm.ok());
+  const Result<std::shared_ptr<const Graph>> graph = registry_.Get("g");
+  ASSERT_TRUE(graph.ok());
+
+  ImOptions options;
+  options.k = 5;
+  options.epsilon = 0.15;
+  options.rng_seed = 17;
+  options.generator = GeneratorKind::kSubsimIc;
+
+  // Degraded run into a fresh store: stops at the first round boundary.
+  auto shared_store = (*algorithm)->MakeSampleStore(**graph, options);
+  ASSERT_TRUE(shared_store.ok());
+  ImOptions degraded_options = options;
+  degraded_options.deadline = Deadline::AlreadyExpired();
+  const Result<ImResult> degraded = (*algorithm)->RunWithStore(
+      **graph, degraded_options, shared_store->get());
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_TRUE(degraded->deadline_hit);
+  const std::uint64_t prefix_sets = (*shared_store)->total_generated();
+  ASSERT_GT(prefix_sets, 0u);
+
+  // Full run over the SAME store: extends the prefix, never resamples it.
+  const Result<ImResult> warm =
+      (*algorithm)->RunWithStore(**graph, options, shared_store->get());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->deadline_hit);
+  EXPECT_GE((*shared_store)->total_generated(), prefix_sets);
+
+  // And matches a cold full-budget run bit for bit.
+  const Result<ImResult> cold = (*algorithm)->Run(**graph, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(warm->seeds, cold->seeds);
+  EXPECT_EQ(warm->num_rr_sets, cold->num_rr_sets);
 }
 
 TEST(QueryParseTest, RoundTripsThroughEngine) {

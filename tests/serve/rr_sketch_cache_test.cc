@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "subsim/graph/generators.h"
 #include "subsim/graph/graph_builder.h"
@@ -193,6 +196,60 @@ TEST(RrSketchCacheTest, FactoryFailurePropagates) {
       });
   EXPECT_FALSE(lookup.ok());
   EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+TEST(RrSketchCacheTest, BudgetEvictionRacesConcurrentLookups) {
+  // The TSan scenario for the admission-era cache: a tiny byte budget so
+  // evictions fire constantly, reader threads hammering GetOrCreate +
+  // EnsureSets (growing entries past the budget), and a dedicated thread
+  // spinning EnforceBudget. Entries are shared_ptr-owned, so an evicted
+  // entry a reader still holds must stay valid until the reader drops it.
+  RrSketchCache::Options options;
+  options.max_bytes = 4 * 1024;  // less than one grown store: constant churn
+  RrSketchCache cache(options);
+  const auto graph = TinyGraph(7);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 60; ++i) {
+        // 8 distinct keys cycling: misses, hits, and re-creations after
+        // eviction all happen during the run.
+        const std::uint64_t seed = static_cast<std::uint64_t>((t + i) % 8);
+        const auto lookup =
+            cache.GetOrCreate(KeyFor("g", seed), graph,
+                              SequentialFactory(seed));
+        if (!lookup.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Grow the store while it may concurrently be evicted.
+        if (!lookup->entry->store->EnsureSets(0, 64 * (i % 4 + 1)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread evictor([&] {
+    while (!stop.load()) {
+      cache.EnforceBudget();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  stop.store(true);
+  evictor.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(cache.evictions(), 0u);
+  // The budget is enforced once the dust settles.
+  cache.EnforceBudget();
+  EXPECT_LE(cache.ApproxMemoryBytes(), options.max_bytes);
 }
 
 TEST(SketchKeyTest, OrderingAndEquality) {

@@ -1,0 +1,9 @@
+// ANALYZE-AS: src/subsim/net/example.cc
+// Fixture: the net layer owns the sockets. No findings.
+#include <sys/socket.h>
+
+namespace subsim {
+
+int Dial() { return ::socket(AF_INET, SOCK_STREAM, 0); }
+
+}  // namespace subsim

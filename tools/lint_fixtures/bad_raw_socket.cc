@@ -1,0 +1,19 @@
+// Fixture: socket headers and syscalls outside src/subsim/net/ must be
+// flagged. Never compiled — linted only by subsim_lint.py --self-test.
+#include <arpa/inet.h>   // LINT-EXPECT: raw-socket
+#include <sys/socket.h>  // LINT-EXPECT: raw-socket
+
+int DialDirect(const char* text_addr) {
+  int fd = socket(2, 1, 0);  // LINT-EXPECT: raw-socket
+  unsigned addr = 0;
+  inet_pton(2, text_addr, &addr);  // LINT-EXPECT: raw-socket
+  return fd;
+}
+
+int AwaitDirect(int fd, void* sa, unsigned* len) {
+  listen(fd, 16);  // LINT-EXPECT: raw-socket
+  return accept(fd, sa, len);  // LINT-EXPECT: raw-socket
+}
+
+// `socket` in a comment is fine, as is Connect()-style method naming below.
+int ConnectBudget();

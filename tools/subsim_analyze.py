@@ -41,6 +41,15 @@ Rules (shared suppression vocabulary with subsim_lint.py:
   fill-entry-point     ParallelFill / Rng::Fork outside src/subsim/random/
                        and src/subsim/rrset/: bulk RR generation has
                        exactly one entry point, FillCollection(FillRequest).
+  raw-socket           Socket headers (<sys/socket.h> et al.) or qualified
+                       socket syscalls (::socket, ::connect, ::listen, ...)
+                       outside src/subsim/net/. All wire traffic goes
+                       through HttpServer/HttpClient so the fuzzable parser,
+                       IO timeouts, and the admission layer cannot be
+                       bypassed. The header check is engine-independent
+                       (the preprocessor is invisible to the ast engine);
+                       the call check matches ::-qualified syscalls, which
+                       is the repo convention for libc calls.
   status-discarded     A call whose result is Status/Result used as a bare
                        expression statement. `[[nodiscard]]` catches this
                        at compile time; the analyzer keeps it visible to
@@ -105,6 +114,7 @@ FILL_ENTRY_ALLOWED = (
     "src/subsim/rrset/",
     "tests/random/",
 )
+RAW_SOCKET_ALLOWED = ("src/subsim/net/",)
 UNORDERED_ITER_FORBIDDEN = (
     "src/subsim/algo/",
     "src/subsim/rrset/",
@@ -117,6 +127,7 @@ ALL_RULES = (
     "wall-clock",
     "rng-confinement",
     "fill-entry-point",
+    "raw-socket",
     "status-discarded",
     "unordered-iteration",
     "nolint-needs-reason",
@@ -173,6 +184,24 @@ STMT_KEYWORDS = {
     "case", "goto", "new", "delete", "throw", "using", "namespace",
     "template", "typedef", "static_assert", "sizeof",
 }
+
+# Socket confinement. The include check runs outside both engines (clang
+# expands the preprocessor before the AST exists, so an engine-level check
+# could never agree across engines); the call check matches ::-qualified
+# syscalls only — bare bind/send/recv would collide with std::bind and
+# generic method names, and real socket code cannot avoid the headers.
+SOCKET_HEADER_RE = re.compile(
+    r"^[ \t]*#[ \t]*include[ \t]*<(?P<header>sys/socket\.h|netinet/in\.h"
+    r"|netinet/tcp\.h|arpa/inet\.h|sys/un\.h|netdb\.h)>",
+    re.MULTILINE,
+)
+SOCKET_SYSCALL_NAMES = {
+    "socket", "accept", "accept4", "listen", "connect", "getsockname",
+    "getpeername", "setsockopt", "getsockopt", "inet_pton", "inet_ntop",
+    "recvfrom", "sendto",
+}
+SOCKET_CALL_RE = re.compile(
+    r"::\s*(?:" + "|".join(sorted(SOCKET_SYSCALL_NAMES)) + r")\s*\(")
 
 UNORDERED_TYPE_RE = re.compile(
     r"\bstd\s*::\s*unordered_(?:set|map|multiset|multimap)\s*<")
@@ -420,6 +449,14 @@ def text_engine_findings(
                         "(FillRequest); ParallelFill/Rng::Fork here bypasses "
                         "the thread-count-invariance contract"))
 
+    if not path_matches(vpath, RAW_SOCKET_ALLOWED):
+        for m in SOCKET_CALL_RE.finditer(code):
+            out.append((line_of(code, m.start()), "raw-socket",
+                        "socket syscall outside src/subsim/net/; serve over "
+                        "HttpServer and drive clients through HttpClient so "
+                        "the wire stays behind the parser and the admission "
+                        "layer"))
+
     for offset, stmt in iter_statements(code):
         body = stmt.strip()
         if not body or "=" in body.split("(", 1)[0]:
@@ -568,6 +605,14 @@ def ast_engine_findings(
                                 "raw seed; use Rng::Substream / "
                                 "MakeRngStream / DeriveStreamSeed"))
 
+        if (kind == K.CALL_EXPR
+                and not path_matches(vpath, RAW_SOCKET_ALLOWED)
+                and cursor.spelling in SOCKET_SYSCALL_NAMES):
+            out.append((line, "raw-socket",
+                        f"call to ::{cursor.spelling}: socket syscall "
+                        "outside src/subsim/net/; go through "
+                        "HttpServer/HttpClient"))
+
         if kind == K.CALL_EXPR and not path_matches(vpath,
                                                     FILL_ENTRY_ALLOWED):
             if cursor.spelling == "ParallelFill":
@@ -637,14 +682,25 @@ def analyze_file(
     code = strip_comments_and_strings(raw)
     vpath = virtual_path(path, raw)
 
+    # Engine-independent pre-pass: include directives vanish before the AST
+    # exists, so the socket-header check runs on the stripped text for both
+    # engines — guaranteeing they agree on it.
+    triples: list[tuple[int, str, str]] = []
+    if not path_matches(vpath, RAW_SOCKET_ALLOWED):
+        for m in SOCKET_HEADER_RE.finditer(code):
+            triples.append(
+                (line_of(code, m.start()), "raw-socket",
+                 f"#include <{m.group('header')}> outside src/subsim/net/; "
+                 "raw sockets are confined to the net layer"))
+
     if engine == "ast":
-        triples = ast_engine_findings(
+        triples += ast_engine_findings(
             cindex, path, vpath, compile_args_for(path, compdb, root))
         # The ast engine resolves status-discarded from real return types;
         # everything it cannot see (headers outside the TU) is accepted.
     else:
-        triples = text_engine_findings(path, raw, code, vpath,
-                                       status_functions)
+        triples += text_engine_findings(path, raw, code, vpath,
+                                        status_functions)
 
     findings: list[Finding] = []
     for lineno, rule, message in triples:

@@ -15,26 +15,36 @@
 //   batch     --graph=NAME=FILE [--graph=...] [--in=QUERIES|-]
 //             [--workers=N] [--threads=N] [--cache-mb=M]
 //   serve     [--graph=NAME=FILE ...] [--workers=N] [--threads=N]
-//             [--cache-mb=M]
+//             [--cache-mb=M] [--port=P [--bind=ADDR] [--http-workers=N]
+//             [--max-pending=N]]
 //
 // Files are whitespace-separated edge lists ("src dst [weight]"); lines
 // starting with '#' or '%' are comments. `weight` writes the third column.
 //
 // `batch` executes one query per input line concurrently on a worker pool
 // (see src/subsim/serve/query.h for the line grammar) and prints one JSON
-// result line per query, in input order. `serve` is a long-lived REPL over
-// stdin/stdout speaking the same query lines plus `load NAME FILE`,
-// `graphs`, `stats`, and `quit`. Both share RR sketches between queries
-// through the serving cache (docs/serving.md).
+// result line per query, in input order. `serve` without --port is a
+// long-lived REPL over stdin/stdout speaking the same query lines plus
+// `load NAME FILE`, `graphs`, `stats`, and `quit`; with --port it runs the
+// HTTP/1.1 front end instead (POST /v1/select_seeds, GET /healthz,
+// GET /metricsz — docs/serving.md), printing one {"listening":...,"port":N}
+// line to stdout so scripts can discover an ephemeral --port=0. Both share
+// RR sketches between queries through the serving cache.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <future>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "subsim/algo/registry.h"
 #include "subsim/benchsup/calibration.h"
+#include "subsim/net/http_server.h"
+#include "subsim/net/serve_app.h"
 #include "subsim/eval/spread_estimator.h"
 #include "subsim/graph/generators.h"
 #include "subsim/graph/graph_builder.h"
@@ -484,6 +494,60 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
+/// Set by the SIGINT/SIGTERM handler; the HTTP serve loop polls it.
+std::atomic<bool> g_serve_stop{false};
+
+extern "C" void ServeSignalHandler(int) { g_serve_stop.store(true); }
+
+/// `serve --port=P`: the HTTP/1.1 front end. Blocks until SIGINT/SIGTERM,
+/// then stops the server (draining in-flight requests) before the engine
+/// and registry unwind.
+int CmdServeHttp(const Flags& flags, QueryEngine* engine) {
+  const auto port = flags.GetUint("port", 0);
+  const auto http_workers = flags.GetUint("http-workers", 0);
+  const auto max_pending = flags.GetUint("max-pending", 128);
+  if (!port.ok() || !http_workers.ok() || !max_pending.ok()) {
+    return Fail(!port.ok() ? port.status()
+                           : !http_workers.ok() ? http_workers.status()
+                                                : max_pending.status());
+  }
+  if (*port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be <= 65535"));
+  }
+
+  ServeApp app(engine);
+  HttpServer::Options options;
+  options.bind_address = flags.Get("bind", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(*port);
+  options.num_workers = static_cast<unsigned>(*http_workers);
+  options.max_pending = static_cast<std::size_t>(*max_pending);
+  options.metrics = &engine->metrics();
+  HttpServer server(
+      [&app](const HttpRequest& request, const HttpRequestContext& context) {
+        return app.Handle(request, context);
+      },
+      options);
+  if (const Status status = server.Start(); !status.ok()) {
+    return Fail(status);
+  }
+
+  // One machine-readable line on stdout so scripts can discover the
+  // ephemeral port when started with --port=0.
+  std::printf("{\"listening\":true,\"port\":%u}\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "subsim serve: shutting down\n");
+  server.Stop();
+  return 0;
+}
+
 int CmdServe(const Flags& flags) {
   GraphRegistry registry;
   if (const Status status = LoadGraphFlags(flags, &registry); !status.ok()) {
@@ -494,6 +558,10 @@ int CmdServe(const Flags& flags) {
     return Fail(engine_options.status());
   }
   QueryEngine engine(&registry, *engine_options);
+
+  if (flags.Has("port")) {
+    return CmdServeHttp(flags, &engine);
+  }
 
   std::fprintf(stderr,
                "subsim serve: query lines (graph=NAME k=K ...), "

@@ -18,6 +18,12 @@ repository's architecture:
                        and the serving worker pool) so TSan coverage and
                        determinism arguments stay local to two translation
                        units.
+  raw-socket           No raw socket syscalls or socket headers outside
+                       src/subsim/net/. The wire lives behind HttpServer /
+                       HttpClient so the fuzzable parser is the only path
+                       from bytes to requests, IO timeouts and admission
+                       control cannot be bypassed, and tests/benches drive
+                       the stack through the same doorway production does.
   iostream-logging     No std::cout / std::cerr / printf-family output
                        outside util/logging and util/check.h. Ad-hoc stderr
                        writes bypass the log-level filter and interleave
@@ -63,7 +69,10 @@ RAW_THREAD_ALLOWED = (
     "rrset/parallel_fill.cc",
     "serve/query_engine.cc",
     "util/threading.cc",  # the hardware_concurrency fallback helper
+    "net/http_server.cc",  # acceptor + worker pool (the serving frontend)
+    "net/http_server.h",
 )
+RAW_SOCKET_ALLOWED = ("src/subsim/net/",)
 FILL_ENTRY_ALLOWED = (
     "src/subsim/random/",
     "src/subsim/rrset/",
@@ -122,6 +131,17 @@ RAW_RANDOM_RE = re.compile(r"\b(?:std::)?(?:s?rand|random_device)\b")
 RAW_THREAD_RE = re.compile(
     r"\bstd::j?thread\b|^[ \t]*#[ \t]*include[ \t]*<thread>", re.MULTILINE
 )
+# Socket syscalls and the headers that declare them. bind/send/recv are
+# deliberately absent (std::bind and generic Send/Recv method names would
+# false-positive); any real socket user needs these headers or the
+# distinctive calls below, so confinement still holds.
+RAW_SOCKET_RE = re.compile(
+    r"^[ \t]*#[ \t]*include[ \t]*<(?:sys/socket\.h|netinet/in\.h"
+    r"|netinet/tcp\.h|arpa/inet\.h|sys/un\.h|netdb\.h)>"
+    r"|(?:::)?\b(?:socket|accept4?|listen|connect|getsockname|getpeername"
+    r"|setsockopt|getsockopt|inet_pton|inet_ntop|recvfrom|sendto)\s*\(",
+    re.MULTILINE,
+)
 IOSTREAM_RE = re.compile(
     r"\bstd::(?:cout|cerr|clog)\b"
     r"|^[ \t]*#[ \t]*include[ \t]*<iostream>"
@@ -141,6 +161,7 @@ ALL_RULES = (
     "status-discarded",
     "raw-random",
     "raw-thread",
+    "raw-socket",
     "iostream-logging",
     "ad-hoc-timer",
     "fill-entry-point",
@@ -306,6 +327,15 @@ def lint_file(
                    "std::thread is forbidden outside rrset/parallel_fill.cc"
                    " and serve/query_engine.cc; route parallelism through"
                    " FillCollection or the QueryEngine worker pool")
+
+    # Rule: raw-socket.
+    if not allowed(path, RAW_SOCKET_ALLOWED):
+        for m in RAW_SOCKET_RE.finditer(code):
+            report(line_of(code, m.start()), "raw-socket",
+                   "raw socket use is forbidden outside src/subsim/net/;"
+                   " serve over HttpServer and drive tests/benches through"
+                   " HttpClient so the wire stays behind the fuzzable"
+                   " parser and the admission layer")
 
     # Rule: iostream-logging.
     if not allowed(path, IOSTREAM_ALLOWED):
