@@ -23,6 +23,9 @@ struct AlgoConfig {
   const char* label;
   const char* algorithm;
   subsim::GeneratorKind generator;
+  /// Which RR-generation kernel the algorithm's fills run; the streams are
+  /// byte-identical, so arms differing only here isolate kernel speed.
+  subsim::FillKernel kernel;
 };
 
 /// Acceptance gate for the observability layer: attaching a live registry
@@ -83,11 +86,20 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> k_values =
       args->quick ? std::vector<std::uint32_t>{10, 200}
                   : std::vector<std::uint32_t>{1, 10, 50, 200, 1000, 2000};
+  // The two SUBSIM arms differ only in the fill kernel (identical sample
+  // streams, identical seeds), so their ratio is the batched kernel's
+  // end-to-end speedup inside a full IM run.
   const AlgoConfig configs[] = {
-      {"IMM", "imm", subsim::GeneratorKind::kVanillaIc},
-      {"SSA", "ssa", subsim::GeneratorKind::kVanillaIc},
-      {"OPIM-C", "opim-c", subsim::GeneratorKind::kVanillaIc},
-      {"SUBSIM", "opim-c", subsim::GeneratorKind::kSubsimIc},
+      {"IMM", "imm", subsim::GeneratorKind::kVanillaIc,
+       subsim::FillKernel::kAuto},
+      {"SSA", "ssa", subsim::GeneratorKind::kVanillaIc,
+       subsim::FillKernel::kAuto},
+      {"OPIM-C", "opim-c", subsim::GeneratorKind::kVanillaIc,
+       subsim::FillKernel::kAuto},
+      {"SUBSIM/scalar", "opim-c", subsim::GeneratorKind::kSubsimIc,
+       subsim::FillKernel::kScalar},
+      {"SUBSIM", "opim-c", subsim::GeneratorKind::kSubsimIc,
+       subsim::FillKernel::kBatched},
   };
 
   std::printf(
@@ -104,12 +116,14 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    subsim::TablePrinter table(
-        {"k", "IMM", "SSA", "OPIM-C", "SUBSIM", "SUBSIM vs OPIM-C"});
+    subsim::TablePrinter table({"k", "IMM", "SSA", "OPIM-C", "SUBSIM/scalar",
+                                "SUBSIM", "SUBSIM vs OPIM-C",
+                                "kernel speedup"});
     for (const std::uint32_t k : k_values) {
       std::vector<std::string> row = {std::to_string(k)};
       double opim_seconds = 0.0;
       double subsim_seconds = 0.0;
+      double subsim_scalar_seconds = 0.0;
       for (const AlgoConfig& config : configs) {
         const auto algorithm = subsim::MakeImAlgorithm(config.algorithm);
         if (!algorithm.ok()) {
@@ -120,6 +134,7 @@ int main(int argc, char** argv) {
         options.epsilon = 0.1;
         options.rng_seed = args->seed;
         options.generator = config.generator;
+        options.fill_kernel = config.kernel;
         options.obs = obs.Context();
         const auto result = (*algorithm)->Run(*graph, options);
         if (!result.ok()) {
@@ -131,11 +146,16 @@ int main(int argc, char** argv) {
         if (std::string(config.label) == "OPIM-C") {
           opim_seconds = result->seconds;
         }
+        if (std::string(config.label) == "SUBSIM/scalar") {
+          subsim_scalar_seconds = result->seconds;
+        }
         if (std::string(config.label) == "SUBSIM") {
           subsim_seconds = result->seconds;
         }
       }
       row.push_back(subsim::FormatSpeedup(opim_seconds, subsim_seconds));
+      row.push_back(
+          subsim::FormatSpeedup(subsim_scalar_seconds, subsim_seconds));
       table.AddRow(std::move(row));
     }
     std::printf("--- %s ---\n", dataset.c_str());

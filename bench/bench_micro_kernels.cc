@@ -1,10 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels: RNG draws,
-// geometric skips, alias-table sampling, subset sampling, and single
-// RR-set generation. Useful for catching regressions in the primitives
-// the figure-level numbers are built from.
+// geometric skips, alias-table sampling, subset sampling, and RR-set
+// generation (single-set and whole-fill, scalar vs batched kernel).
+// Useful for catching regressions in the primitives the figure-level
+// numbers are built from.
+//
+// `--smoke` switches to a self-checking mode for CI: it times scalar vs
+// batched fills per generator kind (min over repetitions), verifies the
+// two kernels produce byte-identical collections, and fails if the
+// batched kernel is slower than the scalar one.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "subsim/graph/generators.h"
@@ -13,6 +23,7 @@
 #include "subsim/random/alias_table.h"
 #include "subsim/random/geometric.h"
 #include "subsim/random/rng.h"
+#include "subsim/rrset/parallel_fill.h"
 #include "subsim/rrset/subsim_ic_generator.h"
 #include "subsim/rrset/vanilla_ic_generator.h"
 #include "subsim/sampling/sampler_factory.h"
@@ -94,6 +105,26 @@ const Graph& BenchGraph() {
   return *kGraph;
 }
 
+/// DRAM-resident WC graph for the fill benchmarks and the smoke guard:
+/// 8M nodes / 80M edges puts the traversal working set (in-sources +
+/// per-node descriptors + visited stamps, ~500 MB) beyond any L3, which
+/// is the regime the batched kernel is built for — its speedup is
+/// memory-level parallelism across lanes, so on a cache-resident graph
+/// (`BenchGraph`) it merely ties the scalar kernel while paying its
+/// pipeline overhead. Built lazily: only the fill benchmarks and
+/// `--smoke` pay the ~15 s construction.
+const Graph& DramFillGraph() {
+  static const Graph* const kGraph = [] {
+    Result<EdgeList> list = GenerateBarabasiAlbert(8000000, 10, false, 5);
+    const Status weights =
+        AssignWeights(WeightModel::kWeightedCascade, {}, &list.value());
+    SUBSIM_CHECK(weights.ok(), "fill graph weights: %s",
+                 weights.ToString().c_str());
+    return new Graph(BuildGraph(std::move(list).value()).value());
+  }();
+  return *kGraph;
+}
+
 void BM_RrGenerateVanilla(benchmark::State& state) {
   VanillaIcGenerator generator(BenchGraph());
   Rng rng(6);
@@ -116,7 +147,177 @@ void BM_RrGenerateSubsim(benchmark::State& state) {
 }
 BENCHMARK(BM_RrGenerateSubsim);
 
+// Whole-fill throughput, scalar vs batched kernel on the same stream —
+// the pair of numbers behind the batched kernel's speedup claim. Runs on
+// the DRAM-resident graph; expect >= 2x for vanilla WC. Manual timing
+// covers the `FillCollection` call only: constructing the 8M-entry
+// inverted index inside `RrCollection` costs ~100 ms per iteration in
+// both arms and scales with the graph, not the fill, so wall-clocking it
+// would bury the kernel difference (the per-fill kernel setup — worker
+// scratch, epoch stamps — stays inside the timed region and is amortized
+// over a realistic per-fill set count: IMM-style theta on a graph this
+// size is hundreds of thousands of sets).
+void BM_Fill(benchmark::State& state, GeneratorKind kind, FillKernel kernel) {
+  const Graph& graph = DramFillGraph();
+  constexpr std::size_t kSetsPerIteration = 131072;
+  std::uint64_t sets = 0;
+  for (auto _ : state) {
+    RrCollection collection(graph.num_nodes());
+    RngStream stream = MakeRngStream(11, 1);
+    const auto start = std::chrono::steady_clock::now();
+    const Status status = FillCollection(
+        {.kind = kind, .graph = &graph, .rng = &stream,
+         .count = kSetsPerIteration, .num_threads = 1, .sentinels = {},
+         .obs = {}, .kernel = kernel},
+        &collection);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    SUBSIM_CHECK(status.ok(), "bench fill: %s", status.ToString().c_str());
+    benchmark::DoNotOptimize(collection.total_nodes());
+    state.SetIterationTime(elapsed.count());
+    sets += kSetsPerIteration;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sets));
+}
+BENCHMARK_CAPTURE(BM_Fill, vanilla_scalar, GeneratorKind::kVanillaIc,
+                  FillKernel::kScalar)
+    ->UseManualTime();
+BENCHMARK_CAPTURE(BM_Fill, vanilla_batched, GeneratorKind::kVanillaIc,
+                  FillKernel::kBatched)
+    ->UseManualTime();
+BENCHMARK_CAPTURE(BM_Fill, subsim_scalar, GeneratorKind::kSubsimIc,
+                  FillKernel::kScalar)
+    ->UseManualTime();
+BENCHMARK_CAPTURE(BM_Fill, subsim_batched, GeneratorKind::kSubsimIc,
+                  FillKernel::kBatched)
+    ->UseManualTime();
+BENCHMARK_CAPTURE(BM_Fill, lt_scalar, GeneratorKind::kLt, FillKernel::kScalar)
+    ->UseManualTime();
+BENCHMARK_CAPTURE(BM_Fill, lt_batched, GeneratorKind::kLt,
+                  FillKernel::kBatched)
+    ->UseManualTime();
+
+// ---------------------------------------------------------------------------
+// --smoke: CI guard. Byte-identity plus a "batched must not be slower"
+// assertion per generator kind, on min-over-reps single-thread timings.
+
+double TimeFillSeconds(const Graph& graph, GeneratorKind kind,
+                       FillKernel kernel, std::size_t count) {
+  RrCollection collection(graph.num_nodes());
+  RngStream stream = MakeRngStream(11, 1);
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = FillCollection(
+      {.kind = kind, .graph = &graph, .rng = &stream, .count = count,
+       .num_threads = 1, .sentinels = {}, .obs = {}, .kernel = kernel},
+      &collection);
+  const auto stop = std::chrono::steady_clock::now();
+  SUBSIM_CHECK(status.ok(), "smoke fill: %s", status.ToString().c_str());
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+bool CollectionsIdentical(const RrCollection& a, const RrCollection& b) {
+  if (a.num_sets() != b.num_sets()) {
+    return false;
+  }
+  for (RrId id = 0; id < a.num_sets(); ++id) {
+    const auto sa = a.Set(id);
+    const auto sb = b.Set(id);
+    if (sa.size() != sb.size() ||
+        !std::equal(sa.begin(), sa.end(), sb.begin()) ||
+        a.HitSentinel(id) != b.HitSentinel(id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunSmoke() {
+  struct Case {
+    const char* label;
+    GeneratorKind kind;
+    /// Allowed batched/scalar time ratio on the DRAM-resident graph.
+    /// Vanilla WC is the headline case (measures ~0.5-0.65 even at smoke
+    /// scale, i.e. >= 1.5x) so it must win with margin. SUBSIM and LT
+    /// batched win at fill scale (~1.15x in BM_Fill), but their scalar
+    /// baselines share the packed-descriptor fast paths and a 20k-set
+    /// smoke leaves little cold-cache traversal to pipeline, so at this
+    /// scale they tie — the bar is "not slower" plus noise headroom for
+    /// shared CI runners.
+    double max_ratio;
+  };
+  const Case cases[] = {
+      {"vanilla", GeneratorKind::kVanillaIc, 0.90},
+      {"subsim", GeneratorKind::kSubsimIc, 1.10},
+      {"lt", GeneratorKind::kLt, 1.10},
+  };
+  const Graph& graph = DramFillGraph();
+  constexpr std::size_t kSets = 20000;
+  constexpr int kReps = 3;
+
+  bool ok = true;
+  for (const Case& c : cases) {
+    RrCollection scalar_out(graph.num_nodes());
+    RrCollection batched_out(graph.num_nodes());
+    RngStream scalar_stream = MakeRngStream(11, 1);
+    RngStream batched_stream = MakeRngStream(11, 1);
+    Status status = FillCollection(
+        {.kind = c.kind, .graph = &graph, .rng = &scalar_stream,
+         .count = kSets, .num_threads = 1, .sentinels = {}, .obs = {},
+         .kernel = FillKernel::kScalar},
+        &scalar_out);
+    SUBSIM_CHECK(status.ok(), "smoke fill: %s", status.ToString().c_str());
+    status = FillCollection(
+        {.kind = c.kind, .graph = &graph, .rng = &batched_stream,
+         .count = kSets, .num_threads = 1, .sentinels = {}, .obs = {},
+         .kernel = FillKernel::kBatched},
+        &batched_out);
+    SUBSIM_CHECK(status.ok(), "smoke fill: %s", status.ToString().c_str());
+    if (!CollectionsIdentical(scalar_out, batched_out)) {
+      std::printf("FAIL %-8s kernels diverge (scalar != batched)\n", c.label);
+      ok = false;
+      continue;
+    }
+
+    // Judge on the best per-rep ratio, not the ratio of per-arm bests:
+    // the two arms of a rep run back to back, so interference that slows
+    // the whole machine for a while (CI neighbors, hypervisor steal time)
+    // inflates both and cancels in the ratio, whereas min-per-arm across
+    // reps can pair a quiet scalar rep with a noisy batched one.
+    double scalar_best = 0.0;
+    double batched_best = 0.0;
+    double ratio = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double s = TimeFillSeconds(graph, c.kind, FillKernel::kScalar,
+                                       kSets);
+      const double b = TimeFillSeconds(graph, c.kind, FillKernel::kBatched,
+                                       kSets);
+      scalar_best = rep == 0 ? s : std::min(scalar_best, s);
+      batched_best = rep == 0 ? b : std::min(batched_best, b);
+      ratio = rep == 0 ? b / s : std::min(ratio, b / s);
+    }
+    const bool pass = ratio <= c.max_ratio;
+    std::printf("%s %-8s scalar %8.2f ms  batched %8.2f ms  speedup %5.2fx\n",
+                pass ? "ok  " : "FAIL", c.label, scalar_best * 1e3,
+                batched_best * 1e3, 1.0 / ratio);
+    ok = ok && pass;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace subsim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return subsim::RunSmoke();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -78,7 +78,8 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
   SUBSIM_RETURN_IF_ERROR(FillCollection(
       {.kind = options.generator, .graph = &graph, .rng = &rng1,
        .count = theta0, .num_threads = options.num_threads,
-       .sentinels = {}, .obs = options.obs},
+       .sentinels = {}, .obs = options.obs,
+       .kernel = options.fill_kernel},
       &r1));
   MeterHistFill(metrics, /*truncated=*/false, r1, 0, 0, 0);
 
@@ -123,7 +124,8 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
       SUBSIM_RETURN_IF_ERROR(FillCollection(
           {.kind = options.generator, .graph = &graph, .rng = &rng2,
            .count = r1.num_sets(), .num_threads = options.num_threads,
-           .sentinels = candidate, .obs = options.obs},
+           .sentinels = candidate, .obs = options.obs,
+           .kernel = options.fill_kernel},
           &r2));
       MeterHistFill(metrics, /*truncated=*/true, r2, 0, 0, 0);
       std::uint64_t cov = ComputeCoverage(r2, candidate);
@@ -142,7 +144,8 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
       SUBSIM_RETURN_IF_ERROR(FillCollection(
           {.kind = options.generator, .graph = &graph, .rng = &rng2,
            .count = 3 * r1.num_sets(), .num_threads = options.num_threads,
-           .sentinels = candidate, .obs = options.obs},
+           .sentinels = candidate, .obs = options.obs,
+           .kernel = options.fill_kernel},
           &r2));
       MeterHistFill(metrics, /*truncated=*/true, r2, r2_sets, r2_nodes,
                     r2_hits);
@@ -164,7 +167,8 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
       SUBSIM_RETURN_IF_ERROR(FillCollection(
           {.kind = options.generator, .graph = &graph, .rng = &rng1,
            .count = r1.num_sets(), .num_threads = options.num_threads,
-           .sentinels = {}, .obs = options.obs},
+           .sentinels = {}, .obs = options.obs,
+           .kernel = options.fill_kernel},
           &r1));
       MeterHistFill(metrics, /*truncated=*/false, r1, r1_sets, r1_nodes, 0);
     }
@@ -257,13 +261,15 @@ Result<ImResult> Hist::Run(const Graph& graph,
   SUBSIM_RETURN_IF_ERROR(FillCollection(
       {.kind = options.generator, .graph = &graph, .rng = &rng3,
        .count = theta0, .num_threads = options.num_threads,
-       .sentinels = sentinels, .obs = options.obs},
+       .sentinels = sentinels, .obs = options.obs,
+       .kernel = options.fill_kernel},
       &r1));
   MeterHistFill(metrics, phase2_truncated, r1, 0, 0, 0);
   SUBSIM_RETURN_IF_ERROR(FillCollection(
       {.kind = options.generator, .graph = &graph, .rng = &rng4,
        .count = theta0, .num_threads = options.num_threads,
-       .sentinels = sentinels, .obs = options.obs},
+       .sentinels = sentinels, .obs = options.obs,
+       .kernel = options.fill_kernel},
       &r2));
   MeterHistFill(metrics, phase2_truncated, r2, 0, 0, 0);
 
@@ -320,7 +326,8 @@ Result<ImResult> Hist::Run(const Graph& graph,
     SUBSIM_RETURN_IF_ERROR(FillCollection(
         {.kind = options.generator, .graph = &graph, .rng = &rng3,
          .count = r1.num_sets(), .num_threads = options.num_threads,
-         .sentinels = sentinels, .obs = options.obs},
+         .sentinels = sentinels, .obs = options.obs,
+         .kernel = options.fill_kernel},
         &r1));
     MeterHistFill(metrics, phase2_truncated, r1, r1_marks[0], r1_marks[1],
                   r1_marks[2]);
@@ -329,7 +336,8 @@ Result<ImResult> Hist::Run(const Graph& graph,
     SUBSIM_RETURN_IF_ERROR(FillCollection(
         {.kind = options.generator, .graph = &graph, .rng = &rng4,
          .count = r2.num_sets(), .num_threads = options.num_threads,
-         .sentinels = sentinels, .obs = options.obs},
+         .sentinels = sentinels, .obs = options.obs,
+         .kernel = options.fill_kernel},
         &r2));
     MeterHistFill(metrics, phase2_truncated, r2, r2_marks[0], r2_marks[1],
                   r2_marks[2]);

@@ -42,6 +42,13 @@ struct ImOptions {
   /// for every value; the thread count changes wall-clock time only.
   unsigned num_threads = 1;
 
+  /// RR-generation kernel for fills (`FillKernel`): `kAuto` (default)
+  /// resolves to the frontier-batched kernel, `kScalar` forces the
+  /// per-set reference path. The sample stream — and therefore the
+  /// selected seeds — is byte-identical for every value; the knob changes
+  /// wall-clock time only (see docs/rr_generation.md).
+  FillKernel fill_kernel = FillKernel::kAuto;
+
   /// Optional observability sinks (must outlive the run). Attaching them
   /// never changes the RNG streams or the selected seeds — metrics are
   /// flushed outside the sampling loops and spans only read the clock.

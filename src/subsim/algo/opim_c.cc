@@ -18,6 +18,7 @@ Result<std::unique_ptr<SampleStore>> OpimC::MakeSampleStore(
   SampleStore::Options store_options;
   store_options.num_threads = options.num_threads;
   store_options.obs = options.obs;
+  store_options.kernel = options.fill_kernel;
   return SampleStore::Create(graph, options.generator,
                              {MakeRngStream(options.rng_seed, 1),
                               MakeRngStream(options.rng_seed, 2)},

@@ -57,7 +57,8 @@ Result<ImResult> Ssa::Run(const Graph& graph,
     SUBSIM_RETURN_IF_ERROR(FillCollection(
         {.kind = options.generator, .graph = &graph, .rng = &rng1,
          .count = target - r1.num_sets(), .num_threads = options.num_threads,
-         .sentinels = {}, .obs = options.obs},
+         .sentinels = {}, .obs = options.obs,
+         .kernel = options.fill_kernel},
         &r1));
 
     const CoverageGreedyResult greedy = RunCoverageGreedy(r1, greedy_options);
@@ -70,7 +71,8 @@ Result<ImResult> Ssa::Run(const Graph& graph,
     SUBSIM_RETURN_IF_ERROR(FillCollection(
         {.kind = options.generator, .graph = &graph, .rng = &rng2,
          .count = target - r2.num_sets(), .num_threads = options.num_threads,
-         .sentinels = {}, .obs = options.obs},
+         .sentinels = {}, .obs = options.obs,
+         .kernel = options.fill_kernel},
         &r2));
     const std::uint64_t cov2 = ComputeCoverage(r2, greedy.seeds);
     const double validated_estimate = static_cast<double>(n) *

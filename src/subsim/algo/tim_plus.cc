@@ -96,7 +96,8 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
     SUBSIM_RETURN_IF_ERROR(FillCollection(
         {.kind = options.generator, .graph = &graph, .rng = &refine_rng,
          .count = capped, .num_threads = options.num_threads,
-         .sentinels = {}, .obs = options.obs},
+         .sentinels = {}, .obs = options.obs,
+         .kernel = options.fill_kernel},
         &refine));
     const std::uint64_t cov = ComputeCoverage(refine, candidate.seeds);
     const double estimate = static_cast<double>(cov) * n /
@@ -121,7 +122,8 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
   SUBSIM_RETURN_IF_ERROR(FillCollection(
       {.kind = options.generator, .graph = &graph, .rng = &selection_rng,
        .count = theta, .num_threads = options.num_threads,
-       .sentinels = {}, .obs = options.obs},
+       .sentinels = {}, .obs = options.obs,
+       .kernel = options.fill_kernel},
       &selection));
   const CoverageGreedyResult greedy =
       RunCoverageGreedy(selection, greedy_options);

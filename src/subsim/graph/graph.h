@@ -1,13 +1,38 @@
 #ifndef SUBSIM_GRAPH_GRAPH_H_
 #define SUBSIM_GRAPH_GRAPH_H_
 
+#include <cmath>
 #include <span>
 #include <vector>
 
 #include "subsim/graph/types.h"
 #include "subsim/util/check.h"
+#include "subsim/util/prefetch.h"
 
 namespace subsim {
+
+/// Packed per-node in-row descriptor: everything a reverse expansion needs
+/// to know about node v before touching its adjacency row — CSR position,
+/// in-degree, and the shared edge weight when the row is uniform (WC /
+/// Uniform IC). 16 bytes, four to a cache line, so the batched RR kernels
+/// pay ONE line per node for metadata that otherwise lives in three
+/// separate O(n) arrays (`in_offsets_`, `uniform_in_weights_`, and a
+/// weights-row read); on DRAM-resident graphs those scattered reads were
+/// the dominant stall source.
+///
+/// `uniform_weight` is bit-identical to `InWeights(v)[i]` for every i of a
+/// uniform row (the builder copies, never recomputes), and NaN when the
+/// row has skewed weights. `begin` is 32-bit — the builder refuses graphs
+/// with 2^32 or more edges, far above the paper's largest dataset.
+struct InRowMeta {
+  double uniform_weight = 0.0;
+  std::uint32_t begin = 0;
+  std::uint32_t degree = 0;
+
+  /// True when every in-edge shares `uniform_weight` (false = NaN marker).
+  bool uniform() const { return !std::isnan(uniform_weight); }
+};
+static_assert(sizeof(InRowMeta) == 16, "InRowMeta must pack 4 per line");
 
 /// Immutable directed graph in compressed-sparse-row form.
 ///
@@ -95,9 +120,93 @@ class Graph {
     return uniform_in_weights_[v] != 0;
   }
 
+  /// The shared in-edge weight of a uniform-weight node — bit-identical to
+  /// `InWeights(v)[i]` for every i (the builder copies it, never
+  /// recomputes), so samplers may substitute it for row reads without
+  /// perturbing any draw comparison. Zero when v has no in-edges;
+  /// meaningless (NaN) when `HasUniformInWeights(v)` is false.
+  double UniformInWeight(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    SUBSIM_DCHECK(uniform_in_weights_[v] != 0,
+                  "UniformInWeight on a skew-weighted node");
+    return in_row_meta_[v].uniform_weight;
+  }
+
+  /// The packed in-row descriptor of v (see `InRowMeta`). The batched RR
+  /// kernels read this instead of `in_offsets_` + uniformity checks so a
+  /// node's expansion metadata costs one cache line.
+  const InRowMeta& InMeta(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    return in_row_meta_[v];
+  }
+
+  /// Software-prefetch hook for `InMeta(v)`.
+  void PrefetchInMeta(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    PrefetchRead(in_row_meta_.data() + v);
+  }
+
+  /// In-neighbor sources addressed by a row position from an `InRowMeta`
+  /// (or a kernel-private packed descriptor holding the same position).
+  std::span<const NodeId> InSourcesAt(std::size_t begin,
+                                      std::size_t count) const {
+    SUBSIM_DCHECK(begin + count <= in_sources_.size(), "row out of range");
+    return {in_sources_.data() + begin, count};
+  }
+
+  /// In-edge weights addressed by a row position, aligned with
+  /// `InSourcesAt(begin, count)`.
+  std::span<const double> InWeightsAt(std::size_t begin,
+                                      std::size_t count) const {
+    SUBSIM_DCHECK(begin + count <= in_weights_.size(), "row out of range");
+    return {in_weights_.data() + begin, count};
+  }
+
   /// True if the builder sorted every in-neighbor list in descending weight
   /// order (required by the index-free sorted subset sampler).
   bool in_sorted_by_weight() const { return in_sorted_by_weight_; }
+
+  /// Software-prefetch hook: pulls the in-offset entry of `v` toward the
+  /// cache. The batched RR kernel calls this when `v` is activated, several
+  /// frontier steps before `v` is dequeued and its offsets are actually
+  /// read. A no-op on compilers without a prefetch builtin.
+  void PrefetchInOffsets(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    PrefetchRead(in_offsets_.data() + v);
+  }
+
+  /// Software-prefetch hook for `InWeightSum(v)` — the first thing the LT
+  /// live-edge walk reads at each step.
+  void PrefetchInWeightSum(NodeId v) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    PrefetchRead(in_weight_sums_.data() + v);
+  }
+
+  /// Software-prefetch hook: pulls the leading cache lines of `v`'s
+  /// in-neighbor array, plus the leading lines of its in-weight row only
+  /// when the row has skewed weights — mirroring exactly what a
+  /// uniform-aware expansion will read, so no bandwidth (or line-fill
+  /// buffer) is spent on weight lines the sampler will never touch (the
+  /// uniform weight rides inside `InRowMeta`). Reads `in_row_meta_[v]`
+  /// (expected warm after `PrefetchInMeta`); issues at most `max_lines`
+  /// lines per array. Returns the number of prefetch instructions issued,
+  /// which the batched kernel accumulates into the `rr.prefetch_lines`
+  /// counter.
+  unsigned PrefetchInRow(NodeId v, unsigned max_lines = 2) const {
+    SUBSIM_DCHECK(v < num_nodes_, "node out of range");
+    const InRowMeta& meta = in_row_meta_[v];
+    if (meta.degree == 0) {
+      return 0;
+    }
+    unsigned lines =
+        PrefetchReadRange(in_sources_.data() + meta.begin,
+                          meta.degree * sizeof(NodeId), max_lines);
+    if (!meta.uniform()) {
+      lines += PrefetchReadRange(in_weights_.data() + meta.begin,
+                                 meta.degree * sizeof(double), max_lines);
+    }
+    return lines;
+  }
 
   /// Reconstructs the raw edge list (out-edge order). Mostly for IO and
   /// tests.
@@ -120,6 +229,7 @@ class Graph {
 
   std::vector<double> in_weight_sums_;       // size n
   std::vector<std::uint8_t> uniform_in_weights_;  // size n
+  std::vector<InRowMeta> in_row_meta_;       // size n; see InRowMeta
 };
 
 }  // namespace subsim

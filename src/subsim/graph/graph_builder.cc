@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 namespace subsim {
@@ -126,6 +127,11 @@ Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) && {
   // Per-node derived data.
   g.in_weight_sums_.assign(n, 0.0);
   g.uniform_in_weights_.assign(n, 1);
+  g.in_row_meta_.assign(n, InRowMeta{});
+  // InRowMeta::begin is 32-bit so four descriptors pack per cache line;
+  // the paper's largest dataset is ~1.5B edges, far below the limit.
+  SUBSIM_CHECK(g.num_edges_ < EdgeIndex{0xffffffffu},
+               "graphs with 2^32-1 or more edges are not supported");
   for (NodeId v = 0; v < n; ++v) {
     const auto weights = g.InWeights(v);
     double sum = 0.0;
@@ -138,6 +144,15 @@ Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) && {
     }
     g.in_weight_sums_[v] = sum;
     g.uniform_in_weights_[v] = uniform ? 1 : 0;
+    // The packed expansion descriptor: CSR position plus the shared
+    // weight, hoisted out of the O(m) weights array (one cache line per
+    // node instead of three on the batched kernels' hot path).
+    InRowMeta& meta = g.in_row_meta_[v];
+    meta.begin = static_cast<std::uint32_t>(g.in_offsets_[v]);
+    meta.degree = static_cast<std::uint32_t>(weights.size());
+    meta.uniform_weight =
+        uniform ? (weights.empty() ? 0.0 : weights[0])
+                : std::numeric_limits<double>::quiet_NaN();
   }
 
   return g;

@@ -1,6 +1,7 @@
 #ifndef SUBSIM_RANDOM_RNG_H_
 #define SUBSIM_RANDOM_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace subsim {
@@ -23,6 +24,41 @@ class Rng {
 
   /// Next 64 uniform random bits.
   std::uint64_t NextU64();
+
+  /// Writes the next `n` values of the stream into `out` — exactly the
+  /// values `n` successive `NextU64()` calls would return, and the engine
+  /// is left in the same state. Defined inline so bulk consumers (the
+  /// batched RR kernel's vectorized Bernoulli loops) keep the whole engine
+  /// state in registers instead of paying a call per draw; byte-for-byte
+  /// stream equality with the scalar API is pinned by `rng_test`.
+  void NextU64Batch(std::uint64_t* out, std::size_t n) {
+    std::uint64_t s0 = s_[0];
+    std::uint64_t s1 = s_[1];
+    std::uint64_t s2 = s_[2];
+    std::uint64_t s3 = s_[3];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t sum = s0 + s3;
+      out[i] = ((sum << 23) | (sum >> 41)) + s0;
+      const std::uint64_t t = s1 << 17;
+      s2 ^= s0;
+      s3 ^= s1;
+      s1 ^= s2;
+      s0 ^= s3;
+      s2 ^= t;
+      s3 = (s3 << 45) | (s3 >> 19);
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
+  /// The exact value `NextDouble()` derives from one `NextU64()` draw.
+  /// Exposed so bulk consumers of `NextU64Batch` reproduce the scalar
+  /// Bernoulli comparison bit-for-bit.
+  static double ToUnitDouble(std::uint64_t bits) {
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [0, 1). 53-bit resolution.
   double NextDouble();

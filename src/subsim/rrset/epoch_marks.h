@@ -1,0 +1,148 @@
+#ifndef SUBSIM_RRSET_EPOCH_MARKS_H_
+#define SUBSIM_RRSET_EPOCH_MARKS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+
+#include "subsim/util/check.h"
+#include "subsim/util/prefetch.h"
+
+namespace subsim {
+
+/// Epoch-stamped membership marks: the batched RR kernel's replacement for
+/// a per-set visited bitmap.
+///
+/// One `uint32_t` stamp per node is shared across every RR set a kernel
+/// ever generates; a node is marked for a set iff its stamp equals that
+/// set's epoch. `BeginSet` bumps the epoch, which "clears" all marks in
+/// O(1) — no per-set `ResetTouched` walk, no touched-list maintenance on
+/// the hot path, and a mark is a single load/compare/store.
+///
+/// **One stamp is a cache, not a truth table.** `BeginSets` reserves a
+/// block of epochs so a batch of interleaved traversals can share the
+/// array, but when two in-flight sets touch the same node the later mark
+/// overwrites the earlier set's stamp — the stamp then answers "marked?"
+/// with a false negative for the earlier set. Callers that interleave sets
+/// must treat `Stamp() == my epoch` as a definite yes, `Stamp()` outside
+/// the live block as a definite no, and a foreign live stamp as "check
+/// your own records" (the batched kernel scans its per-lane node list —
+/// exact, and cheap because RR sets are small). `kernel_equivalence_test`
+/// pins the end-to-end result against the scalar generators.
+///
+/// Epoch 0 is reserved as "never stamped" so a freshly zeroed stamp array
+/// is empty under every live epoch. When the 32-bit epoch would wrap past
+/// its maximum (after ~4.3 billion virtual resets), the stamp array is
+/// swapped for a fresh zeroed allocation — amortized over 2^32 - 1 sets —
+/// and the epoch restarts at 1, so stale stamps from the previous epoch
+/// era can never alias a live epoch. `epoch_marks_test` forces the wrap.
+///
+/// The stamps are calloc-backed rather than a value-initialized vector on
+/// purpose: a large calloc is satisfied with zero pages the OS materializes
+/// lazily, so building the marks for an N-node graph costs O(1) page
+/// touches instead of an N-word memset — a fill only ever faults in the
+/// stamp pages of nodes its traversals actually reach, which keeps
+/// short fills on huge graphs from paying tens of milliseconds of setup.
+class EpochMarks {
+ public:
+  EpochMarks() = default;
+  explicit EpochMarks(std::size_t num_nodes) { Resize(num_nodes); }
+
+  void Resize(std::size_t num_nodes) {
+    stamps_.reset(num_nodes == 0
+                      ? nullptr
+                      : static_cast<std::uint32_t*>(
+                            std::calloc(num_nodes, sizeof(std::uint32_t))));
+    SUBSIM_CHECK(num_nodes == 0 || stamps_ != nullptr,
+                 "EpochMarks: stamp allocation failed");
+    size_ = num_nodes;
+    epoch_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Starts a new set: every node becomes unmarked. O(1) except once per
+  /// 2^32 - 1 calls, when the wraparound re-zero runs.
+  void BeginSet() { epoch_ = BeginSets(1); }
+
+  /// Reserves `count` consecutive epochs — one per in-flight set — and
+  /// returns the first. Set `i` of the batch marks with epoch `first + i`.
+  /// Every stamp below `first` is from an earlier batch and therefore
+  /// dead; stamps at or above `first` belong to this batch's sets. If the
+  /// block would cross the 32-bit maximum, the stamps are replaced with a
+  /// fresh zeroed allocation and the block restarts at 1, so stale stamps
+  /// from the previous era can never alias a reserved epoch.
+  std::uint32_t BeginSets(std::uint32_t count) {
+    SUBSIM_DCHECK(count > 0, "BeginSets needs at least one epoch");
+    if (epoch_ > kMaxEpoch - count) {
+      Resize(size_);
+    }
+    const std::uint32_t first = epoch_ + 1;
+    epoch_ += count;
+    return first;
+  }
+
+  /// Marks `v` in the current set. Returns true if the mark was newly set
+  /// (same contract as `BitVector::Set`).
+  bool Mark(std::size_t v) { return Mark(v, epoch_); }
+
+  /// Marks `v` under an explicit epoch from `BeginSets`. Overwrites a
+  /// foreign stamp — see the class comment for what that means to
+  /// interleaved callers.
+  bool Mark(std::size_t v, std::uint32_t epoch) {
+    SUBSIM_DCHECK(v < size_, "EpochMarks index out of range");
+    SUBSIM_DCHECK(epoch != 0, "Mark before the first BeginSet");
+    if (stamps_[v] == epoch) {
+      return false;
+    }
+    stamps_[v] = epoch;
+    return true;
+  }
+
+  /// Reads `v`'s raw stamp so an interleaved caller can run the
+  /// definite-yes / definite-no / check-your-records decision itself.
+  std::uint32_t Stamp(std::size_t v) const {
+    SUBSIM_DCHECK(v < size_, "EpochMarks index out of range");
+    return stamps_[v];
+  }
+
+  /// Unconditionally claims `v`'s stamp for `epoch`.
+  void Overwrite(std::size_t v, std::uint32_t epoch) {
+    SUBSIM_DCHECK(v < size_, "EpochMarks index out of range");
+    SUBSIM_DCHECK(epoch != 0, "Overwrite before the first BeginSet");
+    stamps_[v] = epoch;
+  }
+
+  bool Marked(std::size_t v) const { return Marked(v, epoch_); }
+
+  bool Marked(std::size_t v, std::uint32_t epoch) const {
+    SUBSIM_DCHECK(v < size_, "EpochMarks index out of range");
+    return stamps_[v] == epoch;
+  }
+
+  /// Prefetches the stamp for `v` (helps batched kernels overlap the
+  /// stamp-array miss with other lanes' work).
+  void Prefetch(std::size_t v) const { PrefetchRead(stamps_.get() + v); }
+
+  /// Test hook: jump the epoch counter to `epoch` so the wraparound path
+  /// is reachable without 2^32 real `BeginSet` calls. Stale stamps are left
+  /// in place on purpose — that is exactly the aliasing hazard the wrap
+  /// logic must defuse.
+  void SetEpochForTesting(std::uint32_t epoch) { epoch_ = epoch; }
+
+  static constexpr std::uint32_t kMaxEpoch = 0xffffffffu;
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::uint32_t* p) const { std::free(p); }
+  };
+
+  std::unique_ptr<std::uint32_t[], FreeDeleter> stamps_;
+  std::size_t size_ = 0;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_EPOCH_MARKS_H_

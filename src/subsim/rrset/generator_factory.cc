@@ -38,6 +38,10 @@ void FlushRrGenStatsDelta(const RrGenStats& before, const RrGenStats& after,
       .Add(after.geometric_skips - before.geometric_skips);
   metrics->Counter("rr.rejection_accepts")
       .Add(after.rejection_accepts - before.rejection_accepts);
+  metrics->Counter("rr.batch_chunks")
+      .Add(after.batch_chunks - before.batch_chunks);
+  metrics->Counter("rr.prefetch_lines")
+      .Add(after.prefetch_lines - before.prefetch_lines);
 }
 
 Result<std::unique_ptr<RrGenerator>> MakeRrGenerator(GeneratorKind kind,

@@ -4,7 +4,7 @@
 
 namespace subsim {
 
-Result<std::unique_ptr<LtGenerator>> LtGenerator::Create(const Graph& graph) {
+Status LtEdgePicker::Validate(const Graph& graph) {
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     if (graph.InWeightSum(v) > 1.0 + 1e-9) {
       return Status::InvalidArgument(
@@ -13,19 +13,40 @@ Result<std::unique_ptr<LtGenerator>> LtGenerator::Create(const Graph& graph) {
           std::to_string(graph.InWeightSum(v)));
     }
   }
-  return std::unique_ptr<LtGenerator>(new LtGenerator(graph));
+  return Status::Ok();
 }
 
-LtGenerator::LtGenerator(const Graph& graph) : graph_(graph) {
-  alias_.resize(graph.num_nodes());
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    if (graph.InDegree(v) == 0 || graph.HasUniformInWeights(v)) {
+LtEdgePicker::LtEdgePicker(const Graph& graph) : graph_(graph) {
+  const NodeId n = graph.num_nodes();
+  meta_.assign(n, PickMeta{});
+  alias_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const InRowMeta& row = graph.InMeta(v);
+    PickMeta& pm = meta_[v];
+    pm.weight_sum = graph.InWeightSum(v);
+    pm.begin = row.begin;
+    SUBSIM_CHECK(row.degree < (1u << 31), "in-degree overflows PickMeta");
+    pm.degree = row.degree;
+    if (row.degree == 0 || graph.HasUniformInWeights(v)) {
       continue;  // uniform pick; no table needed
     }
+    pm.has_alias = 1;
     const auto weights = graph.InWeights(v);
     alias_[v] = std::make_unique<AliasTable>(
         std::vector<double>(weights.begin(), weights.end()));
   }
+}
+
+Result<std::unique_ptr<LtGenerator>> LtGenerator::Create(const Graph& graph) {
+  Status status = LtEdgePicker::Validate(graph);
+  if (!status.ok()) {
+    return status;
+  }
+  return std::unique_ptr<LtGenerator>(new LtGenerator(graph));
+}
+
+LtGenerator::LtGenerator(const Graph& graph)
+    : graph_(graph), picker_(graph) {
   activated_.Resize(graph.num_nodes());
   sentinel_.Resize(graph.num_nodes());
 }
@@ -38,23 +59,6 @@ void LtGenerator::SetSentinels(std::span<const NodeId> sentinels) {
   }
 }
 
-NodeId LtGenerator::PickInNeighbor(NodeId v, Rng& rng) {
-  const double sum = graph_.InWeightSum(v);
-  if (sum <= 0.0) {
-    return kInvalidNode;
-  }
-  ++stats_.edges_examined;
-  if (rng.NextDouble() >= sum) {
-    return kInvalidNode;  // no live in-edge for v
-  }
-  const auto sources = graph_.InNeighbors(v);
-  if (alias_[v] == nullptr) {
-    // Uniform in-weights: live edge uniform among in-neighbors.
-    return sources[rng.UniformInt(sources.size())];
-  }
-  return sources[alias_[v]->Sample(rng)];
-}
-
 bool LtGenerator::Generate(Rng& rng, std::vector<NodeId>* out) {
   out->clear();
   SUBSIM_CHECK(graph_.num_nodes() > 0, "cannot sample from empty graph");
@@ -65,7 +69,7 @@ bool LtGenerator::Generate(Rng& rng, std::vector<NodeId>* out) {
   bool hit = has_sentinels_ && sentinel_.Get(cur);
 
   while (!hit) {
-    const NodeId next = PickInNeighbor(cur, rng);
+    const NodeId next = picker_.PickInNeighbor(cur, rng, &stats_);
     if (next == kInvalidNode || !activated_.Set(next)) {
       break;  // dead end or walked into the existing set
     }

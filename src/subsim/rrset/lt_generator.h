@@ -8,9 +8,84 @@
 #include "subsim/random/alias_table.h"
 #include "subsim/rrset/rr_generator.h"
 #include "subsim/util/bit_vector.h"
+#include "subsim/util/prefetch.h"
 #include "subsim/util/status.h"
 
 namespace subsim {
+
+/// The per-step draw primitive of the LT live-edge walk, factored out of
+/// the scalar generator so the batched kernel consumes the identical RNG
+/// stream: one NextDouble against the in-weight sum, then a uniform or
+/// alias-table pick among the in-neighbors.
+///
+/// Owns the per-node alias tables (built once for nodes with skewed
+/// in-weights). `graph` must outlive the picker.
+class LtEdgePicker {
+ public:
+  /// LT requires each node's incoming weights to sum to at most 1; returns
+  /// InvalidArgument naming the first violating node otherwise.
+  static Status Validate(const Graph& graph);
+
+  explicit LtEdgePicker(const Graph& graph);
+
+  /// Picks the live in-neighbor of v, or kInvalidNode for "no live edge".
+  /// Draw contract: zero draws when the in-weight sum is <= 0; otherwise
+  /// one NextDouble, plus one pick draw only when the live-edge draw lands
+  /// inside the sum. Bumps `stats->edges_examined` per live-edge draw.
+  NodeId PickInNeighbor(NodeId v, Rng& rng, RrGenStats* stats) const {
+    const PickMeta& pm = meta_[v];
+    if (pm.weight_sum <= 0.0) {
+      return kInvalidNode;
+    }
+    ++stats->edges_examined;
+    if (rng.NextDouble() >= pm.weight_sum) {
+      return kInvalidNode;  // no live in-edge for v
+    }
+    const auto sources = graph_.InSourcesAt(pm.begin, pm.degree);
+    if (pm.has_alias == 0) {
+      // Uniform in-weights: live edge uniform among in-neighbors.
+      return sources[rng.UniformInt(sources.size())];
+    }
+    return sources[alias_[v]->Sample(rng)];
+  }
+
+  /// Prefetches the packed per-node descriptor `PickInNeighbor(v)` reads
+  /// before it touches the in-row: weight sum, CSR position, and the
+  /// alias marker in one cache line. Safe to issue the moment `v` is
+  /// drawn; pair it with `PrefetchRow(v)` once the descriptor is resident.
+  void PrefetchPick(NodeId v) const { PrefetchRead(meta_.data() + v); }
+
+  /// Prefetches the leading lines of v's in-source row for an upcoming
+  /// pick. Reads `meta_[v]` — expected warm after `PrefetchPick(v)`.
+  /// Returns the number of prefetch instructions issued.
+  unsigned PrefetchRow(NodeId v, unsigned max_lines = 2) const {
+    const PickMeta& pm = meta_[v];
+    if (pm.degree == 0) {
+      return 0;
+    }
+    return PrefetchReadRange(graph_.InSourcesAt(pm.begin, pm.degree).data(),
+                             pm.degree * sizeof(NodeId), max_lines);
+  }
+
+ private:
+  /// Packed per-node pick descriptor: everything a walk step needs before
+  /// indexing the in-source row, in one 16-byte record (four per cache
+  /// line) — the live-edge draw threshold, the CSR position, and whether
+  /// a skewed-weight alias table exists. Replaces separate weight-sum /
+  /// offset / alias-pointer lookups on the hot path.
+  struct PickMeta {
+    double weight_sum = 0.0;
+    std::uint32_t begin = 0;
+    std::uint32_t degree : 31 = 0;
+    std::uint32_t has_alias : 1 = 0;
+  };
+  static_assert(sizeof(PickMeta) == 16, "PickMeta must pack 4 per line");
+
+  const Graph& graph_;
+  std::vector<PickMeta> meta_;
+  /// Alias tables for nodes with skewed in-weights; null for uniform ones.
+  std::vector<std::unique_ptr<AliasTable>> alias_;
+};
 
 /// Linear Threshold RR-set generator.
 ///
@@ -38,13 +113,9 @@ class LtGenerator final : public RrGenerator {
  private:
   explicit LtGenerator(const Graph& graph);
 
-  /// Picks the live in-neighbor of v, or kInvalidNode for "no live edge".
-  NodeId PickInNeighbor(NodeId v, Rng& rng);
-
   const Graph& graph_;
+  LtEdgePicker picker_;
   RrGenStats stats_;
-  /// Alias tables for nodes with skewed in-weights; null for uniform ones.
-  std::vector<std::unique_ptr<AliasTable>> alias_;
   BitVector activated_;
   BitVector sentinel_;
   bool has_sentinels_ = false;

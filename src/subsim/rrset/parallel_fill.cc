@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "subsim/rrset/batch_kernel.h"
 #include "subsim/util/check.h"
 #include "subsim/util/threading.h"
 
@@ -16,6 +17,16 @@ namespace {
 /// Sets per scheduler chunk. Small enough to load-balance heavy-tailed set
 /// sizes across workers, large enough that the atomic claim is noise.
 constexpr std::size_t kChunkSize = 64;
+
+/// Scheduler chunks per batched-kernel claim. The batched kernel keeps a
+/// pool of in-flight lanes and reseeds a lane the moment its set finishes,
+/// so it wants long runs of consecutive set indices — with 64-set claims
+/// the lane pool would drain at every chunk boundary and the heavy tail of
+/// the set-size distribution would run with no memory-level parallelism.
+/// Claim granularity only affects scheduling: the chunk table still maps
+/// every 64-set chunk for the index-order merge, so the output bytes are
+/// unchanged (and still thread-count invariant).
+constexpr std::size_t kBatchedChunksPerClaim = 16;
 
 /// One worker's output: flattened sets plus their boundaries and flags.
 struct WorkerBuffer {
@@ -38,18 +49,51 @@ struct ChunkRef {
 
 }  // namespace
 
+FillKernel ResolveFillKernel(FillKernel kernel) {
+  return kernel == FillKernel::kAuto ? FillKernel::kBatched : kernel;
+}
+
+Result<FillKernel> ParseFillKernel(const std::string& name) {
+  if (name == "auto") return FillKernel::kAuto;
+  if (name == "scalar") return FillKernel::kScalar;
+  if (name == "batched") return FillKernel::kBatched;
+  return Status::InvalidArgument("unknown fill kernel: " + name);
+}
+
+const char* FillKernelName(FillKernel kernel) {
+  switch (kernel) {
+    case FillKernel::kAuto:
+      return "auto";
+    case FillKernel::kScalar:
+      return "scalar";
+    case FillKernel::kBatched:
+      return "batched";
+  }
+  return "?";
+}
+
 Status FillCollection(const FillRequest& request, RrCollection* collection) {
   SUBSIM_CHECK(request.graph != nullptr, "FillRequest.graph must be set");
   SUBSIM_CHECK(request.rng != nullptr, "FillRequest.rng must be set");
   SUBSIM_CHECK(collection != nullptr, "FillCollection needs a collection");
 
+  const FillKernel kernel = ResolveFillKernel(request.kernel);
+
   // Validate generator construction up front (e.g. LT weight sums) so
   // workers cannot fail after threads have started; the probe then serves
   // as worker 0's generator so index-building generators are built once.
-  Result<std::unique_ptr<RrGenerator>> probe =
-      MakeRrGenerator(request.kind, *request.graph);
-  if (!probe.ok()) {
-    return probe.status();
+  Result<std::unique_ptr<RrGenerator>> scalar_probe = Status::Internal("");
+  Result<std::unique_ptr<BatchRrKernel>> batch_probe = Status::Internal("");
+  if (kernel == FillKernel::kScalar) {
+    scalar_probe = MakeRrGenerator(request.kind, *request.graph);
+    if (!scalar_probe.ok()) {
+      return scalar_probe.status();
+    }
+  } else {
+    batch_probe = BatchRrKernel::Create(request.kind, *request.graph);
+    if (!batch_probe.ok()) {
+      return batch_probe.status();
+    }
   }
   const std::size_t count = request.count;
   if (count == 0) {
@@ -73,25 +117,33 @@ Status FillCollection(const FillRequest& request, RrCollection* collection) {
   // Set `first_index + i` is a pure function of `(base_seed, first_index +
   // i)` — no worker-local RNG state — so which worker generates it is
   // irrelevant to its bytes, and the chunk table lets the merge restore
-  // index order exactly.
-  auto worker = [&](unsigned t, RrGenerator* generator) {
+  // index order exactly. The batched worker hands whole chunks to the
+  // kernel, which writes the SoA buffer directly; the scalar worker copies
+  // each set out of its scratch vector. Both append the same bytes.
+  const auto claim = [&](unsigned t, std::size_t* begin, std::size_t* end) {
+    const std::size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks) {
+      return false;
+    }
+    WorkerBuffer& buffer = buffers[t];
+    ++buffer.chunks_claimed;
+    *begin = chunk * kChunkSize;
+    *end = std::min(*begin + kChunkSize, count);
+    ChunkRef& ref = chunks[chunk];
+    ref.worker = t;
+    ref.set_begin = buffer.sizes.size();
+    ref.node_begin = buffer.nodes.size();
+    ref.count = *end - *begin;
+    return true;
+  };
+
+  const auto scalar_worker = [&](unsigned t, RrGenerator* generator) {
     generator->SetSentinels(request.sentinels);
     WorkerBuffer& buffer = buffers[t];
     std::vector<NodeId> scratch;
-    for (;;) {
-      const std::size_t chunk =
-          next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= num_chunks) {
-        break;
-      }
-      ++buffer.chunks_claimed;
-      const std::size_t begin = chunk * kChunkSize;
-      const std::size_t end = std::min(begin + kChunkSize, count);
-      ChunkRef& ref = chunks[chunk];
-      ref.worker = t;
-      ref.set_begin = buffer.sizes.size();
-      ref.node_begin = buffer.nodes.size();
-      ref.count = end - begin;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    while (claim(t, &begin, &end)) {
       for (std::size_t i = begin; i < end; ++i) {
         Rng set_rng = Rng::Substream(base_seed, first_index + i);
         const bool hit = generator->Generate(set_rng, &scratch);
@@ -104,23 +156,78 @@ Status FillCollection(const FillRequest& request, RrCollection* collection) {
     buffer.stats = generator->stats();
   };
 
+  // The batched worker claims several consecutive chunks at once (see
+  // kBatchedChunksPerClaim) and hands the kernel the whole run, so its
+  // lane pool stays full across what would otherwise be chunk boundaries.
+  // The per-chunk table entries are back-filled from the sizes the kernel
+  // appended, restoring exactly the mapping the merge expects.
+  const auto batched_worker = [&](unsigned t, BatchRrKernel* batch) {
+    batch->SetSentinels(request.sentinels);
+    WorkerBuffer& buffer = buffers[t];
+    const BatchChunkSink sink{&buffer.nodes, &buffer.sizes, &buffer.hits};
+    while (true) {
+      const std::size_t chunk_begin =
+          next_chunk.fetch_add(kBatchedChunksPerClaim,
+                               std::memory_order_relaxed);
+      if (chunk_begin >= num_chunks) {
+        break;
+      }
+      const std::size_t chunk_end =
+          std::min(chunk_begin + kBatchedChunksPerClaim, num_chunks);
+      buffer.chunks_claimed += chunk_end - chunk_begin;
+      const std::size_t begin = chunk_begin * kChunkSize;
+      const std::size_t end =
+          std::min(chunk_end * kChunkSize, count);
+      std::size_t set_cursor = buffer.sizes.size();
+      std::size_t node_cursor = buffer.nodes.size();
+      batch->GenerateChunk(base_seed, first_index + begin, end - begin, sink);
+      for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+        ChunkRef& ref = chunks[c];
+        ref.worker = t;
+        ref.set_begin = set_cursor;
+        ref.node_begin = node_cursor;
+        ref.count = std::min(kChunkSize, count - c * kChunkSize);
+        for (std::size_t i = 0; i < ref.count; ++i) {
+          node_cursor += buffer.sizes[set_cursor++];
+        }
+      }
+    }
+    buffer.stats = batch->stats();
+  };
+
+  const auto run_worker = [&](unsigned t, bool probe_owner) {
+    if (kernel == FillKernel::kScalar) {
+      if (probe_owner) {
+        scalar_worker(t, scalar_probe->get());
+        return;
+      }
+      Result<std::unique_ptr<RrGenerator>> generator =
+          MakeRrGenerator(request.kind, *request.graph);
+      // Construction succeeded on the probe above; a failure here would
+      // mean non-deterministic construction, which the factories do not do.
+      SUBSIM_CHECK(generator.ok(), "generator construction raced");
+      scalar_worker(t, generator->get());
+      return;
+    }
+    if (probe_owner) {
+      batched_worker(t, batch_probe->get());
+      return;
+    }
+    Result<std::unique_ptr<BatchRrKernel>> batch =
+        BatchRrKernel::Create(request.kind, *request.graph);
+    SUBSIM_CHECK(batch.ok(), "kernel construction raced");
+    batched_worker(t, batch->get());
+  };
+
   if (num_threads == 1) {
-    worker(0, probe->get());
+    run_worker(0, /*probe_owner=*/true);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(num_threads - 1);
     for (unsigned t = 1; t < num_threads; ++t) {
-      threads.emplace_back([&, t] {
-        Result<std::unique_ptr<RrGenerator>> generator =
-            MakeRrGenerator(request.kind, *request.graph);
-        // Construction succeeded on the probe above; a failure here would
-        // mean non-deterministic construction, which the factories do not
-        // do.
-        SUBSIM_CHECK(generator.ok(), "generator construction raced");
-        worker(t, generator->get());
-      });
+      threads.emplace_back([&, t] { run_worker(t, /*probe_owner=*/false); });
     }
-    worker(0, probe->get());
+    run_worker(0, /*probe_owner=*/true);
     for (std::thread& thread : threads) {
       thread.join();
     }

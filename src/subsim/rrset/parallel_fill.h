@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 
 #include "subsim/graph/graph.h"
 #include "subsim/obs/obs_context.h"
@@ -12,6 +13,31 @@
 #include "subsim/util/status.h"
 
 namespace subsim {
+
+/// Which RR-generation kernel a fill runs. Both produce byte-identical
+/// ordered streams (pinned by `kernel_equivalence_test`); the knob trades
+/// nothing but implementation — it exists so the scalar path stays
+/// available as the differential-testing reference and for A/B
+/// benchmarking (`bench_micro_kernels --smoke` asserts batched is not
+/// slower).
+enum class FillKernel {
+  /// Let the library pick; currently always the batched kernel.
+  kAuto,
+  /// One scalar `RrGenerator::Generate` call per set (the reference).
+  kScalar,
+  /// Frontier-batched chunk kernel (`BatchRrKernel`): epoch-stamped
+  /// visited marks, SoA slice-as-queue output, bulk RNG draws, CSR
+  /// prefetch. See docs/rr_generation.md.
+  kBatched,
+};
+
+/// The kernel `kAuto` resolves to (identity on the other values).
+FillKernel ResolveFillKernel(FillKernel kernel);
+
+/// Parses "auto" | "scalar" | "batched".
+Result<FillKernel> ParseFillKernel(const std::string& name);
+
+const char* FillKernelName(FillKernel kernel);
 
 /// One RR-set fill, fully described. Designated-initializer friendly:
 ///
@@ -40,6 +66,9 @@ struct FillRequest {
   /// fill (after the join), so attaching a registry never perturbs the
   /// workers' RNG streams or scheduling.
   ObsContext obs;
+  /// Which generation kernel runs the fill; the output stream is
+  /// byte-identical for every value.
+  FillKernel kernel = FillKernel::kAuto;
 };
 
 /// Generates `request.count` RR sets and appends them to `collection` in

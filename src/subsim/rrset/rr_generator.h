@@ -20,6 +20,10 @@ namespace subsim {
 /// the skip kernels (uniform, sorted-bucket, and bucket-indexed paths);
 /// `rejection_accepts` counts accepted rejection trials in the non-uniform
 /// kernels. Both stay zero for generators that use neither (vanilla, LT).
+/// `batch_chunks` and `prefetch_lines` are produced only by the batched
+/// kernel (see docs/rr_generation.md): chunks of sets generated per
+/// `GenerateChunk` call, and software-prefetch instructions issued over the
+/// CSR adjacency arrays.
 struct RrGenStats {
   std::uint64_t sets_generated = 0;
   std::uint64_t nodes_added = 0;
@@ -27,6 +31,8 @@ struct RrGenStats {
   std::uint64_t sentinel_hits = 0;
   std::uint64_t geometric_skips = 0;
   std::uint64_t rejection_accepts = 0;
+  std::uint64_t batch_chunks = 0;
+  std::uint64_t prefetch_lines = 0;
 
   double AverageSetSize() const {
     return sets_generated == 0

@@ -49,6 +49,7 @@ Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {
   request.count = need;
   request.num_threads = options_.num_threads;
   request.obs = options_.obs;
+  request.kernel = options_.kernel;
   SUBSIM_RETURN_IF_ERROR(FillCollection(request, &s.collection));
   if (MetricsRegistry* metrics = options_.obs.metrics; metrics != nullptr) {
     metrics->Counter("store.fill_rounds").Increment();

@@ -9,6 +9,7 @@
 #include "subsim/graph/graph.h"
 #include "subsim/random/rng.h"
 #include "subsim/rrset/generator_factory.h"
+#include "subsim/rrset/parallel_fill.h"
 #include "subsim/rrset/rr_collection.h"
 #include "subsim/util/mutex.h"
 #include "subsim/util/status.h"
@@ -52,6 +53,9 @@ class SampleStore {
     /// the store. Fills flush `rr.*` deltas plus `store.fill_rounds` /
     /// `store.sets_generated` counters and the `store.approx_bytes` gauge.
     ObsContext obs;
+    /// Generation kernel for fills; stream contents are identical for
+    /// every value (see `FillKernel`).
+    FillKernel kernel = FillKernel::kAuto;
   };
 
   /// Builds a store over `graph` (which must outlive the store; the

@@ -1,13 +1,10 @@
 #include "subsim/rrset/subsim_ic_generator.h"
 
-#include "subsim/random/geometric.h"
-#include "subsim/sampling/inline_sampling.h"
-
 namespace subsim {
 
-SubsimIcGenerator::SubsimIcGenerator(const Graph& graph,
-                                     GeneralIcStrategy strategy,
-                                     NodeId naive_fallback_degree)
+SubsimExpandCore::SubsimExpandCore(const Graph& graph,
+                                   GeneralIcStrategy strategy,
+                                   NodeId naive_fallback_degree)
     : graph_(graph), strategy_(strategy) {
   if (strategy_ == GeneralIcStrategy::kAuto) {
     strategy_ = graph.in_sorted_by_weight()
@@ -20,43 +17,60 @@ SubsimIcGenerator::SubsimIcGenerator(const Graph& graph,
                "sort_in_edges_by_weight");
 
   const NodeId n = graph.num_nodes();
-  plans_.resize(n);
-  inv_log_q_.assign(n, 0.0);
+  meta_.assign(n, PlanMeta{});
   if (strategy_ == GeneralIcStrategy::kBucketIndexed) {
     bucket_samplers_.resize(n);
   }
 
   for (NodeId v = 0; v < n; ++v) {
+    const InRowMeta& row = graph.InMeta(v);
+    PlanMeta& pm = meta_[v];
+    pm.begin = row.begin;
+    SUBSIM_CHECK(row.degree < (1u << 29), "in-degree overflows PlanMeta");
+    pm.degree = row.degree;
+    const auto set_plan = [&pm](NodePlan plan) {
+      pm.plan = static_cast<std::uint32_t>(plan);
+    };
     const auto weights = graph.InWeights(v);
     if (weights.empty() || graph.InWeightSum(v) <= 0.0) {
-      plans_[v] = NodePlan::kNoInEdges;
+      set_plan(NodePlan::kNoInEdges);
       continue;
     }
     if (weights.size() < naive_fallback_degree) {
-      plans_[v] = NodePlan::kSmallNaive;
-      continue;
-    }
-    if (graph.HasUniformInWeights(v)) {
-      const double p = weights[0];
-      if (p >= 1.0) {
-        plans_[v] = NodePlan::kTakeAll;
-      } else if (p <= 0.0) {
-        plans_[v] = NodePlan::kNoInEdges;
+      if (row.uniform()) {
+        set_plan(NodePlan::kSmallNaiveUniform);
+        pm.param = row.uniform_weight;
       } else {
-        plans_[v] = NodePlan::kUniformSkip;
-        inv_log_q_[v] = GeometricInvLogQ(p);
+        set_plan(NodePlan::kSmallNaive);
       }
       continue;
     }
-    plans_[v] = NodePlan::kGeneral;
+    if (row.uniform()) {
+      const double p = row.uniform_weight;
+      if (p >= 1.0) {
+        set_plan(NodePlan::kTakeAll);
+      } else if (p <= 0.0) {
+        set_plan(NodePlan::kNoInEdges);
+      } else {
+        set_plan(NodePlan::kUniformSkip);
+        pm.param = GeometricInvLogQ(p);
+      }
+      continue;
+    }
+    set_plan(NodePlan::kGeneral);
     if (strategy_ == GeneralIcStrategy::kBucketIndexed) {
       bucket_samplers_[v] = std::make_unique<BucketSubsetSampler>(
           std::vector<double>(weights.begin(), weights.end()));
     }
   }
+}
 
-  activated_.Resize(n);
-  sentinel_.Resize(n);
+SubsimIcGenerator::SubsimIcGenerator(const Graph& graph,
+                                     GeneralIcStrategy strategy,
+                                     NodeId naive_fallback_degree)
+    : graph_(graph), core_(graph, strategy, naive_fallback_degree) {
+  activated_.Resize(graph.num_nodes());
+  sentinel_.Resize(graph.num_nodes());
 }
 
 void SubsimIcGenerator::SetSentinels(std::span<const NodeId> sentinels) {
@@ -67,78 +81,16 @@ void SubsimIcGenerator::SetSentinels(std::span<const NodeId> sentinels) {
   }
 }
 
-bool SubsimIcGenerator::Activate(NodeId w, std::vector<NodeId>* out) {
+void SubsimIcGenerator::Activate(NodeId w, std::vector<NodeId>* out) {
   if (stop_ || !activated_.Set(w)) {
-    return false;
+    return;
   }
   out->push_back(w);
   if (has_sentinels_ && sentinel_.Get(w)) {
     stop_ = true;
-    return true;
+    return;
   }
   queue_.push_back(w);
-  return false;
-}
-
-bool SubsimIcGenerator::ExpandNode(NodeId u, Rng& rng,
-                                   std::vector<NodeId>* out) {
-  const auto sources = graph_.InNeighbors(u);
-  switch (plans_[u]) {
-    case NodePlan::kNoInEdges:
-      return false;
-    case NodePlan::kSmallNaive:
-      // Every in-edge gets a coin flip here, so count them all.
-      stats_.edges_examined += sources.size();
-      SampleSubsetNaive(graph_.InWeights(u), rng, [&](std::uint32_t i) {
-        Activate(sources[i], out);
-      });
-      return stop_;
-    case NodePlan::kTakeAll:
-      for (NodeId w : sources) {
-        ++stats_.edges_examined;
-        Activate(w, out);
-        if (stop_) {
-          return true;
-        }
-      }
-      return false;
-    case NodePlan::kUniformSkip:
-      SampleUniformSubsetSkips(
-          sources.size(), inv_log_q_[u], rng,
-          [&](std::uint32_t i) {
-            ++stats_.edges_examined;
-            Activate(sources[i], out);
-          },
-          &stats_.geometric_skips);
-      return stop_;
-    case NodePlan::kGeneral:
-      break;
-  }
-
-  if (strategy_ == GeneralIcStrategy::kSortedIndexFree) {
-    SampleSortedSubset(
-        graph_.InWeights(u), rng,
-        [&](std::uint32_t i) {
-          ++stats_.edges_examined;
-          Activate(sources[i], out);
-        },
-        &stats_.geometric_skips, &stats_.rejection_accepts);
-    return stop_;
-  }
-
-  // Bucket strategy: the sampler emits into scratch, then we activate.
-  scratch_indices_.clear();
-  bucket_samplers_[u]->SampleCounted(rng, &scratch_indices_,
-                                     &stats_.geometric_skips,
-                                     &stats_.rejection_accepts);
-  for (std::uint32_t i : scratch_indices_) {
-    ++stats_.edges_examined;
-    Activate(sources[i], out);
-    if (stop_) {
-      return true;
-    }
-  }
-  return false;
 }
 
 bool SubsimIcGenerator::Generate(Rng& rng, std::vector<NodeId>* out) {
@@ -155,8 +107,10 @@ bool SubsimIcGenerator::Generate(Rng& rng, std::vector<NodeId>* out) {
   if (!hit) {
     queue_.push_back(root);
     std::size_t head = 0;
+    ScalarSink sink{this, out};
+    SubsimExpandCore::ScalarNaivePolicy naive;
     while (head < queue_.size()) {
-      if (ExpandNode(queue_[head++], rng, out)) {
+      if (core_.ExpandNode(queue_[head++], rng, &stats_, sink, naive)) {
         hit = true;
         break;
       }

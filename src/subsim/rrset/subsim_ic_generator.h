@@ -2,12 +2,16 @@
 #define SUBSIM_RRSET_SUBSIM_IC_GENERATOR_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "subsim/graph/graph.h"
+#include "subsim/random/geometric.h"
 #include "subsim/rrset/rr_generator.h"
 #include "subsim/sampling/bucket_sampler.h"
+#include "subsim/sampling/inline_sampling.h"
 #include "subsim/util/bit_vector.h"
+#include "subsim/util/prefetch.h"
 
 namespace subsim {
 
@@ -26,6 +30,194 @@ enum class GeneralIcStrategy {
   kAuto,
 };
 
+/// The per-node sampling plans and per-step draw primitives of Algorithm 3
+/// (+ Section 3.3), factored out of the scalar generator so the batched
+/// kernel runs the *same* code on the same precomputed plans — byte
+/// identity between the two kernels is structural, not coincidental.
+///
+/// `ExpandNode` samples the in-neighbors of one dequeued node, invoking
+/// `sink.Activate(w)` for every sampled in-neighbor in the plan's emission
+/// order. The sink owns the visited/sentinel bookkeeping:
+///   * `void Activate(NodeId w)` — activation attempt; must be a no-op
+///     once the traversal has stopped;
+///   * `bool stopped() const` — true after a sentinel activation.
+/// Draw-order contract (what makes kernels interchangeable): the naive and
+/// skip plans keep drawing to their natural end even after a stop (their
+/// draw counts are data-independent of activation outcomes), while the
+/// take-all and bucket emission loops break on stop without further draws
+/// — exactly the scalar generator's historical behavior.
+///
+/// `NaivePolicy` lets a kernel substitute how the small-degree Bernoulli
+/// plan realizes its coin flips. Two hooks, both of which must consume
+/// the identical RNG stream as `SampleSubsetNaive` and emit indices in
+/// increasing order:
+///   * `naive(u, probs, rng, emit)` — skew-weighted short rows;
+///   * `naive.UniformRow(degree, p, rng, emit)` — uniform short rows,
+///     where every edge shares probability `p` so the O(m) weights row is
+///     never read (the batched kernel additionally bulk-draws the coins).
+class SubsimExpandCore {
+ public:
+  /// `graph` must outlive the core. Construction cost: O(n) for the
+  /// uniform fast path, plus O(m) over skew-weighted nodes when the bucket
+  /// strategy is selected. `naive_fallback_degree` = 0 disables the
+  /// small-degree fallback (tests use this to force the skip kernels).
+  SubsimExpandCore(const Graph& graph, GeneralIcStrategy strategy,
+                   NodeId naive_fallback_degree);
+
+  GeneralIcStrategy resolved_strategy() const { return strategy_; }
+  const Graph& graph() const { return graph_; }
+
+  /// Prefetches the packed per-node plan descriptor for an upcoming
+  /// `ExpandNode(u)` — the batched kernel issues this as soon as `u` is
+  /// discovered so the plan lookup doesn't stall the expansion. One cache
+  /// line covers the plan, the CSR position, and the sampling parameter.
+  void PrefetchPlan(NodeId u) const { PrefetchRead(meta_.data() + u); }
+
+  /// Prefetches the leading lines of the adjacency data `ExpandNode(u)`
+  /// will read (sources; weights only for plans that read them). Reads
+  /// `meta_[u]` — expected warm after `PrefetchPlan(u)`. Returns the
+  /// number of prefetch instructions issued.
+  unsigned PrefetchRow(NodeId u, unsigned max_lines = 2) const {
+    const PlanMeta& pm = meta_[u];
+    if (pm.degree == 0) {
+      return 0;
+    }
+    unsigned lines = PrefetchReadRange(
+        graph_.InSourcesAt(pm.begin, pm.degree).data(),
+        pm.degree * sizeof(NodeId), max_lines);
+    const auto plan = static_cast<NodePlan>(pm.plan);
+    if (plan == NodePlan::kSmallNaive || plan == NodePlan::kGeneral) {
+      lines += PrefetchReadRange(
+          graph_.InWeightsAt(pm.begin, pm.degree).data(),
+          pm.degree * sizeof(double), max_lines);
+    }
+    return lines;
+  }
+
+  template <class Sink, class NaivePolicy>
+  bool ExpandNode(NodeId u, Rng& rng, RrGenStats* stats, Sink& sink,
+                  NaivePolicy&& naive) {
+    const PlanMeta& pm = meta_[u];
+    const auto sources = graph_.InSourcesAt(pm.begin, pm.degree);
+    switch (static_cast<NodePlan>(pm.plan)) {
+      case NodePlan::kNoInEdges:
+        return false;
+      case NodePlan::kSmallNaiveUniform:
+        // Every in-edge gets a coin flip here, so count them all. The
+        // shared probability rides in the descriptor (see PlanMeta).
+        stats->edges_examined += sources.size();
+        naive.UniformRow(
+            pm.degree, pm.param, rng,
+            [&](std::uint32_t i) { sink.Activate(sources[i]); });
+        return sink.stopped();
+      case NodePlan::kSmallNaive:
+        stats->edges_examined += sources.size();
+        naive(u, graph_.InWeightsAt(pm.begin, pm.degree), rng,
+              [&](std::uint32_t i) { sink.Activate(sources[i]); });
+        return sink.stopped();
+      case NodePlan::kTakeAll:
+        for (NodeId w : sources) {
+          ++stats->edges_examined;
+          sink.Activate(w);
+          if (sink.stopped()) {
+            return true;
+          }
+        }
+        return false;
+      case NodePlan::kUniformSkip:
+        SampleUniformSubsetSkips(
+            sources.size(), pm.param, rng,
+            [&](std::uint32_t i) {
+              ++stats->edges_examined;
+              sink.Activate(sources[i]);
+            },
+            &stats->geometric_skips);
+        return sink.stopped();
+      case NodePlan::kGeneral:
+        break;
+    }
+
+    if (strategy_ == GeneralIcStrategy::kSortedIndexFree) {
+      SampleSortedSubset(
+          graph_.InWeightsAt(pm.begin, pm.degree), rng,
+          [&](std::uint32_t i) {
+            ++stats->edges_examined;
+            sink.Activate(sources[i]);
+          },
+          &stats->geometric_skips, &stats->rejection_accepts);
+      return sink.stopped();
+    }
+
+    // Bucket strategy: the sampler emits into scratch, then we activate.
+    scratch_indices_.clear();
+    bucket_samplers_[u]->SampleCounted(rng, &scratch_indices_,
+                                       &stats->geometric_skips,
+                                       &stats->rejection_accepts);
+    for (std::uint32_t i : scratch_indices_) {
+      ++stats->edges_examined;
+      sink.Activate(sources[i]);
+      if (sink.stopped()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The reference naive policy: `SampleSubsetNaive` semantics, one
+  /// out-of-line Bernoulli per in-edge.
+  struct ScalarNaivePolicy {
+    template <class Emit>
+    void operator()(NodeId /*u*/, std::span<const double> probs, Rng& rng,
+                    Emit&& emit) const {
+      SampleSubsetNaive(probs, rng, std::forward<Emit>(emit));
+    }
+    /// Identical stream to `SampleSubsetNaive` on a row whose weights all
+    /// equal `p`, without reading the row.
+    template <class Emit>
+    void UniformRow(std::uint32_t degree, double p, Rng& rng,
+                    Emit&& emit) const {
+      for (std::uint32_t i = 0; i < degree; ++i) {
+        if (rng.Bernoulli(p)) {
+          emit(i);
+        }
+      }
+    }
+  };
+
+ private:
+  /// Per-node sampling plan resolved at construction.
+  enum class NodePlan : std::uint8_t {
+    kNoInEdges,          // d_in == 0 or all-zero weights
+    kSmallNaive,         // short skew-weighted in-list: per-edge coins
+    kSmallNaiveUniform,  // short uniform in-list: per-edge coins, shared p
+    kUniformSkip,        // equal weights in (0, 1): geometric skips
+    kTakeAll,            // equal weights >= 1: every in-neighbor activates
+    kGeneral,            // skewed weights: strategy_ decides
+  };
+
+  /// Packed per-node plan descriptor: plan tag, CSR position, and the
+  /// sampling parameter — `GeometricInvLogQ(p)` for kUniformSkip, the
+  /// shared edge probability for kSmallNaiveUniform — in one 16-byte
+  /// record, four to a cache line. The expansion hot path reads exactly
+  /// one metadata line per node instead of separate plan / parameter /
+  /// offset arrays; on DRAM-resident graphs those scattered lookups were
+  /// a dominant stall source.
+  struct PlanMeta {
+    double param = 0.0;
+    std::uint32_t begin = 0;
+    std::uint32_t degree : 29 = 0;
+    std::uint32_t plan : 3 = 0;
+  };
+  static_assert(sizeof(PlanMeta) == 16, "PlanMeta must pack 4 per line");
+
+  const Graph& graph_;
+  GeneralIcStrategy strategy_;
+  std::vector<PlanMeta> meta_;
+  /// Bucket samplers for kGeneral nodes (empty unless bucket strategy).
+  std::vector<std::unique_ptr<BucketSubsetSampler>> bucket_samplers_;
+  std::vector<std::uint32_t> scratch_indices_;
+};
+
 /// Algorithm 3 (+ Section 3.3): the SUBSIM RR-set generator.
 ///
 /// For a dequeued node whose in-edges share one probability p (WC, Uniform
@@ -42,10 +234,7 @@ class SubsimIcGenerator final : public RrGenerator {
   /// are unaffected — the fallback work is O(threshold) = O(1).
   static constexpr NodeId kDefaultNaiveFallbackDegree = 16;
 
-  /// `graph` must outlive the generator. Construction cost: O(n) for the
-  /// uniform fast path, plus O(m) over skew-weighted nodes when the bucket
-  /// strategy is selected. `naive_fallback_degree` = 0 disables the
-  /// small-degree fallback (tests use this to force the skip kernels).
+  /// `graph` must outlive the generator (see `SubsimExpandCore`).
   explicit SubsimIcGenerator(
       const Graph& graph,
       GeneralIcStrategy strategy = GeneralIcStrategy::kAuto,
@@ -57,40 +246,31 @@ class SubsimIcGenerator final : public RrGenerator {
   void ResetStats() override { stats_ = RrGenStats{}; }
   const char* name() const override { return "subsim-ic"; }
 
-  GeneralIcStrategy resolved_strategy() const { return strategy_; }
+  GeneralIcStrategy resolved_strategy() const {
+    return core_.resolved_strategy();
+  }
 
  private:
-  /// Per-node sampling plan resolved at construction.
-  enum class NodePlan : std::uint8_t {
-    kNoInEdges,     // d_in == 0 or all-zero weights
-    kSmallNaive,    // short in-list: per-edge coin flips are cheapest
-    kUniformSkip,   // equal weights in (0, 1): geometric skips
-    kTakeAll,       // equal weights >= 1: every in-neighbor activates
-    kGeneral,       // skewed weights: strategy_ decides
+  /// Scalar activation sink: visited bitmap + explicit BFS queue.
+  struct ScalarSink {
+    SubsimIcGenerator* generator;
+    std::vector<NodeId>* out;
+    void Activate(NodeId w) { generator->Activate(w, out); }
+    bool stopped() const { return generator->stop_; }
   };
 
-  /// Samples the in-neighbors of `u`, invoking the activation logic.
-  /// Returns true if a sentinel was activated.
-  bool ExpandNode(NodeId u, Rng& rng, std::vector<NodeId>* out);
-
-  /// Activation step shared by all plans. Returns true on sentinel hit.
-  bool Activate(NodeId w, std::vector<NodeId>* out);
+  /// Activation step shared by all plans; sets `stop_` on sentinel hit.
+  void Activate(NodeId w, std::vector<NodeId>* out);
 
   const Graph& graph_;
-  GeneralIcStrategy strategy_;
+  SubsimExpandCore core_;
   RrGenStats stats_;
-
-  std::vector<NodePlan> plans_;
-  std::vector<double> inv_log_q_;  // valid for kUniformSkip nodes
-  /// Bucket samplers for kGeneral nodes (empty unless bucket strategy).
-  std::vector<std::unique_ptr<BucketSubsetSampler>> bucket_samplers_;
 
   BitVector activated_;
   BitVector sentinel_;
   bool has_sentinels_ = false;
   bool stop_ = false;  // set when a sentinel activates mid-expansion
   std::vector<NodeId> queue_;
-  std::vector<std::uint32_t> scratch_indices_;
 };
 
 }  // namespace subsim

@@ -28,26 +28,20 @@ bool VanillaIcGenerator::Generate(Rng& rng, std::vector<NodeId>* out) {
     queue_.clear();
     queue_.push_back(root);
     std::size_t head = 0;
-    while (head < queue_.size() && !hit) {
-      const NodeId u = queue_[head++];
-      const auto sources = graph_.InNeighbors(u);
-      const auto weights = graph_.InWeights(u);
-      for (std::size_t i = 0; i < sources.size(); ++i) {
-        ++stats_.edges_examined;
-        if (!rng.Bernoulli(weights[i])) {
-          continue;
-        }
-        const NodeId w = sources[i];
-        if (!activated_.Set(w)) {
-          continue;  // already active
-        }
-        out->push_back(w);
-        if (has_sentinels_ && sentinel_.Get(w)) {
-          hit = true;
-          break;
-        }
-        queue_.push_back(w);
+    const auto try_activate = [&](NodeId w) {
+      if (!activated_.Set(w)) {
+        return false;  // already active
       }
+      out->push_back(w);
+      if (has_sentinels_ && sentinel_.Get(w)) {
+        return true;
+      }
+      queue_.push_back(w);
+      return false;
+    };
+    while (head < queue_.size() && !hit) {
+      hit = ExpandVanillaInEdges(graph_, queue_[head++], rng,
+                                 &stats_.edges_examined, try_activate);
     }
   }
 

@@ -9,6 +9,31 @@
 
 namespace subsim {
 
+/// Per-step draw primitive of Algorithm 2's inner loop, shared verbatim by
+/// the scalar generator and the batched kernel's sentinel path so both
+/// consume the identical RNG stream: one Bernoulli(p(w, u)) per in-edge of
+/// `u`, in in-list order. `try_activate(w)` runs for every successful flip
+/// and returns true to stop the traversal (sentinel hit), which aborts the
+/// edge loop mid-list — the remaining in-edges draw nothing. Returns true
+/// iff the traversal was stopped.
+template <class TryActivate>
+inline bool ExpandVanillaInEdges(const Graph& graph, NodeId u, Rng& rng,
+                                 std::uint64_t* edges_examined,
+                                 TryActivate&& try_activate) {
+  const auto sources = graph.InNeighbors(u);
+  const auto weights = graph.InWeights(u);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    ++*edges_examined;
+    if (!rng.Bernoulli(weights[i])) {
+      continue;
+    }
+    if (try_activate(sources[i])) {
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Algorithm 2: the vanilla IC RR-set generator used by IMM, SSA and
 /// OPIM-C. Reverse BFS from a random root; every in-edge of every activated
 /// node gets its own Bernoulli(p(w, u)) coin flip — O(sum of in-degrees of

@@ -88,9 +88,11 @@ sed -n 's/.*"counters":{\([^}]*\)}.*/\1/p' "$MJSON" | tr ',' '\n' \
 cat > "$WORK/counter_keys_golden.txt" <<'EOF'
 "fill.chunks_claimed"
 "fill.substream_forks"
+"rr.batch_chunks"
 "rr.edges_examined"
 "rr.geometric_skips"
 "rr.nodes_added"
+"rr.prefetch_lines"
 "rr.rejection_accepts"
 "rr.sentinel_hits"
 "rr.sets_generated"

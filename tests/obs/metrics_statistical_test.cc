@@ -28,6 +28,7 @@
 #include "subsim/graph/weight_models.h"
 #include "subsim/obs/metrics.h"
 #include "subsim/obs/obs_context.h"
+#include "subsim/rrset/parallel_fill.h"
 #include "subsim/rrset/rr_collection.h"
 #include "subsim/rrset/subsim_ic_generator.h"
 #include "subsim/rrset/vanilla_ic_generator.h"
@@ -158,6 +159,99 @@ TEST(MetricsStatisticalTest, GeometricSkipCountMatchesExpectation) {
   EXPECT_NEAR(static_cast<double>(nodes),
               static_cast<double>(vanilla_nodes),
               0.05 * static_cast<double>(vanilla_nodes));
+}
+
+/// Denser ER graph whose every in-degree clears the SUBSIM naive-fallback
+/// threshold (16): a `FillCollection` SUBSIM fill — which uses the default
+/// fallback — then runs the geometric-skip plan for *every* processed
+/// node, so the skip-count identity applies to both kernels.
+Graph DenseWcErdosRenyiGraph() {
+  Result<EdgeList> er = GenerateErdosRenyi(kNodes, 8000, 13);
+  EXPECT_TRUE(er.ok());
+  EdgeList list = std::move(er).value();
+  for (NodeId v = 0; v < kNodes; ++v) {
+    list.edges.push_back(Edge{v, (v + 1) % kNodes, 0.0});
+  }
+  EXPECT_TRUE(AssignWeights(WeightModel::kWeightedCascade, {}, &list).ok());
+  Result<Graph> graph = BuildGraph(std::move(list));
+  EXPECT_TRUE(graph.ok());
+  for (NodeId v = 0; v < kNodes; ++v) {
+    EXPECT_GE(graph.value().InNeighbors(v).size(),
+              static_cast<std::size_t>(
+                  SubsimIcGenerator::kDefaultNaiveFallbackDegree))
+        << "node " << v << " would take the naive plan";
+  }
+  return std::move(graph).value();
+}
+
+MetricsSnapshot FillSnapshot(const Graph& graph, FillKernel kernel,
+                             std::uint64_t seed, std::size_t count) {
+  MetricsRegistry registry;
+  RrCollection collection(graph.num_nodes());
+  RngStream rng = MakeRngStream(seed, 1);
+  FillRequest request;
+  request.kind = GeneratorKind::kSubsimIc;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = count;
+  request.obs = ObsContext{&registry, nullptr};
+  request.kernel = kernel;
+  EXPECT_TRUE(FillCollection(request, &collection).ok());
+  return registry.Snapshot();
+}
+
+TEST(MetricsStatisticalTest, BatchedSetSizesMatchScalarDistribution) {
+  // Independent seeds on purpose: with a shared seed the streams are
+  // byte-identical (pinned elsewhere), which would make this vacuous.
+  // Sampled independently, the two kernels must still draw from the same
+  // RR-size distribution — a chi-square over the `rr.set_size` histogram
+  // catches a batched kernel that is subtly wrong but self-consistent.
+  const Graph graph = DenseWcErdosRenyiGraph();
+  const HistogramSnapshot scalar =
+      FillSnapshot(graph, FillKernel::kScalar, 61, kSets)
+          .histograms.at("rr.set_size");
+  const HistogramSnapshot batched =
+      FillSnapshot(graph, FillKernel::kBatched, 62, kSets)
+          .histograms.at("rr.set_size");
+  ASSERT_EQ(scalar.count, static_cast<std::uint64_t>(kSets));
+  ASSERT_EQ(batched.count, static_cast<std::uint64_t>(kSets));
+
+  int df = 0;
+  const double statistic =
+      TwoSampleChiSquare(scalar.buckets, batched.buckets, &df);
+  EXPECT_LT(statistic, df + 5.0 * std::sqrt(2.0 * df) + 10.0) << "df=" << df;
+}
+
+TEST(MetricsStatisticalTest, BatchedCountersExactlyEqualScalarSameSeed) {
+  // Same seed: byte-identical streams mean the semantic counters — and
+  // the skip draws behind them — must agree *exactly*, not statistically.
+  const Graph graph = DenseWcErdosRenyiGraph();
+  const MetricsSnapshot scalar =
+      FillSnapshot(graph, FillKernel::kScalar, 71, 4000);
+  const MetricsSnapshot batched =
+      FillSnapshot(graph, FillKernel::kBatched, 71, 4000);
+  for (const char* key :
+       {"rr.sets_generated", "rr.nodes_added", "rr.edges_examined",
+        "rr.geometric_skips", "rr.rejection_accepts", "rr.sentinel_hits"}) {
+    EXPECT_EQ(scalar.counters.at(key), batched.counters.at(key)) << key;
+  }
+  EXPECT_EQ(scalar.histograms.at("rr.set_size").buckets,
+            batched.histograms.at("rr.set_size").buckets);
+
+  // Kernel-implementation counters are the one place the kernels differ.
+  EXPECT_EQ(scalar.counters.at("rr.batch_chunks"), 0u);
+  EXPECT_GT(batched.counters.at("rr.batch_chunks"), 0u);
+  EXPECT_GT(batched.counters.at("rr.prefetch_lines"), 0u);
+
+  // Every in-degree clears the fallback threshold, so each processed node
+  // is one skip-kernel call: draws = emits + 1, E[emits] = 1 under WC,
+  // hence skips == 2 * nodes_added in expectation (2% is many sigma at
+  // this sample size) — for the batched kernel just like the scalar one.
+  const double nodes =
+      static_cast<double>(batched.counters.at("rr.nodes_added"));
+  const double skips =
+      static_cast<double>(batched.counters.at("rr.geometric_skips"));
+  EXPECT_NEAR(skips, 2.0 * nodes, 0.02 * 2.0 * nodes);
 }
 
 TEST(MetricsStatisticalTest, AttachingMetricsDoesNotPerturbRngStream) {

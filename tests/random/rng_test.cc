@@ -202,6 +202,29 @@ TEST(SplitMix64Test, KnownSequenceProperties) {
   EXPECT_EQ(seen.size(), 1000u);  // no collisions in a short run
 }
 
+TEST(RngTest, NextU64BatchEqualsRepeatedNextU64) {
+  // The batched RR kernels bulk-draw coins with NextU64Batch and replay
+  // them through ToUnitDouble; byte-identity with the scalar generators
+  // rests on these two being exact restatements of the scalar draws.
+  Rng scalar(99);
+  Rng batched(99);
+  std::uint64_t buf[17];
+  batched.NextU64Batch(buf, 17);
+  for (std::size_t i = 0; i < 17; ++i) {
+    EXPECT_EQ(buf[i], scalar.NextU64()) << i;
+  }
+  // The engines stay in lockstep after the batch.
+  EXPECT_EQ(batched.NextU64(), scalar.NextU64());
+}
+
+TEST(RngTest, ToUnitDoubleEqualsNextDouble) {
+  Rng scalar(123);
+  Rng batched(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(Rng::ToUnitDouble(batched.NextU64()), scalar.NextDouble()) << i;
+  }
+}
+
 TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
   static_assert(Rng::min() == 0);
   static_assert(Rng::max() == ~std::uint64_t{0});

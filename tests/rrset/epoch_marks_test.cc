@@ -1,0 +1,142 @@
+// Unit tests for EpochMarks, the batched kernel's O(1)-reset visited
+// marks. Two things are load-bearing here. First, the single-stamp-per-
+// node design makes the stamp a *cache*, not a truth table: when two
+// in-flight sets touch one node, the later mark steals the stamp and the
+// earlier set's membership can only be recovered from the caller's own
+// records — the tests pin that stealing behavior and the Stamp/Overwrite
+// accessors the batched kernel's exact fallback is built on. Second, the
+// 32-bit epoch wraparound: stale stamps from the previous epoch era must
+// never read as marked after the wrap, which is only reachable via the
+// test hook (4.3 billion real BeginSet calls would take hours).
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "subsim/rrset/epoch_marks.h"
+
+namespace subsim {
+namespace {
+
+TEST(EpochMarksTest, StartsEmptyAndMarksStick) {
+  EpochMarks marks(8);
+  marks.BeginSet();
+  for (std::size_t v = 0; v < 8; ++v) {
+    EXPECT_FALSE(marks.Marked(v)) << v;
+  }
+  EXPECT_TRUE(marks.Mark(3));
+  EXPECT_TRUE(marks.Marked(3));
+  EXPECT_FALSE(marks.Mark(3)) << "second mark must report already-set";
+  EXPECT_FALSE(marks.Marked(4));
+}
+
+TEST(EpochMarksTest, BeginSetClearsAllMarksInO1) {
+  EpochMarks marks(4);
+  marks.BeginSet();
+  marks.Mark(0);
+  marks.Mark(2);
+  marks.BeginSet();
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_FALSE(marks.Marked(v)) << v;
+  }
+  EXPECT_TRUE(marks.Mark(2)) << "a new set must re-admit old members";
+}
+
+TEST(EpochMarksTest, BeginSetsReservesDisjointEpochBlock) {
+  EpochMarks marks(4);
+  const std::uint32_t first = marks.BeginSets(3);
+  EXPECT_TRUE(marks.Mark(1, first));
+  EXPECT_TRUE(marks.Marked(1, first));
+  EXPECT_FALSE(marks.Mark(1, first)) << "per-epoch dedup must hold";
+  EXPECT_FALSE(marks.Marked(0, first));
+
+  // The next block must not collide with the previous one.
+  const std::uint32_t next = marks.BeginSets(2);
+  EXPECT_EQ(next, first + 3);
+  EXPECT_FALSE(marks.Marked(1, next));
+}
+
+TEST(EpochMarksTest, LaterEpochStealsTheStamp) {
+  // The documented cache semantics: one stamp word per node, so a second
+  // in-flight set marking the same node overwrites the first set's stamp
+  // — Mark returns true for the thief and the victim's Marked goes false.
+  // The batched kernel compensates with its exact per-lane fallback; this
+  // test pins the primitive behavior that fallback is designed around.
+  EpochMarks marks(4);
+  const std::uint32_t first = marks.BeginSets(2);
+  EXPECT_TRUE(marks.Mark(1, first));
+  EXPECT_TRUE(marks.Mark(1, first + 1)) << "foreign stamp must be stolen";
+  EXPECT_EQ(marks.Stamp(1), first + 1);
+  EXPECT_FALSE(marks.Marked(1, first)) << "the victim's view is stale";
+  EXPECT_TRUE(marks.Marked(1, first + 1));
+}
+
+TEST(EpochMarksTest, StampAndOverwriteExposeTheRawCache) {
+  // The kernel's exact fallback reads the raw stamp to classify it
+  // (mine / dead era / live foreigner) and then claims it unconditionally.
+  EpochMarks marks(3);
+  const std::uint32_t first = marks.BeginSets(2);
+  EXPECT_EQ(marks.Stamp(2), 0u) << "never-stamped must read as epoch 0";
+  marks.Overwrite(2, first);
+  EXPECT_EQ(marks.Stamp(2), first);
+  EXPECT_TRUE(marks.Marked(2, first));
+  marks.Overwrite(2, first + 1);
+  EXPECT_EQ(marks.Stamp(2), first + 1);
+  EXPECT_FALSE(marks.Marked(2, first));
+}
+
+TEST(EpochMarksTest, ResizeResetsEverything) {
+  EpochMarks marks(2);
+  marks.BeginSet();
+  marks.Mark(1);
+  marks.Resize(5);
+  EXPECT_EQ(marks.size(), 5u);
+  EXPECT_EQ(marks.epoch(), 0u);
+  marks.BeginSet();
+  EXPECT_FALSE(marks.Marked(1));
+}
+
+TEST(EpochMarksTest, WraparoundNeverAliasesStaleStamps) {
+  // Stamp a node near the top of the epoch range, then force the counter
+  // to the edge. The next BeginSet must re-zero the stamps and restart at
+  // epoch 1 — if it instead wrapped the counter through the stamped
+  // value, node 0 would leak into a set it was never added to.
+  EpochMarks marks(3);
+  marks.SetEpochForTesting(EpochMarks::kMaxEpoch - 1);
+  ASSERT_TRUE(marks.Mark(0, EpochMarks::kMaxEpoch - 1));
+
+  marks.SetEpochForTesting(EpochMarks::kMaxEpoch);
+  marks.BeginSet();
+  EXPECT_EQ(marks.epoch(), 1u) << "wrap must restart the epoch era";
+  EXPECT_FALSE(marks.Marked(0)) << "stale stamp aliased a live epoch";
+  EXPECT_TRUE(marks.Mark(0));
+}
+
+TEST(EpochMarksTest, WraparoundTriggersWhenBlockWouldCross) {
+  // A BeginSets(count) block that would cross kMaxEpoch must wrap *before*
+  // handing out any epoch of the block, so every set's epoch is from the
+  // fresh era and every pre-wrap stamp reads as dead.
+  EpochMarks marks(2);
+  marks.SetEpochForTesting(EpochMarks::kMaxEpoch - 5);
+  ASSERT_TRUE(marks.Mark(1, EpochMarks::kMaxEpoch - 5));
+
+  const std::uint32_t first = marks.BeginSets(64);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(marks.epoch(), 64u);
+  EXPECT_EQ(marks.Stamp(1), 0u) << "wrap must re-zero every stamp";
+  for (std::uint32_t lane = 0; lane < 64; ++lane) {
+    EXPECT_FALSE(marks.Marked(1, first + lane)) << lane;
+  }
+}
+
+TEST(EpochMarksTest, BlockExactlyReachingMaxDoesNotWrap) {
+  // Reserving up to and including kMaxEpoch is legal; only crossing it
+  // forces the re-zero.
+  EpochMarks marks(2);
+  marks.SetEpochForTesting(EpochMarks::kMaxEpoch - 64);
+  const std::uint32_t first = marks.BeginSets(64);
+  EXPECT_EQ(first, EpochMarks::kMaxEpoch - 63);
+  EXPECT_EQ(marks.epoch(), EpochMarks::kMaxEpoch);
+}
+
+}  // namespace
+}  // namespace subsim

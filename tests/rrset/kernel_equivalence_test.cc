@@ -1,0 +1,234 @@
+// Differential kernel-equivalence suite: the scalar per-set generators
+// are the reference semantics, and the frontier-batched kernel must
+// reproduce their output *byte for byte* — same nodes, same within-set
+// order, same sentinel hits — for every generator kind, with and without
+// sentinels, at every thread count. This is the contract that makes
+// `FillKernel` a pure execution knob (and lets `kAuto` default to the
+// batched kernel without changing a single published number). CI runs
+// this binary in Release and ASan+UBSan with SUBSIM_TEST_THREADS=1 and
+// =4 appended to the default sweep.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "subsim/algo/registry.h"
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/rrset/parallel_fill.h"
+
+namespace subsim {
+namespace {
+
+Graph WcGraph() {
+  Result<EdgeList> list = GenerateBarabasiAlbert(1200, 4, true, 7);
+  EXPECT_TRUE(list.ok());
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+// Exponential weights (per-node rescaled to sum 1) make most in-rows
+// skew-weighted, driving the kSmallNaive / kGeneral plans the WC graph
+// never exercises — while staying LT-legal (in-sums are exactly 1).
+Graph SkewedGraph() {
+  Result<EdgeList> list = GenerateBarabasiAlbert(900, 5, true, 19);
+  EXPECT_TRUE(list.ok());
+  WeightModelParams params;
+  params.seed = 23;
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kExponential, params, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+const Graph& SharedWcGraph() {
+  static const Graph* const kGraph = new Graph(WcGraph());
+  return *kGraph;
+}
+
+const Graph& SharedSkewedGraph() {
+  static const Graph* const kGraph = new Graph(SkewedGraph());
+  return *kGraph;
+}
+
+std::vector<unsigned> ThreadSweep() {
+  std::vector<unsigned> sweep = {1, 2, 8};
+  if (const char* env = std::getenv("SUBSIM_TEST_THREADS")) {
+    const int extra = std::atoi(env);
+    if (extra > 0) {
+      sweep.push_back(static_cast<unsigned>(extra));
+    }
+  }
+  return sweep;
+}
+
+RrCollection FillWith(const Graph& graph, GeneratorKind kind,
+                      FillKernel kernel, unsigned num_threads,
+                      std::span<const NodeId> sentinels = {}) {
+  RrCollection collection(graph.num_nodes());
+  RngStream rng = MakeRngStream(91, 1);
+  FillRequest request;
+  request.kind = kind;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = 3000;
+  request.num_threads = num_threads;
+  request.sentinels = sentinels;
+  request.kernel = kernel;
+  EXPECT_TRUE(FillCollection(request, &collection).ok());
+  return collection;
+}
+
+void ExpectIdentical(const RrCollection& a, const RrCollection& b) {
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  ASSERT_EQ(a.total_nodes(), b.total_nodes());
+  ASSERT_EQ(a.num_hit_sentinel(), b.num_hit_sentinel());
+  for (RrId id = 0; id < a.num_sets(); ++id) {
+    const auto sa = a.Set(id);
+    const auto sb = b.Set(id);
+    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_EQ(sa[i], sb[i]) << "set " << id << " pos " << i;
+    }
+  }
+}
+
+std::vector<NodeId> EveryEleventhNode(const Graph& graph) {
+  std::vector<NodeId> sentinels;
+  for (NodeId v = 0; v < graph.num_nodes(); v += 11) {
+    sentinels.push_back(v);
+  }
+  return sentinels;
+}
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<GeneratorKind> {
+};
+
+TEST_P(KernelEquivalenceTest, BatchedMatchesScalarOnWcGraph) {
+  const Graph& graph = SharedWcGraph();
+  const RrCollection reference =
+      FillWith(graph, GetParam(), FillKernel::kScalar, 1);
+  for (unsigned threads : ThreadSweep()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(reference,
+                    FillWith(graph, GetParam(), FillKernel::kBatched, threads));
+  }
+}
+
+TEST_P(KernelEquivalenceTest, BatchedMatchesScalarOnSkewedGraph) {
+  const Graph& graph = SharedSkewedGraph();
+  const RrCollection reference =
+      FillWith(graph, GetParam(), FillKernel::kScalar, 1);
+  for (unsigned threads : ThreadSweep()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(reference,
+                    FillWith(graph, GetParam(), FillKernel::kBatched, threads));
+  }
+}
+
+TEST_P(KernelEquivalenceTest, BatchedMatchesScalarWithSentinels) {
+  // Sentinel fills flip the batched kernels onto their inline (stop-aware)
+  // expansion paths; truncation must land on the identical node.
+  const Graph& graph = SharedWcGraph();
+  const std::vector<NodeId> sentinels = EveryEleventhNode(graph);
+  const RrCollection reference =
+      FillWith(graph, GetParam(), FillKernel::kScalar, 1, sentinels);
+  EXPECT_GT(reference.num_hit_sentinel(), 0u);
+  for (unsigned threads : ThreadSweep()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(reference, FillWith(graph, GetParam(),
+                                        FillKernel::kBatched, threads,
+                                        sentinels));
+  }
+}
+
+TEST_P(KernelEquivalenceTest, BatchedMatchesScalarWithSentinelsSkewed) {
+  const Graph& graph = SharedSkewedGraph();
+  const std::vector<NodeId> sentinels = EveryEleventhNode(graph);
+  const RrCollection reference =
+      FillWith(graph, GetParam(), FillKernel::kScalar, 1, sentinels);
+  EXPECT_GT(reference.num_hit_sentinel(), 0u);
+  for (unsigned threads : ThreadSweep()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(reference, FillWith(graph, GetParam(),
+                                        FillKernel::kBatched, threads,
+                                        sentinels));
+  }
+}
+
+TEST_P(KernelEquivalenceTest, AutoResolvesToBatched) {
+  EXPECT_EQ(ResolveFillKernel(FillKernel::kAuto), FillKernel::kBatched);
+  const Graph& graph = SharedWcGraph();
+  ExpectIdentical(FillWith(graph, GetParam(), FillKernel::kAuto, 1),
+                  FillWith(graph, GetParam(), FillKernel::kBatched, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, KernelEquivalenceTest,
+                         ::testing::Values(GeneratorKind::kVanillaIc,
+                                           GeneratorKind::kSubsimIc,
+                                           GeneratorKind::kLt),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case GeneratorKind::kVanillaIc:
+                               return "vanilla_ic";
+                             case GeneratorKind::kSubsimIc:
+                               return "subsim_ic";
+                             case GeneratorKind::kLt:
+                               return "lt";
+                           }
+                           return "unknown";
+                         });
+
+// End-to-end: every registered RR-based algorithm must select the same
+// seed set (and report the same spread and set counts) whichever kernel
+// generated its samples — the kernel can never leak into results.
+class AlgorithmKernelEquivalenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlgorithmKernelEquivalenceTest, SelectedSeedsIdenticalAcrossKernels) {
+  const auto algorithm = MakeImAlgorithm(GetParam());
+  ASSERT_TRUE(algorithm.ok());
+  const Graph& graph = SharedWcGraph();
+
+  ImOptions options;
+  options.k = 8;
+  options.epsilon = 0.3;
+  options.rng_seed = 13;
+
+  options.fill_kernel = FillKernel::kScalar;
+  const Result<ImResult> reference = (*algorithm)->Run(graph, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (FillKernel kernel : {FillKernel::kBatched, FillKernel::kAuto}) {
+    SCOPED_TRACE(std::string("kernel=") + FillKernelName(kernel));
+    options.fill_kernel = kernel;
+    const Result<ImResult> result = (*algorithm)->Run(graph, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(reference->seeds, result->seeds);
+    EXPECT_EQ(reference->num_rr_sets, result->num_rr_sets);
+    EXPECT_EQ(reference->total_rr_nodes, result->total_rr_nodes);
+    EXPECT_DOUBLE_EQ(reference->estimated_spread, result->estimated_spread);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRrAlgorithms, AlgorithmKernelEquivalenceTest,
+                         ::testing::Values("imm", "tim+", "opim-c", "ssa",
+                                           "hist"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace subsim

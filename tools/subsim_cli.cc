@@ -10,7 +10,8 @@
 //   stats     --in=FILE
 //   run       --in=FILE --algo=imm|opim-c|ssa|hist|celf-mc [--k=K]
 //             [--eps=E] [--generator=vanilla|subsim|lt] [--seed=S]
-//             [--threads=N] [--evaluate[=SIMS]] [--metrics-json=FILE]
+//             [--threads=N] [--kernel=auto|scalar|batched]
+//             [--evaluate[=SIMS]] [--metrics-json=FILE]
 //   calibrate --in=FILE --model=wc-variant|uniform --target=AVG [--seed=S]
 //   batch     --graph=NAME=FILE [--graph=...] [--in=QUERIES|-]
 //             [--workers=N] [--threads=N] [--cache-mb=M]
@@ -54,6 +55,7 @@
 #include "subsim/obs/metrics.h"
 #include "subsim/obs/obs_json.h"
 #include "subsim/obs/phase_tracer.h"
+#include "subsim/rrset/parallel_fill.h"
 #include "subsim/serve/graph_registry.h"
 #include "subsim/serve/query.h"
 #include "subsim/serve/query_engine.h"
@@ -264,6 +266,13 @@ int CmdRun(const Flags& flags) {
   if (!generator.ok()) {
     return Fail(generator.status());
   }
+  // Kernel choice never changes the selected seeds (streams are
+  // byte-identical); the flag exists for A/B timing against the scalar
+  // reference path.
+  const auto kernel = ParseFillKernel(flags.Get("kernel", "auto"));
+  if (!kernel.ok()) {
+    return Fail(kernel.status());
+  }
   ImOptions options;
   const auto k = flags.GetUint("k", 50);
   const auto eps = flags.GetDouble("eps", 0.1);
@@ -282,6 +291,7 @@ int CmdRun(const Flags& flags) {
   options.rng_seed = *seed;
   options.generator = *generator;
   options.num_threads = static_cast<unsigned>(*threads);
+  options.fill_kernel = *kernel;
 
   // Observability is opt-in: without --metrics-json the run carries no
   // registry and the instrumentation handles stay no-ops.

@@ -152,10 +152,13 @@ IOSTREAM_RE = re.compile(
 # naming it. (The include path itself lives in a string literal and is
 # blanked before matching, so the type name is the reliable signal.)
 AD_HOC_TIMER_RE = re.compile(r"\bWallTimer\b")
-# Direct ParallelFill calls (the pre-FillRequest entry point) and forked Rng
-# streams: both bypass the counter-based substream scheme.
+# Direct ParallelFill calls (the pre-FillRequest entry point), forked Rng
+# streams, and the batched chunk kernel (`BatchRrKernel::GenerateChunk` is
+# the fill's internal engine, not a public sampling API): all bypass the
+# counter-based substream scheme FillCollection guarantees.
 FILL_ENTRY_RE = re.compile(
-    r"\bParallelFill\s*\(|\bParallelFillOptions\b|(?:\.|->|::)\s*Fork\s*\(")
+    r"\bParallelFill\s*\(|\bParallelFillOptions\b|(?:\.|->|::)\s*Fork\s*\("
+    r"|\bBatchRrKernel\b|\bGenerateChunk\s*\(")
 
 ALL_RULES = (
     "status-discarded",
