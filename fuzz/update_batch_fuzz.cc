@@ -1,0 +1,73 @@
+// Fuzz harness for the graph-update wire format — the batch text
+// `POST /v1/update_graph` and the CLI `update` subcommand accept from
+// clients. Arbitrary bytes may yield an error Status but must never crash,
+// trip a sanitizer, or allocate unboundedly (kMaxUpdateOps). Batches that
+// parse are additionally applied to a small fixed graph: ApplyEdgeUpdates
+// must either reject them cleanly or produce a well-formed successor
+// snapshot whose dirty frontier is sorted, unique, and in range.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "subsim/graph/graph.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/graph_update.h"
+#include "subsim/graph/types.h"
+
+namespace {
+
+// 6-node fixture with a few edges; built once per process.
+const subsim::Graph& FixtureGraph() {
+  static const subsim::Graph* graph = [] {
+    subsim::EdgeList list;
+    list.num_nodes = 6;
+    list.edges = {{0, 1, 0.5}, {1, 2, 0.5}, {2, 3, 0.25},
+                  {3, 4, 0.25}, {4, 5, 0.5}, {5, 0, 0.5},
+                  {0, 3, 0.125}};
+    subsim::Result<subsim::Graph> built =
+        subsim::BuildGraph(std::move(list));
+    if (!built.ok()) {
+      __builtin_trap();
+    }
+    return new subsim::Graph(std::move(built).value());
+  }();
+  return *graph;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  subsim::Result<subsim::GraphUpdateRequest> request =
+      subsim::ParseGraphUpdateRequest(text);
+  if (!request.ok()) {
+    return 0;
+  }
+  if (request->graph.empty() || request->batch.ops.empty() ||
+      request->batch.ops.size() > subsim::kMaxUpdateOps) {
+    __builtin_trap();  // parser contract: non-empty name, 1..cap ops
+  }
+  const subsim::Graph& graph = FixtureGraph();
+  subsim::Result<subsim::EdgeUpdateResult> updated =
+      subsim::ApplyEdgeUpdates(graph, request->batch);
+  if (!updated.ok()) {
+    return 0;  // clean rejection (bad endpoints, missing edges, ...)
+  }
+  // Successor-snapshot invariants.
+  if (updated->graph.num_nodes() != graph.num_nodes()) {
+    __builtin_trap();
+  }
+  const subsim::NodeId n = graph.num_nodes();
+  subsim::NodeId previous = 0;
+  bool first = true;
+  for (const subsim::NodeId v : updated->dirty_nodes) {
+    if (v >= n || (!first && v <= previous)) {
+      __builtin_trap();  // dirty frontier must be sorted, unique, in range
+    }
+    previous = v;
+    first = false;
+  }
+  return 0;
+}

@@ -1,9 +1,12 @@
 #include "subsim/net/serve_app.h"
 
+#include <string_view>
 #include <utility>
 
+#include "subsim/graph/graph_update.h"
 #include "subsim/obs/metrics.h"
 #include "subsim/util/deadline.h"
+#include "subsim/util/string_util.h"
 
 namespace subsim {
 
@@ -47,6 +50,8 @@ int HttpStatusFor(const Status& status) {
       return 400;
     case StatusCode::kNotFound:
       return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;  // version skew: the client should refetch and retry
     case StatusCode::kDeadlineExceeded:
       return 429;
     case StatusCode::kUnavailable:
@@ -111,7 +116,73 @@ HttpResponse ServeApp::Handle(const HttpRequest& request,
     }
     return HandleSelectSeeds(request, context);
   }
+  if (request.target == "/v1/update_graph") {
+    if (request.method != "POST") {
+      return JsonError(405, "use POST");
+    }
+    return HandleUpdateGraph(request);
+  }
+  if (request.target == "/v1/remove_graph") {
+    if (request.method != "POST") {
+      return JsonError(405, "use POST");
+    }
+    return HandleRemoveGraph(request);
+  }
   return JsonError(404, "no such endpoint");
+}
+
+HttpResponse ServeApp::HandleUpdateGraph(const HttpRequest& request) {
+  Result<GraphUpdateRequest> parsed = ParseGraphUpdateRequest(request.body);
+  if (!parsed.ok()) {
+    return JsonError(400, parsed.status().ToString());
+  }
+  Result<QueryEngine::GraphUpdateOutcome> outcome =
+      engine_->ApplyGraphUpdates(parsed->graph, parsed->batch);
+  if (!outcome.ok()) {
+    return JsonError(HttpStatusFor(outcome.status()),
+                     outcome.status().ToString());
+  }
+  std::string body = "{\"ok\":true";
+  body += ",\"graph\":\"" + JsonEscapeMinimal(parsed->graph) + "\"";
+  body += ",\"version\":" + std::to_string(outcome->version);
+  body += ",\"previous_version\":" +
+          std::to_string(outcome->previous_version);
+  body += ",\"num_edges\":" + std::to_string(outcome->num_edges);
+  body += ",\"entries_repaired\":" +
+          std::to_string(outcome->entries_repaired);
+  body += ",\"entries_dropped\":" + std::to_string(outcome->entries_dropped);
+  body += ",\"sets_repaired\":" + std::to_string(outcome->sets_repaired);
+  body += ",\"sets_kept\":" + std::to_string(outcome->sets_kept);
+  body += ",\"repair_ms\":" +
+          std::to_string(outcome->repair_seconds * 1000.0);
+  body += "}\n";
+  return JsonResponse(200, std::move(body));
+}
+
+HttpResponse ServeApp::HandleRemoveGraph(const HttpRequest& request) {
+  // Body: `graph=NAME` (single line, same key=value idiom as queries).
+  std::string name;
+  for (const std::string_view token :
+       SplitAndTrim(StripWhitespace(request.body), " \t\r\n")) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || token.substr(0, eq) != "graph") {
+      return JsonError(400, "expected body 'graph=NAME', got '" +
+                                std::string(token) + "'");
+    }
+    name = std::string(token.substr(eq + 1));
+  }
+  if (name.empty()) {
+    return JsonError(400, "expected body 'graph=NAME'");
+  }
+  Result<std::size_t> dropped = engine_->RemoveGraph(name);
+  if (!dropped.ok()) {
+    return JsonError(HttpStatusFor(dropped.status()),
+                     dropped.status().ToString());
+  }
+  return JsonResponse(200, "{\"ok\":true,\"graph\":\"" +
+                               JsonEscapeMinimal(name) +
+                               "\",\"cache_entries_dropped\":" +
+                               std::to_string(*dropped) + "}\n");
 }
 
 HttpResponse ServeApp::HandleSelectSeeds(const HttpRequest& request,

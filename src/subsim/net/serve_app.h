@@ -16,6 +16,14 @@ namespace subsim {
 ///   POST /v1/select_seeds  body = one query line (`graph=g algo=opim-c
 ///                          k=8 eps=0.3 seed=7 deadline_ms=50`), response
 ///                          = the query's JSON line.
+///   POST /v1/update_graph  body = an update request (header line
+///                          `graph=g [expect_version=V]` then
+///                          `insert/delete/weight` op lines — see
+///                          `ParseGraphUpdateRequest`); publishes a new
+///                          snapshot version and incrementally repairs the
+///                          warm cache. 409 on version skew.
+///   POST /v1/remove_graph  body = `graph=g`; removes the graph and its
+///                          cache entries end to end.
 ///   GET  /healthz          liveness + registered graph count.
 ///   GET  /metricsz         engine stats JSON; refreshes the SLO gauges
 ///                          (`slo.queue_us_p50/p99`, `slo.exec_us_p50/p99`)
@@ -41,6 +49,8 @@ class ServeApp {
  private:
   HttpResponse HandleSelectSeeds(const HttpRequest& request,
                                  const HttpRequestContext& context);
+  HttpResponse HandleUpdateGraph(const HttpRequest& request);
+  HttpResponse HandleRemoveGraph(const HttpRequest& request);
 
   QueryEngine* engine_;
 };

@@ -1,8 +1,10 @@
 #include "subsim/rrset/sample_store.h"
 
 #include <utility>
+#include <vector>
 
 #include "subsim/rrset/parallel_fill.h"
+#include "subsim/rrset/rr_generator.h"
 
 namespace subsim {
 
@@ -28,6 +30,85 @@ Result<std::unique_ptr<SampleStore>> SampleStore::Create(
   }
   return std::unique_ptr<SampleStore>(
       new SampleStore(graph, kind, streams, options));
+}
+
+Result<std::unique_ptr<SampleStore>> SampleStore::CreateRepaired(
+    const Graph& graph, const SampleStore& source,
+    std::span<const NodeId> dirty_nodes, const Options& options,
+    RepairStats* stats) {
+  if (graph.num_nodes() != source.num_nodes_) {
+    return Status::InvalidArgument(
+        "repair requires an unchanged node set: source store has " +
+        std::to_string(source.num_nodes_) + " nodes, new graph has " +
+        std::to_string(graph.num_nodes()));
+  }
+  // Also the regeneration engine below — creation fails here when the kind
+  // rejects the mutated graph (e.g. an LT weight sum pushed past 1).
+  Result<std::unique_ptr<RrGenerator>> generator =
+      MakeRrGenerator(source.kind_, graph);
+  if (!generator.ok()) {
+    return generator.status();
+  }
+
+  // Readers-writer discipline: the shared lock freezes both streams at
+  // their committed lengths while letting concurrent queries keep reading
+  // the source (it may still be serving the retiring version).
+  const ReaderMutexLock source_lock(source.mu_);
+  std::array<RngStream, kNumStreams> streams{};
+  for (std::size_t s = 0; s < kNumStreams; ++s) {
+    const Stream& from = source.streams_[s];
+    // The repaired store continues each stream exactly where the source
+    // stopped; `next_index == collection.num_sets()` is the stream cursor
+    // invariant, re-established here for the new store.
+    streams[s] = RngStream{from.rng.base_seed, from.collection.num_sets()};
+  }
+  auto repaired = std::unique_ptr<SampleStore>(
+      new SampleStore(graph, source.kind_, streams, options));
+
+  const RrGenStats stats_before = (*generator)->stats();
+  RepairStats repair;
+  std::vector<NodeId> scratch;
+  std::vector<std::uint8_t> needs_regen;
+  const WriterMutexLock repaired_lock(repaired->mu_);
+  for (std::size_t s = 0; s < kNumStreams; ++s) {
+    const RrCollection& from = source.streams_[s].collection;
+    const std::size_t num_sets = from.num_sets();
+    // The inverted index turns the mutation frontier into the exact id set
+    // to regenerate: a set replays identically unless it visited a node
+    // whose in-row changed.
+    needs_regen.assign(num_sets, 0);
+    for (const NodeId v : dirty_nodes) {
+      if (v >= source.num_nodes_) {
+        continue;
+      }
+      for (const RrId id : from.SetsContaining(v)) {
+        needs_regen[id] = 1;
+      }
+    }
+    RrCollection& to = repaired->streams_[s].collection;
+    const std::uint64_t base_seed = source.streams_[s].rng.base_seed;
+    for (std::size_t i = 0; i < num_sets; ++i) {
+      if (needs_regen[i]) {
+        Rng set_rng = Rng::Substream(base_seed, i);
+        const bool hit = (*generator)->Generate(set_rng, &scratch);
+        to.Add(scratch, hit);
+        ++repair.sets_repaired;
+      } else {
+        to.Add(from.Set(static_cast<RrId>(i)),
+               from.HitSentinel(static_cast<RrId>(i)));
+        ++repair.sets_kept;
+      }
+    }
+    SUBSIM_DCHECK(to.num_hit_sentinel() == 0,
+                  "sentinel-truncated set in a repaired sample store");
+    repaired->committed_[s].store(to.num_sets(), std::memory_order_release);
+  }
+  FlushRrGenStatsDelta(stats_before, (*generator)->stats(),
+                       options.obs.metrics);
+  if (stats != nullptr) {
+    *stats = repair;
+  }
+  return repaired;
 }
 
 Status SampleStore::EnsureSets(std::size_t stream, std::uint64_t count) {

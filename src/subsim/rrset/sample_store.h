@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "subsim/graph/graph.h"
 #include "subsim/random/rng.h"
@@ -69,6 +70,39 @@ class SampleStore {
       std::array<RngStream, kNumStreams> streams) {
     return Create(graph, kind, streams, Options());
   }
+
+  /// How much of a repair was incremental.
+  struct RepairStats {
+    /// Sets regenerated because they contained a dirty node.
+    std::uint64_t sets_repaired = 0;
+    /// Sets carried forward untouched.
+    std::uint64_t sets_kept = 0;
+  };
+
+  /// Builds the store `Create(graph, source.kind, source's streams)` +
+  /// `EnsureSets` to `source`'s lengths *would* build — without paying for
+  /// the clean sets. `graph` must be a successor snapshot of `source`'s
+  /// graph with the same node count, and `dirty_nodes` the in-row
+  /// invalidation frontier of the mutation (`EdgeUpdateResult::dirty_nodes`).
+  ///
+  /// Why this is exact: a reverse traversal reads only the in-adjacency
+  /// rows of nodes it visits, i.e. of the RR set's own members, and set `i`
+  /// is a pure function of `(graph in-rows it reads, Substream(base, i))`.
+  /// A committed set containing no dirty node therefore replays
+  /// bit-identically on `graph` and is copied; every other set is
+  /// regenerated from its own substream (found via the collection's
+  /// node->RR-id inverted index, cost proportional to the affected sets).
+  /// The result is byte-identical to the cold rebuild at any thread count.
+  ///
+  /// `source` is read under its shared lock (concurrent queries keep
+  /// serving it); the repaired store continues both streams at the exact
+  /// indices `source` had committed. Fails when the kind rejects `graph`
+  /// (e.g. an update pushed an LT weight sum past 1) or the node counts
+  /// differ. `stats` (optional) receives the repair split.
+  static Result<std::unique_ptr<SampleStore>> CreateRepaired(
+      const Graph& graph, const SampleStore& source,
+      std::span<const NodeId> dirty_nodes, const Options& options,
+      RepairStats* stats = nullptr);
 
   SampleStore(const SampleStore&) = delete;
   SampleStore& operator=(const SampleStore&) = delete;

@@ -194,6 +194,10 @@ QueryEngine::QueryEngine(GraphRegistry* registry,
   metrics_.Counter("serve.deadline_hits");
   metrics_.Histogram("serve.queue_us");
   metrics_.Histogram("serve.exec_us");
+  metrics_.Counter("update.batches");
+  metrics_.Counter("update.sets_repaired");
+  metrics_.Counter("update.sets_kept");
+  metrics_.Histogram("update.repair_us");
 }
 
 QueryEngine::~QueryEngine() = default;
@@ -243,11 +247,85 @@ std::size_t QueryEngine::InvalidateGraph(const std::string& name) {
   return cache_.EraseGraph(name);
 }
 
+Result<QueryEngine::GraphUpdateOutcome> QueryEngine::ApplyGraphUpdates(
+    const std::string& name, const UpdateBatch& batch) {
+  // One update at a time so each repair pass starts from the cache state
+  // the previous update left. Queries never take this lock — they keep
+  // executing (and even populating old-version entries) throughout.
+  const MutexLock update_lock(update_mu_);
+  Result<GraphRegistry::UpdateResult> updated =
+      registry_->ApplyUpdates(name, batch);
+  if (!updated.ok()) {
+    return updated.status();
+  }
+
+  GraphUpdateOutcome outcome;
+  outcome.version = updated->snapshot.version;
+  outcome.previous_version = updated->previous.version;
+  outcome.num_edges = updated->snapshot.graph->num_edges();
+
+  // Repair every resident entry of the retiring version onto the new one.
+  // Runs outside the cache lock — lookups stay unblocked; a query racing
+  // this loop either finds the old-version entry (fine: its key pins the
+  // old snapshot) or misses on the new version and fills cold.
+  PhaseScope repair_span(&tracer_, "serve.update");
+  const std::vector<std::pair<SketchKey, std::shared_ptr<RrSketchCache::Entry>>>
+      old_entries =
+          cache_.EntriesForGraph(name, updated->previous.version);
+  for (const auto& [old_key, old_entry] : old_entries) {
+    SampleStore::Options store_options;
+    store_options.num_threads = num_threads_;
+    store_options.obs = ObsContext{&metrics_, &tracer_};
+    SampleStore::RepairStats repair_stats;
+    Result<std::unique_ptr<SampleStore>> repaired =
+        SampleStore::CreateRepaired(*updated->snapshot.graph,
+                                    *old_entry->store, updated->dirty_nodes,
+                                    store_options, &repair_stats);
+    if (!repaired.ok()) {
+      // The mutated graph is no longer valid for this entry's generator
+      // kind (e.g. LT weight sums); drop it and let queries fail or fill
+      // fresh against the new snapshot.
+      ++outcome.entries_dropped;
+      continue;
+    }
+    auto entry = std::make_shared<RrSketchCache::Entry>();
+    entry->graph = updated->snapshot.graph;
+    entry->store = std::move(*repaired);
+    SketchKey key = old_key;
+    key.graph_version = updated->snapshot.version;
+    cache_.Put(key, std::move(entry));
+    ++outcome.entries_repaired;
+    outcome.sets_repaired += repair_stats.sets_repaired;
+    outcome.sets_kept += repair_stats.sets_kept;
+  }
+  // The retiring version's keys can never be looked up again; entries not
+  // repaired above (raced-in after the walk, or dropped) are dead weight.
+  cache_.EraseGraphVersionsBelow(name, updated->snapshot.version);
+  outcome.repair_seconds = repair_span.ElapsedSeconds();
+  repair_span.Close();
+
+  metrics_.Counter("update.batches").Increment();
+  metrics_.Counter("update.sets_repaired").Add(outcome.sets_repaired);
+  metrics_.Counter("update.sets_kept").Add(outcome.sets_kept);
+  metrics_.Histogram("update.repair_us")
+      .Observe(static_cast<std::uint64_t>(outcome.repair_seconds * 1e6));
+  cache_.EnforceBudget();
+  return outcome;
+}
+
+Result<std::size_t> QueryEngine::RemoveGraph(const std::string& name) {
+  if (!registry_->Erase(name)) {
+    return Status::NotFound("no graph registered as '" + name + "'");
+  }
+  return cache_.EraseGraph(name);
+}
+
 std::string QueryEngine::StatsJson() const {
   std::string out = "{";
   out += "\"cache_entries\":" + std::to_string(cache_.num_entries());
   out += ",\"cache_hits\":" + std::to_string(cache_.hits());
   out += ",\"cache_misses\":" + std::to_string(cache_.misses());
+  out += ",\"cache_lost_races\":" + std::to_string(cache_.lost_races());
   out += ",\"cache_evictions\":" + std::to_string(cache_.evictions());
   out += ",\"cache_bytes\":" + std::to_string(cache_.ApproxMemoryBytes());
   out += ",";
@@ -297,9 +375,9 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
         "deadline expired before execution started"));
   }
 
-  Result<std::shared_ptr<const Graph>> graph = registry_->Get(query.graph);
-  if (!graph.ok()) {
-    return finish(graph.status());
+  Result<GraphSnapshot> snapshot = registry_->GetSnapshot(query.graph);
+  if (!snapshot.ok()) {
+    return finish(snapshot.status());
   }
   Result<std::unique_ptr<ImAlgorithm>> algorithm =
       MakeImAlgorithm(query.algo);
@@ -316,7 +394,7 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
 
   if (!(*algorithm)->SupportsSampleReuse()) {
     // Cache-incompatible (HIST et al.): fresh, private sampling.
-    Result<ImResult> result = (*algorithm)->Run(**graph, options);
+    Result<ImResult> result = (*algorithm)->Run(*snapshot->graph, options);
     if (!result.ok()) {
       return finish(result.status());
     }
@@ -328,11 +406,15 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
   response.stats.cache_eligible = true;
   SketchKey key;
   key.graph = query.graph;
+  // The version makes stale hits structurally impossible: replacing or
+  // updating the name publishes a new version, so old entries are simply
+  // never looked up again.
+  key.graph_version = snapshot->version;
   key.algo = query.algo;
   key.generator = query.generator;
   key.rng_seed = query.rng_seed;
   Result<RrSketchCache::Lookup> lookup = cache_.GetOrCreate(
-      key, *graph, [&](const Graph& target) {
+      key, snapshot->graph, [&](const Graph& target) {
         return (*algorithm)->MakeSampleStore(target, options);
       });
   if (!lookup.ok()) {

@@ -86,8 +86,52 @@ class QueryEngine {
   /// `ctx.deadline` is unset, `query.deadline_ms` applies from now.
   QueryResponse Execute(const SelectSeedsQuery& query, const ExecContext& ctx);
 
+  /// What one accepted update batch did, for callers that surface it
+  /// (HTTP route, CLI, bench assertions).
+  struct GraphUpdateOutcome {
+    /// The newly published snapshot version.
+    std::uint64_t version = 0;
+    /// The version the batch was applied on top of.
+    std::uint64_t previous_version = 0;
+    /// Edge count of the new snapshot.
+    std::uint64_t num_edges = 0;
+    /// Cache entries incrementally repaired onto the new version.
+    std::size_t entries_repaired = 0;
+    /// Old-version entries dropped without repair (repair rejected the new
+    /// graph for that entry's generator kind, e.g. LT weight sums).
+    std::size_t entries_dropped = 0;
+    /// Across all repaired entries: sets regenerated / carried forward.
+    std::uint64_t sets_repaired = 0;
+    std::uint64_t sets_kept = 0;
+    /// Wall seconds spent repairing cache entries (the `serve.update`
+    /// span; also observed into `update.repair_us`).
+    double repair_seconds = 0.0;
+  };
+
+  /// Applies an edge-update batch to `name`: publishes a new registry
+  /// version, incrementally repairs every resident cache entry of the
+  /// previous version onto it (regenerating only the RR sets whose
+  /// traversal touched a mutated edge's target), and retires the old
+  /// version's entries. Queries racing the update are safe on both sides:
+  /// in-flight ones keep their pinned old snapshot, new ones resolve the
+  /// new version and — thanks to the repaired entries — stay warm.
+  /// Updates serialize with each other; queries are never blocked. Fails
+  /// with `kNotFound` (unknown name), `kFailedPrecondition`
+  /// (`batch.expect_version` skew), or `kInvalidArgument` (bad batch), in
+  /// which case nothing is published and the cache is untouched.
+  Result<GraphUpdateOutcome> ApplyGraphUpdates(const std::string& name,
+                                               const UpdateBatch& batch);
+
+  /// Removes `name` end to end: erases it from the registry and drops its
+  /// cache entries (all versions). In-flight queries finish on their
+  /// pinned snapshots. Returns the number of cache entries dropped, or
+  /// `kNotFound` when the registry has no such name.
+  Result<std::size_t> RemoveGraph(const std::string& name);
+
   /// Drops cache entries keyed to a graph name — call after re-loading the
   /// name in the registry. Returns the number of entries dropped.
+  /// (With versioned keys this is a memory-hygiene aid, not a correctness
+  /// requirement: old-version entries can never serve a new snapshot.)
   std::size_t InvalidateGraph(const std::string& name);
 
   RrSketchCache& cache() { return cache_; }
@@ -118,6 +162,9 @@ class QueryEngine {
   PhaseTracer tracer_{4096, &metrics_};
   GraphRegistry* registry_;
   RrSketchCache cache_;
+  /// Serializes `ApplyGraphUpdates` calls: each repair pass must see the
+  /// cache state the previous update left (never held while queries run).
+  Mutex update_mu_;
   unsigned num_threads_ = 1;
   std::unique_ptr<Impl> impl_;
 };

@@ -7,6 +7,8 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "subsim/graph/graph.h"
 #include "subsim/rrset/generator_factory.h"
@@ -18,8 +20,14 @@
 namespace subsim {
 
 /// Identity of a reusable RR sketch. Two queries may share a `SampleStore`
-/// only when all four coordinates agree:
+/// only when all five coordinates agree:
 ///  - `graph`: the registry name whose snapshot the sets were sampled on;
+///  - `graph_version`: the registry version of that snapshot. Versions are
+///             never reused, so a key can only ever hit sets sampled on
+///             exactly the topology the query resolved — re-registering or
+///             updating a name changes the version and the old entries
+///             simply stop being reachable (stale hits are structurally
+///             impossible, not merely invalidated);
 ///  - `algo`:  the algorithm name, because each algorithm derives its rng
 ///             stream lineage differently (OPIM-C uses stream seeds 1/2
 ///             for R1/R2, IMM uses stream 1 alone) and mixing lineages
@@ -32,17 +40,20 @@ namespace subsim {
 /// `num_threads` are interchangeable.
 struct SketchKey {
   std::string graph;
+  std::uint64_t graph_version = 0;
   std::string algo;
   GeneratorKind generator = GeneratorKind::kVanillaIc;
   std::uint64_t rng_seed = 1;
 
   friend bool operator==(const SketchKey& a, const SketchKey& b) {
-    return a.graph == b.graph && a.algo == b.algo &&
-           a.generator == b.generator && a.rng_seed == b.rng_seed;
+    return a.graph == b.graph && a.graph_version == b.graph_version &&
+           a.algo == b.algo && a.generator == b.generator &&
+           a.rng_seed == b.rng_seed;
   }
   friend bool operator<(const SketchKey& a, const SketchKey& b) {
-    return std::tie(a.graph, a.algo, a.generator, a.rng_seed) <
-           std::tie(b.graph, b.algo, b.generator, b.rng_seed);
+    return std::tie(a.graph, a.graph_version, a.algo, a.generator,
+                    a.rng_seed) < std::tie(b.graph, b.graph_version, b.algo,
+                                           b.generator, b.rng_seed);
   }
 
   std::string ToString() const;
@@ -84,7 +95,8 @@ class RrSketchCache {
   struct Lookup {
     std::shared_ptr<Entry> entry;
     /// True when the entry pre-existed this lookup (its sets came from
-    /// earlier queries).
+    /// earlier queries) — including the lost-race case, where this caller
+    /// built a store but another lookup's insert won.
     bool hit = false;
   };
 
@@ -101,28 +113,69 @@ class RrSketchCache {
                              const StoreFactory& factory)
       SUBSIM_EXCLUDES(mu_);
 
+  /// Inserts (or replaces) an entry under `key` without going through a
+  /// factory — how repaired stores are published under a new graph version.
+  /// A no-op when caching is disabled (`max_bytes == 0`).
+  void Put(const SketchKey& key, std::shared_ptr<Entry> entry)
+      SUBSIM_EXCLUDES(mu_);
+
+  /// The resident entries whose key names (`graph`, `graph_version`) —
+  /// what an incremental repair walks. Keys come back in map order
+  /// (deterministic).
+  std::vector<std::pair<SketchKey, std::shared_ptr<Entry>>> EntriesForGraph(
+      const std::string& graph, std::uint64_t graph_version) const
+      SUBSIM_EXCLUDES(mu_);
+
   /// Drops every entry whose key names `graph` — called when a registry
-  /// name is re-loaded, since cached sets sampled on the old snapshot must
-  /// not serve queries against the new one. Returns the number dropped.
+  /// name is removed outright. Returns the number dropped.
   std::size_t EraseGraph(const std::string& graph) SUBSIM_EXCLUDES(mu_);
+
+  /// Drops every entry for `graph` with a version strictly below
+  /// `graph_version` — the post-repair cleanup: entries the repair carried
+  /// forward live under the new version, the old-version originals are
+  /// unreachable (their version is retired) and only waste budget. Returns
+  /// the number dropped.
+  std::size_t EraseGraphVersionsBelow(const std::string& graph,
+                                      std::uint64_t graph_version)
+      SUBSIM_EXCLUDES(mu_);
 
   /// Evicts least-recently-used entries until within the byte budget.
   /// Called by the engine after queries (stores grow in place, so an entry
-  /// can exceed the budget only after use).
+  /// can exceed the budget only after use). Cost: refreshes the cached
+  /// footprint of entries touched since the last call (dirty flags), then
+  /// one sorted pass over the survivors when over budget — no O(n) rescan
+  /// per eviction.
   void EnforceBudget() SUBSIM_EXCLUDES(mu_);
 
   std::uint64_t hits() const SUBSIM_EXCLUDES(mu_);
   std::uint64_t misses() const SUBSIM_EXCLUDES(mu_);
+  /// Cold misses that built a store only to find another lookup's insert
+  /// won the race — the build was paid but wasted. Counted separately from
+  /// `hits` so hit-rate gauges don't overstate cache effectiveness.
+  std::uint64_t lost_races() const SUBSIM_EXCLUDES(mu_);
   std::uint64_t evictions() const SUBSIM_EXCLUDES(mu_);
   std::size_t num_entries() const SUBSIM_EXCLUDES(mu_);
-  /// Sum of the cached stores' approximate footprints.
+  /// Sum of the cached stores' approximate footprints (exact recompute;
+  /// stats path only — budget enforcement uses the running total).
   std::uint64_t ApproxMemoryBytes() const SUBSIM_EXCLUDES(mu_);
 
  private:
   struct Slot {
     std::shared_ptr<Entry> entry;
     std::uint64_t last_used = 0;
+    /// Footprint as of the last refresh; `total_bytes_` is the sum of
+    /// these over all slots.
+    std::uint64_t bytes = 0;
+    /// Set when the store may have grown since `bytes` was computed (every
+    /// hit marks the slot — the query that took it will extend the store).
+    bool dirty = false;
   };
+
+  void AddSlotLocked(const SketchKey& key, std::shared_ptr<Entry> entry)
+      SUBSIM_REQUIRES(mu_);
+  std::size_t EraseIfLocked(
+      const std::function<bool(const SketchKey&)>& predicate)
+      SUBSIM_REQUIRES(mu_);
 
   Options options_;
   /// Acquired before `SampleStore::mu_`: budget enforcement and footprint
@@ -130,9 +183,13 @@ class RrSketchCache {
   /// reverse order never happens — stores know nothing about the cache.
   mutable Mutex mu_;
   std::map<SketchKey, Slot> slots_ SUBSIM_GUARDED_BY(mu_);
+  /// Sum of `Slot::bytes` over `slots_` — kept in lockstep on insert,
+  /// erase, and dirty-refresh so budget checks are O(1).
+  std::uint64_t total_bytes_ SUBSIM_GUARDED_BY(mu_) = 0;
   std::uint64_t tick_ SUBSIM_GUARDED_BY(mu_) = 0;
   std::uint64_t hits_ SUBSIM_GUARDED_BY(mu_) = 0;
   std::uint64_t misses_ SUBSIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t lost_races_ SUBSIM_GUARDED_BY(mu_) = 0;
   std::uint64_t evictions_ SUBSIM_GUARDED_BY(mu_) = 0;
 };
 

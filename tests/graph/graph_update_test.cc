@@ -1,0 +1,186 @@
+#include "subsim/graph/graph_update.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "subsim/graph/graph.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/types.h"
+
+namespace subsim {
+namespace {
+
+// Small hand-built graph: edges fan into node 3 so in-row dirtiness is easy
+// to reason about.
+//
+//   0 -> 1 (0.5)   0 -> 2 (0.25)   1 -> 3 (0.5)   2 -> 3 (0.5)
+Graph FanGraph() {
+  EdgeList list;
+  list.num_nodes = 5;
+  list.edges = {{0, 1, 0.5}, {0, 2, 0.25}, {1, 3, 0.5}, {2, 3, 0.5}};
+  Result<Graph> graph = BuildGraph(std::move(list));
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+double WeightOf(const Graph& graph, NodeId src, NodeId dst) {
+  for (const Edge& e : graph.ToEdgeList().edges) {
+    if (e.src == src && e.dst == dst) {
+      return e.weight;
+    }
+  }
+  return -1.0;  // not found
+}
+
+TEST(ApplyEdgeUpdatesTest, InsertDeleteAndWeightChange) {
+  const Graph base = FanGraph();
+  UpdateBatch batch;
+  batch.ops.push_back({EdgeOpKind::kInsert, 4, 0, 0.75});
+  batch.ops.push_back({EdgeOpKind::kDelete, 0, 2, 0.0});
+  batch.ops.push_back({EdgeOpKind::kSetWeight, 1, 3, 0.125});
+
+  Result<EdgeUpdateResult> updated = ApplyEdgeUpdates(base, batch);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  const Graph& graph = updated->graph;
+  EXPECT_EQ(graph.num_nodes(), base.num_nodes());
+  EXPECT_EQ(graph.num_edges(), base.num_edges());  // +1 insert, -1 delete
+  EXPECT_DOUBLE_EQ(WeightOf(graph, 4, 0), 0.75);
+  EXPECT_DOUBLE_EQ(WeightOf(graph, 0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(WeightOf(graph, 1, 3), 0.125);
+  // Untouched edges survive with their weights.
+  EXPECT_DOUBLE_EQ(WeightOf(graph, 0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(WeightOf(graph, 2, 3), 0.5);
+  // The base graph is untouched (pure function).
+  EXPECT_DOUBLE_EQ(WeightOf(base, 0, 2), 0.25);
+
+  // Dirty = sorted-unique dst endpoints of the ops: {0, 2, 3}.
+  EXPECT_EQ(updated->dirty_nodes, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(ApplyEdgeUpdatesTest, DirtyNodesDeduplicated) {
+  const Graph base = FanGraph();
+  UpdateBatch batch;
+  batch.ops.push_back({EdgeOpKind::kSetWeight, 1, 3, 0.1});
+  batch.ops.push_back({EdgeOpKind::kSetWeight, 2, 3, 0.1});
+  Result<EdgeUpdateResult> updated = ApplyEdgeUpdates(base, batch);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->dirty_nodes, std::vector<NodeId>{3});
+}
+
+TEST(ApplyEdgeUpdatesTest, OpsApplyInOrder) {
+  const Graph base = FanGraph();
+  // Delete then re-insert with a new weight: legal because ops are ordered.
+  UpdateBatch batch;
+  batch.ops.push_back({EdgeOpKind::kDelete, 0, 1, 0.0});
+  batch.ops.push_back({EdgeOpKind::kInsert, 0, 1, 0.9});
+  Result<EdgeUpdateResult> updated = ApplyEdgeUpdates(base, batch);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_DOUBLE_EQ(WeightOf(updated->graph, 0, 1), 0.9);
+}
+
+TEST(ApplyEdgeUpdatesTest, RejectsInvalidOpsAtomically) {
+  const Graph base = FanGraph();
+  const auto expect_rejected = [&](EdgeOp bad, const char* what) {
+    UpdateBatch batch;
+    batch.ops.push_back({EdgeOpKind::kSetWeight, 0, 1, 0.9});  // valid
+    batch.ops.push_back(bad);
+    Result<EdgeUpdateResult> updated = ApplyEdgeUpdates(base, batch);
+    EXPECT_FALSE(updated.ok()) << what;
+    EXPECT_EQ(updated.status().code(), StatusCode::kInvalidArgument) << what;
+    // Op index is surfaced for the client.
+    EXPECT_NE(updated.status().ToString().find("op 1"), std::string::npos)
+        << updated.status().ToString();
+  };
+  expect_rejected({EdgeOpKind::kInsert, 2, 2, 0.5}, "self-loop insert");
+  expect_rejected({EdgeOpKind::kInsert, 0, 1, 0.5}, "insert existing");
+  expect_rejected({EdgeOpKind::kInsert, 5, 0, 0.5}, "src out of range");
+  expect_rejected({EdgeOpKind::kInsert, 0, 5, 0.5}, "dst out of range");
+  expect_rejected({EdgeOpKind::kInsert, 4, 0, 1.5}, "weight > 1");
+  expect_rejected({EdgeOpKind::kInsert, 4, 0, -0.1}, "weight < 0");
+  expect_rejected({EdgeOpKind::kDelete, 3, 0, 0.0}, "delete missing");
+  expect_rejected({EdgeOpKind::kSetWeight, 3, 0, 0.5}, "weight missing");
+
+  UpdateBatch empty;
+  EXPECT_FALSE(ApplyEdgeUpdates(base, empty).ok());
+}
+
+TEST(ParseGraphUpdateRequestTest, ParsesFullBatch) {
+  Result<GraphUpdateRequest> parsed = ParseGraphUpdateRequest(
+      "# comment\n"
+      "graph=social expect_version=7\n"
+      "insert 4 0 0.75\n"
+      "\n"
+      "delete 0 2\n"
+      "weight\t1 3 0.125\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->graph, "social");
+  EXPECT_EQ(parsed->batch.expect_version, 7u);
+  ASSERT_EQ(parsed->batch.ops.size(), 3u);
+  EXPECT_EQ(parsed->batch.ops[0].kind, EdgeOpKind::kInsert);
+  EXPECT_EQ(parsed->batch.ops[0].src, 4u);
+  EXPECT_EQ(parsed->batch.ops[0].dst, 0u);
+  EXPECT_DOUBLE_EQ(parsed->batch.ops[0].weight, 0.75);
+  EXPECT_EQ(parsed->batch.ops[1].kind, EdgeOpKind::kDelete);
+  EXPECT_EQ(parsed->batch.ops[2].kind, EdgeOpKind::kSetWeight);
+}
+
+TEST(ParseGraphUpdateRequestTest, DefaultsExpectVersionToUnconditional) {
+  Result<GraphUpdateRequest> parsed =
+      ParseGraphUpdateRequest("graph=g\ndelete 1 2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->batch.expect_version, 0u);
+}
+
+TEST(ParseGraphUpdateRequestTest, RejectsMalformedInput) {
+  const auto expect_bad = [](std::string_view text, const char* what) {
+    Result<GraphUpdateRequest> parsed = ParseGraphUpdateRequest(text);
+    EXPECT_FALSE(parsed.ok()) << what;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << what;
+  };
+  expect_bad("", "empty input");
+  expect_bad("insert 0 1 0.5\n", "missing header");
+  expect_bad("graph=g\n", "no ops");
+  expect_bad("graph=\ninsert 0 1 0.5\n", "empty graph name");
+  expect_bad("graph=g\ninsert 0 1\n", "insert missing weight");
+  expect_bad("graph=g\ndelete 0 1 0.5\n", "delete extra token");
+  expect_bad("graph=g\nweight 0 1\n", "weight missing value");
+  expect_bad("graph=g\nfrobnicate 0 1\n", "unknown op");
+  expect_bad("graph=g\ninsert x 1 0.5\n", "non-numeric id");
+  expect_bad("graph=g\ninsert 0 1 nope\n", "non-numeric weight");
+  expect_bad("graph=g\ninsert 4294967296 1 0.5\n", "id beyond NodeId");
+  expect_bad("graph=g expect_version=abc\ninsert 0 1 0.5\n",
+             "bad expect_version");
+}
+
+TEST(ParseGraphUpdateRequestTest, ErrorsCarryLineNumbers) {
+  Result<GraphUpdateRequest> parsed =
+      ParseGraphUpdateRequest("graph=g\ninsert 0 1 0.5\nbogus\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("line 3"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ParseGraphUpdateRequestTest, EnforcesOpCap) {
+  std::string text = "graph=g\n";
+  // Build just past the cap; each op line is cheap to parse so this stays
+  // fast even at 2^20 + 1 lines.
+  for (std::size_t i = 0; i <= kMaxUpdateOps; ++i) {
+    text += "delete 0 1\n";
+  }
+  Result<GraphUpdateRequest> parsed = ParseGraphUpdateRequest(text);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("ops"), std::string::npos);
+}
+
+TEST(EdgeOpKindNameTest, NamesAllKinds) {
+  EXPECT_STREQ(EdgeOpKindName(EdgeOpKind::kInsert), "insert");
+  EXPECT_STREQ(EdgeOpKindName(EdgeOpKind::kDelete), "delete");
+  EXPECT_STREQ(EdgeOpKindName(EdgeOpKind::kSetWeight), "weight");
+}
+
+}  // namespace
+}  // namespace subsim

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "subsim/graph/generators.h"
+#include "subsim/graph/graph.h"
+#include "subsim/graph/graph_builder.h"
+#include "subsim/graph/graph_update.h"
+#include "subsim/graph/weight_models.h"
+#include "subsim/random/rng.h"
+#include "subsim/rrset/generator_factory.h"
+#include "subsim/rrset/sample_store.h"
+
+namespace subsim {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+constexpr std::uint64_t kSetsR1 = 400;
+constexpr std::uint64_t kSetsR2 = 250;
+
+Graph RepairGraph(std::uint64_t seed) {
+  Result<EdgeList> list = GenerateBarabasiAlbert(300, 3, false, seed);
+  EXPECT_TRUE(list.ok());
+  EXPECT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &list.value()).ok());
+  Result<Graph> graph = BuildGraph(std::move(list).value());
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+std::array<RngStream, SampleStore::kNumStreams> Streams() {
+  return {MakeRngStream(kSeed, 1), MakeRngStream(kSeed, 2)};
+}
+
+/// A batch safe for every generator kind: weight *decreases* on a few
+/// distinct edges plus one delete. Inserts are exercised separately for the
+/// IC kinds — an insert can push an LT in-weight sum past 1.
+UpdateBatch ShrinkingBatch(const Graph& graph) {
+  const EdgeList list = graph.ToEdgeList();
+  UpdateBatch batch;
+  std::unordered_set<std::uint64_t> used;
+  const auto key = [](const Edge& e) {
+    return (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+  };
+  const std::size_t stride = list.edges.size() / 6 + 1;
+  for (std::size_t i = 0; i < list.edges.size() && used.size() < 5;
+       i += stride) {
+    const Edge& e = list.edges[i];
+    if (!used.insert(key(e)).second) {
+      continue;
+    }
+    batch.ops.push_back({EdgeOpKind::kSetWeight, e.src, e.dst,
+                         e.weight * 0.5});
+  }
+  for (const Edge& e : list.edges) {
+    if (used.insert(key(e)).second) {
+      batch.ops.push_back({EdgeOpKind::kDelete, e.src, e.dst, 0.0});
+      break;
+    }
+  }
+  EXPECT_GE(batch.ops.size(), 2u);
+  return batch;
+}
+
+/// Adds one edge not present in `graph` (IC kinds only).
+void AddInsertOp(const Graph& graph, UpdateBatch* batch) {
+  std::unordered_set<std::uint64_t> existing;
+  for (const Edge& e : graph.ToEdgeList().edges) {
+    existing.insert((static_cast<std::uint64_t>(e.src) << 32) | e.dst);
+  }
+  for (NodeId a = 0; a < graph.num_nodes(); ++a) {
+    for (NodeId b = 0; b < graph.num_nodes(); ++b) {
+      if (a == b) {
+        continue;
+      }
+      const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+      if (existing.count(key) == 0) {
+        batch->ops.push_back({EdgeOpKind::kInsert, a, b, 0.3});
+        return;
+      }
+    }
+  }
+  FAIL() << "graph is complete; cannot insert";
+}
+
+void ExpectStoresIdentical(const SampleStore& a, const SampleStore& b) {
+  const SampleStore::ReadGuard read_a = a.Read();
+  const SampleStore::ReadGuard read_b = b.Read();
+  for (std::size_t s = 0; s < SampleStore::kNumStreams; ++s) {
+    SCOPED_TRACE("stream " + std::to_string(s));
+    ASSERT_EQ(a.num_sets(s), b.num_sets(s));
+    const RrCollectionView va = read_a.View(s, a.num_sets(s));
+    const RrCollectionView vb = read_b.View(s, b.num_sets(s));
+    for (RrId id = 0; id < va.num_sets(); ++id) {
+      const std::span<const NodeId> sa = va.Set(id);
+      const std::span<const NodeId> sb = vb.Set(id);
+      ASSERT_TRUE(sa.size() == sb.size() &&
+                  std::equal(sa.begin(), sa.end(), sb.begin()))
+          << "set " << id << " differs";
+      ASSERT_EQ(va.HitSentinel(id), vb.HitSentinel(id)) << "set " << id;
+    }
+  }
+}
+
+/// Ground truth for `sets_repaired`: count committed sets (across both
+/// streams) containing at least one dirty node, via the inverted index.
+std::uint64_t CountAffectedSets(const SampleStore& store,
+                                const std::vector<NodeId>& dirty_nodes) {
+  const SampleStore::ReadGuard read = store.Read();
+  std::uint64_t affected = 0;
+  for (std::size_t s = 0; s < SampleStore::kNumStreams; ++s) {
+    const RrCollectionView view = read.View(s, store.num_sets(s));
+    std::vector<std::uint8_t> hit(view.num_sets(), 0);
+    for (const NodeId v : dirty_nodes) {
+      for (const RrId id : view.SetsContaining(v)) {
+        hit[id] = 1;
+      }
+    }
+    for (const std::uint8_t h : hit) {
+      affected += h;
+    }
+  }
+  return affected;
+}
+
+struct RepairCase {
+  GeneratorKind kind;
+  unsigned num_threads;
+  bool with_insert;
+};
+
+void RunRepairCase(const RepairCase& test_case) {
+  const Graph base = RepairGraph(kSeed);
+  SampleStore::Options options;
+  options.num_threads = test_case.num_threads;
+
+  Result<std::unique_ptr<SampleStore>> source =
+      SampleStore::Create(base, test_case.kind, Streams(), options);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  ASSERT_TRUE((*source)->EnsureSets(0, kSetsR1).ok());
+  ASSERT_TRUE((*source)->EnsureSets(1, kSetsR2).ok());
+
+  UpdateBatch batch = ShrinkingBatch(base);
+  if (test_case.with_insert) {
+    AddInsertOp(base, &batch);
+  }
+  Result<EdgeUpdateResult> updated = ApplyEdgeUpdates(base, batch);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+
+  const std::uint64_t expected_repaired =
+      CountAffectedSets(**source, updated->dirty_nodes);
+
+  SampleStore::RepairStats stats;
+  Result<std::unique_ptr<SampleStore>> repaired = SampleStore::CreateRepaired(
+      updated->graph, **source, updated->dirty_nodes, options, &stats);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+
+  // The whole point: only the affected sets were regenerated.
+  EXPECT_EQ(stats.sets_repaired, expected_repaired);
+  EXPECT_EQ(stats.sets_repaired + stats.sets_kept, kSetsR1 + kSetsR2);
+  EXPECT_GT(stats.sets_repaired, 0u);
+  EXPECT_GT(stats.sets_kept, 0u);
+
+  // Byte-identity against a cold rebuild on the updated graph.
+  Result<std::unique_ptr<SampleStore>> cold =
+      SampleStore::Create(updated->graph, test_case.kind, Streams(), options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE((*cold)->EnsureSets(0, kSetsR1).ok());
+  ASSERT_TRUE((*cold)->EnsureSets(1, kSetsR2).ok());
+  ExpectStoresIdentical(**repaired, **cold);
+
+  // The repaired store's stream cursors continue correctly: growing both
+  // stores further must stay identical (and thread-count invariant).
+  ASSERT_TRUE((*repaired)->EnsureSets(0, kSetsR1 + 150).ok());
+  ASSERT_TRUE((*cold)->EnsureSets(0, kSetsR1 + 150).ok());
+  ExpectStoresIdentical(**repaired, **cold);
+}
+
+TEST(SampleStoreRepairTest, DifferentialByteIdentity) {
+  for (const GeneratorKind kind :
+       {GeneratorKind::kVanillaIc, GeneratorKind::kSubsimIc,
+        GeneratorKind::kLt}) {
+    for (const unsigned num_threads : {1u, 8u}) {
+      SCOPED_TRACE("kind=" + std::string(GeneratorKindName(kind)) +
+                   " threads=" + std::to_string(num_threads));
+      // LT stays delete/weight-decrease only (inserts can break the
+      // per-node weight-sum invariant); IC kinds also exercise an insert.
+      RunRepairCase({kind, num_threads, kind != GeneratorKind::kLt});
+    }
+  }
+}
+
+TEST(SampleStoreRepairTest, EmptyDirtyFrontierKeepsEverything) {
+  const Graph base = RepairGraph(kSeed);
+  Result<std::unique_ptr<SampleStore>> source = SampleStore::Create(
+      base, GeneratorKind::kSubsimIc, Streams(), SampleStore::Options());
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE((*source)->EnsureSets(0, 100).ok());
+
+  SampleStore::RepairStats stats;
+  Result<std::unique_ptr<SampleStore>> repaired = SampleStore::CreateRepaired(
+      base, **source, {}, SampleStore::Options(), &stats);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(stats.sets_repaired, 0u);
+  EXPECT_EQ(stats.sets_kept, 100u);
+  ExpectStoresIdentical(**repaired, **source);
+}
+
+TEST(SampleStoreRepairTest, RejectsNodeCountMismatch) {
+  const Graph base = RepairGraph(kSeed);
+  Result<std::unique_ptr<SampleStore>> source = SampleStore::Create(
+      base, GeneratorKind::kSubsimIc, Streams(), SampleStore::Options());
+  ASSERT_TRUE(source.ok());
+
+  Result<EdgeList> smaller = GenerateBarabasiAlbert(200, 3, false, kSeed);
+  ASSERT_TRUE(smaller.ok());
+  ASSERT_TRUE(
+      AssignWeights(WeightModel::kWeightedCascade, {}, &smaller.value()).ok());
+  Result<Graph> other = BuildGraph(std::move(smaller).value());
+  ASSERT_TRUE(other.ok());
+
+  Result<std::unique_ptr<SampleStore>> repaired = SampleStore::CreateRepaired(
+      *other, **source, {}, SampleStore::Options(), nullptr);
+  EXPECT_FALSE(repaired.ok());
+  EXPECT_EQ(repaired.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SampleStoreRepairTest, RejectsGraphInvalidForKind) {
+  // Push an LT in-weight sum past 1: the repair must fail cleanly (the
+  // engine then drops that cache entry instead of serving garbage).
+  const Graph base = RepairGraph(kSeed);
+  Result<std::unique_ptr<SampleStore>> source = SampleStore::Create(
+      base, GeneratorKind::kLt, Streams(), SampleStore::Options());
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE((*source)->EnsureSets(0, 50).ok());
+
+  // Target a node that already has in-edges (its WC in-sum is exactly 1)
+  // with a new weight-1 edge, pushing the sum to 2.
+  std::unordered_set<std::uint64_t> existing;
+  for (const Edge& e : base.ToEdgeList().edges) {
+    existing.insert((static_cast<std::uint64_t>(e.src) << 32) | e.dst);
+  }
+  const NodeId target = base.ToEdgeList().edges.front().dst;
+  UpdateBatch batch;
+  for (NodeId a = 0; a < base.num_nodes(); ++a) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | target;
+    if (a != target && existing.count(key) == 0) {
+      batch.ops.push_back({EdgeOpKind::kInsert, a, target, 1.0});
+      break;
+    }
+  }
+  ASSERT_EQ(batch.ops.size(), 1u);
+  Result<EdgeUpdateResult> updated = ApplyEdgeUpdates(base, batch);
+  ASSERT_TRUE(updated.ok());
+
+  Result<std::unique_ptr<SampleStore>> repaired = SampleStore::CreateRepaired(
+      updated->graph, **source, updated->dirty_nodes, SampleStore::Options(),
+      nullptr);
+  EXPECT_FALSE(repaired.ok());
+}
+
+}  // namespace
+}  // namespace subsim

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -250,6 +251,161 @@ TEST(RrSketchCacheTest, BudgetEvictionRacesConcurrentLookups) {
   // The budget is enforced once the dust settles.
   cache.EnforceBudget();
   EXPECT_LE(cache.ApproxMemoryBytes(), options.max_bytes);
+}
+
+TEST(RrSketchCacheTest, LostRaceCountsAsLostRaceNotHit) {
+  // Two threads miss the same key concurrently; the factory blocks until
+  // both are inside it, so exactly one insert wins and the other finds the
+  // winner's entry on its second look. The loser built a store for nothing
+  // — it must land in lost_races(), not inflate hits().
+  RrSketchCache cache;
+  const auto graph = TinyGraph(1);
+
+  std::atomic<int> in_factory{0};
+  const RrSketchCache::StoreFactory blocking_factory =
+      [&](const Graph& target) {
+        in_factory.fetch_add(1);
+        while (in_factory.load() < 2) {
+          std::this_thread::yield();
+        }
+        return SampleStore::Create(target, GeneratorKind::kSubsimIc,
+                                   {MakeRngStream(3, 1), MakeRngStream(3, 2)});
+      };
+
+  std::optional<Result<RrSketchCache::Lookup>> results[2];
+  std::thread racer([&] {
+    results[1].emplace(
+        cache.GetOrCreate(KeyFor("g", 3), graph, blocking_factory));
+  });
+  results[0].emplace(
+      cache.GetOrCreate(KeyFor("g", 3), graph, blocking_factory));
+  racer.join();
+
+  ASSERT_TRUE(results[0]->ok() && results[1]->ok());
+  // Both callers share the winner's entry; the loser reports hit=true (its
+  // sets came from the winner's store).
+  EXPECT_EQ((*results[0])->entry.get(), (*results[1])->entry.get());
+  EXPECT_EQ(cache.num_entries(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.lost_races(), 1u);
+  EXPECT_EQ(cache.hits(), 0u) << "a lost race is not a cache hit";
+}
+
+TEST(RrSketchCacheTest, VersionedKeysAreDistinctEntries) {
+  RrSketchCache cache;
+  const auto graph = TinyGraph(1);
+  SketchKey v1 = KeyFor("g", 7);
+  v1.graph_version = 1;
+  SketchKey v2 = v1;
+  v2.graph_version = 2;
+  EXPECT_FALSE(v1 == v2);
+  EXPECT_NE(v1.ToString(), v2.ToString());
+
+  ASSERT_TRUE(cache.GetOrCreate(v1, graph, SequentialFactory(7)).ok());
+  const auto other = cache.GetOrCreate(v2, graph, SequentialFactory(7));
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->hit) << "a new graph version can never hit old sets";
+  EXPECT_EQ(cache.num_entries(), 2u);
+
+  // EntriesForGraph filters on (name, version).
+  EXPECT_EQ(cache.EntriesForGraph("g", 1).size(), 1u);
+  EXPECT_EQ(cache.EntriesForGraph("g", 2).size(), 1u);
+  EXPECT_EQ(cache.EntriesForGraph("g", 3).size(), 0u);
+  EXPECT_EQ(cache.EntriesForGraph("other", 1).size(), 0u);
+}
+
+TEST(RrSketchCacheTest, EraseGraphVersionsBelowRetiresOldVersions) {
+  RrSketchCache cache;
+  const auto graph = TinyGraph(1);
+  for (const std::uint64_t version : {1u, 2u, 3u}) {
+    SketchKey key = KeyFor("g", 7);
+    key.graph_version = version;
+    ASSERT_TRUE(cache.GetOrCreate(key, graph, SequentialFactory(7)).ok());
+  }
+  SketchKey other = KeyFor("other", 7);
+  other.graph_version = 1;
+  ASSERT_TRUE(cache.GetOrCreate(other, graph, SequentialFactory(7)).ok());
+
+  EXPECT_EQ(cache.EraseGraphVersionsBelow("g", 3), 2u);
+  EXPECT_EQ(cache.num_entries(), 2u);  // g@v3 and other@v1 survive
+  SketchKey v3 = KeyFor("g", 7);
+  v3.graph_version = 3;
+  EXPECT_TRUE(cache.GetOrCreate(v3, graph, SequentialFactory(7))->hit);
+  EXPECT_TRUE(cache.GetOrCreate(other, graph, SequentialFactory(7))->hit);
+}
+
+TEST(RrSketchCacheTest, PutPublishesAndReplacesEntries) {
+  RrSketchCache cache;
+  const auto graph = TinyGraph(1);
+  const SketchKey key = KeyFor("g", 7);
+
+  const auto make_entry = [&](std::uint64_t sets) {
+    auto store = SampleStore::Create(
+        *graph, GeneratorKind::kSubsimIc,
+        {MakeRngStream(7, 1), MakeRngStream(7, 2)});
+    EXPECT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->EnsureSets(0, sets).ok());
+    auto entry = std::make_shared<RrSketchCache::Entry>();
+    entry->graph = graph;
+    entry->store = std::move(store).value();
+    return entry;
+  };
+
+  cache.Put(key, make_entry(32));
+  auto lookup = cache.GetOrCreate(key, graph, SequentialFactory(7));
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_TRUE(lookup->hit);
+  EXPECT_EQ(lookup->entry->store->num_sets(0), 32u);
+
+  // Replacement swaps the entry in place (byte accounting must not leak:
+  // the budget stays enforceable afterwards).
+  cache.Put(key, make_entry(64));
+  lookup = cache.GetOrCreate(key, graph, SequentialFactory(7));
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_TRUE(lookup->hit);
+  EXPECT_EQ(lookup->entry->store->num_sets(0), 64u);
+  EXPECT_EQ(cache.num_entries(), 1u);
+  cache.EnforceBudget();
+  EXPECT_EQ(cache.num_entries(), 1u);
+
+  // Put on a zero-budget cache is a no-op.
+  RrSketchCache::Options disabled;
+  disabled.max_bytes = 0;
+  RrSketchCache off(disabled);
+  off.Put(key, make_entry(8));
+  EXPECT_EQ(off.num_entries(), 0u);
+}
+
+TEST(RrSketchCacheTest, BudgetAccountingSurvivesGrowthAndErase) {
+  // The running-total bookkeeping (satellite: EnforceBudget is no longer
+  // an O(n^2) rescan) must agree with the exact recompute through grows,
+  // hits, erases, and evictions.
+  RrSketchCache::Options options;
+  options.max_bytes = 512ull << 20;  // roomy: nothing evicts yet
+  RrSketchCache cache(options);
+  const auto graph = TinyGraph(1);
+
+  const auto a = cache.GetOrCreate(KeyFor("g", 1), graph,
+                                   SequentialFactory(1));
+  const auto b = cache.GetOrCreate(KeyFor("g", 2), graph,
+                                   SequentialFactory(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(a->entry->store->EnsureSets(0, 512).ok());
+  ASSERT_TRUE(b->entry->store->EnsureSets(0, 256).ok());
+  // Touch both so their slots are marked dirty, then reconcile.
+  ASSERT_TRUE(
+      cache.GetOrCreate(KeyFor("g", 1), graph, SequentialFactory(1)).ok());
+  ASSERT_TRUE(
+      cache.GetOrCreate(KeyFor("g", 2), graph, SequentialFactory(2)).ok());
+  cache.EnforceBudget();
+  EXPECT_EQ(cache.num_entries(), 2u);
+
+  EXPECT_EQ(cache.EraseGraph("g"), 2u);
+  EXPECT_EQ(cache.ApproxMemoryBytes(), 0u);
+  // An empty cache enforces its budget trivially (no stale total left
+  // behind by the erase).
+  cache.EnforceBudget();
+  EXPECT_EQ(cache.evictions(), 0u);
 }
 
 TEST(SketchKeyTest, OrderingAndEquality) {

@@ -18,6 +18,7 @@
 //   serve     [--graph=NAME=FILE ...] [--workers=N] [--threads=N]
 //             [--cache-mb=M] [--port=P [--bind=ADDR] [--http-workers=N]
 //             [--max-pending=N]]
+//   update    --port=P [--host=ADDR] --in=BATCH|-
 //
 // Files are whitespace-separated edge lists ("src dst [weight]"); lines
 // starting with '#' or '%' are comments. `weight` writes the third column.
@@ -26,11 +27,19 @@
 // (see src/subsim/serve/query.h for the line grammar) and prints one JSON
 // result line per query, in input order. `serve` without --port is a
 // long-lived REPL over stdin/stdout speaking the same query lines plus
-// `load NAME FILE`, `graphs`, `stats`, and `quit`; with --port it runs the
-// HTTP/1.1 front end instead (POST /v1/select_seeds, GET /healthz,
-// GET /metricsz — docs/serving.md), printing one {"listening":...,"port":N}
-// line to stdout so scripts can discover an ephemeral --port=0. Both share
-// RR sketches between queries through the serving cache.
+// `load NAME FILE`, `update FILE`, `unload NAME`, `graphs`, `stats`, and
+// `quit`; with --port it runs the HTTP/1.1 front end instead
+// (POST /v1/select_seeds, POST /v1/update_graph, POST /v1/remove_graph,
+// GET /healthz, GET /metricsz — docs/serving.md), printing one
+// {"listening":...,"port":N} line to stdout so scripts can discover an
+// ephemeral --port=0. Both share RR sketches between queries through the
+// serving cache.
+//
+// `update` posts an edge-update batch file (header `graph=NAME
+// [expect_version=V]`, then `insert SRC DST W` / `delete SRC DST` /
+// `weight SRC DST W` lines — docs/serving.md) to a running HTTP server;
+// the server publishes a new snapshot version and incrementally repairs
+// its warm RR sketches.
 
 #include <atomic>
 #include <chrono>
@@ -44,11 +53,13 @@
 
 #include "subsim/algo/registry.h"
 #include "subsim/benchsup/calibration.h"
+#include "subsim/net/http_client.h"
 #include "subsim/net/http_server.h"
 #include "subsim/net/serve_app.h"
 #include "subsim/eval/spread_estimator.h"
 #include "subsim/graph/generators.h"
 #include "subsim/graph/graph_builder.h"
+#include "subsim/graph/graph_update.h"
 #include "subsim/graph/graph_io.h"
 #include "subsim/graph/graph_stats.h"
 #include "subsim/graph/weight_models.h"
@@ -442,9 +453,79 @@ std::string CacheStatsJson(const RrSketchCache& cache) {
   return "{\"cache_entries\":" + std::to_string(cache.num_entries()) +
          ",\"cache_hits\":" + std::to_string(cache.hits()) +
          ",\"cache_misses\":" + std::to_string(cache.misses()) +
+         ",\"cache_lost_races\":" + std::to_string(cache.lost_races()) +
          ",\"cache_evictions\":" + std::to_string(cache.evictions()) +
          ",\"cache_bytes\":" + std::to_string(cache.ApproxMemoryBytes()) +
          "}";
+}
+
+/// Reads a whole file ("-" = stdin) into `out`.
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  out->clear();
+  std::FILE* stream = stdin;
+  if (path != "-") {
+    stream = std::fopen(path.c_str(), "r");
+    if (stream == nullptr) {
+      return Status::IoError("cannot open " + path);
+    }
+  }
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), stream)) > 0) {
+    out->append(buffer, got);
+  }
+  if (stream != stdin) {
+    std::fclose(stream);
+  }
+  return Status::Ok();
+}
+
+/// Formats a `GraphUpdateOutcome` the same way the HTTP route does, so the
+/// REPL `update` command and `POST /v1/update_graph` read alike.
+std::string UpdateOutcomeJson(const std::string& graph,
+                              const QueryEngine::GraphUpdateOutcome& o) {
+  return "{\"ok\":true,\"graph\":\"" + graph +
+         "\",\"version\":" + std::to_string(o.version) +
+         ",\"previous_version\":" + std::to_string(o.previous_version) +
+         ",\"num_edges\":" + std::to_string(o.num_edges) +
+         ",\"entries_repaired\":" + std::to_string(o.entries_repaired) +
+         ",\"entries_dropped\":" + std::to_string(o.entries_dropped) +
+         ",\"sets_repaired\":" + std::to_string(o.sets_repaired) +
+         ",\"sets_kept\":" + std::to_string(o.sets_kept) +
+         ",\"repair_ms\":" + std::to_string(o.repair_seconds * 1000.0) + "}";
+}
+
+/// `update`: post a batch file to a running HTTP server.
+int CmdUpdate(const Flags& flags) {
+  const auto port = flags.GetUint("port", 0);
+  if (!port.ok() || *port == 0 || *port > 65535) {
+    return Fail(Status::InvalidArgument("update requires --port=P"));
+  }
+  const std::string in = flags.Get("in", "");
+  if (in.empty()) {
+    return Fail(Status::InvalidArgument("update requires --in=BATCH|-"));
+  }
+  std::string body;
+  if (const Status status = ReadWholeFile(in, &body); !status.ok()) {
+    return Fail(status);
+  }
+  // Parse locally first: a malformed batch fails fast with a line-accurate
+  // error instead of a round trip.
+  if (const auto parsed = ParseGraphUpdateRequest(body); !parsed.ok()) {
+    return Fail(parsed.status());
+  }
+  HttpClient client(flags.Get("host", "127.0.0.1"),
+                    static_cast<std::uint16_t>(*port));
+  const Result<HttpClientResponse> response =
+      client.Post("/v1/update_graph", body);
+  if (!response.ok()) {
+    return Fail(response.status());
+  }
+  std::printf("%s", response->body.c_str());
+  if (!response->body.empty() && response->body.back() != '\n') {
+    std::printf("\n");
+  }
+  return response->status_code == 200 ? 0 : 1;
 }
 
 int CmdBatch(const Flags& flags) {
@@ -575,7 +656,8 @@ int CmdServe(const Flags& flags) {
 
   std::fprintf(stderr,
                "subsim serve: query lines (graph=NAME k=K ...), "
-               "load NAME FILE, graphs, stats, quit\n");
+               "load NAME FILE, update FILE, unload NAME, graphs, stats, "
+               "quit\n");
   std::string line;
   while (ReadLine(stdin, &line)) {
     const std::string_view text = StripWhitespace(line);
@@ -627,6 +709,54 @@ int CmdServe(const Flags& flags) {
       std::fflush(stdout);
       continue;
     }
+    if (StartsWith(text, "update ")) {
+      // `update FILE`: apply an edge-update batch in process — new
+      // snapshot version, warm sketches incrementally repaired.
+      const auto tokens = SplitAndTrim(text, " \t");
+      std::string body;
+      Status status = tokens.size() == 2
+                          ? ReadWholeFile(std::string(tokens[1]), &body)
+                          : Status::InvalidArgument("usage: update FILE");
+      if (status.ok()) {
+        const auto parsed = ParseGraphUpdateRequest(body);
+        if (!parsed.ok()) {
+          status = parsed.status();
+        } else {
+          const auto outcome =
+              engine.ApplyGraphUpdates(parsed->graph, parsed->batch);
+          if (!outcome.ok()) {
+            status = outcome.status();
+          } else {
+            std::printf("%s\n",
+                        UpdateOutcomeJson(parsed->graph, *outcome).c_str());
+          }
+        }
+      }
+      if (!status.ok()) {
+        std::printf("{\"ok\":false,\"error\":\"%s\"}\n",
+                    status.ToString().c_str());
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    if (StartsWith(text, "unload ")) {
+      const auto tokens = SplitAndTrim(text, " \t");
+      if (tokens.size() != 2) {
+        std::printf("{\"ok\":false,\"error\":\"usage: unload NAME\"}\n");
+      } else {
+        const auto dropped = engine.RemoveGraph(std::string(tokens[1]));
+        if (dropped.ok()) {
+          std::printf("{\"ok\":true,\"unloaded\":\"%s\","
+                      "\"cache_entries_dropped\":%zu}\n",
+                      std::string(tokens[1]).c_str(), *dropped);
+        } else {
+          std::printf("{\"ok\":false,\"error\":\"%s\"}\n",
+                      dropped.status().ToString().c_str());
+        }
+      }
+      std::fflush(stdout);
+      continue;
+    }
     Result<SelectSeedsQuery> query = ParseSelectSeedsQuery(text);
     QueryResponse response;
     if (!query.ok()) {
@@ -644,7 +774,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: subsim_cli "
-      "<generate|weight|stats|run|calibrate|batch|serve> [--flags]\n"
+      "<generate|weight|stats|run|calibrate|batch|serve|update> [--flags]\n"
       "       see the header comment of tools/subsim_cli.cc for details\n");
   return 2;
 }
@@ -665,6 +795,7 @@ int Main(int argc, char** argv) {
   if (command == "calibrate") return CmdCalibrate(*flags);
   if (command == "batch") return CmdBatch(*flags);
   if (command == "serve") return CmdServe(*flags);
+  if (command == "update") return CmdUpdate(*flags);
   return Usage();
 }
 
