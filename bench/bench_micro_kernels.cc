@@ -220,8 +220,8 @@ bool CollectionsIdentical(const RrCollection& a, const RrCollection& b) {
     return false;
   }
   for (RrId id = 0; id < a.num_sets(); ++id) {
-    const auto sa = a.Set(id);
-    const auto sb = b.Set(id);
+    const auto sa = a.View(id).ToVector();
+    const auto sb = b.View(id).ToVector();
     if (sa.size() != sb.size() ||
         !std::equal(sa.begin(), sa.end(), sb.begin()) ||
         a.HitSentinel(id) != b.HitSentinel(id)) {

@@ -51,8 +51,8 @@ bool Identical(const subsim::RrCollection& a, const subsim::RrCollection& b) {
     return false;
   }
   for (subsim::RrId id = 0; id < a.num_sets(); ++id) {
-    const auto sa = a.Set(id);
-    const auto sb = b.Set(id);
+    const auto sa = a.View(id).ToVector();
+    const auto sb = b.View(id).ToVector();
     if (sa.size() != sb.size() ||
         !std::equal(sa.begin(), sa.end(), sb.begin())) {
       return false;

@@ -74,7 +74,7 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
   PhaseScope phase_span(options.obs.tracer, "hist.sentinel_phase");
 
   SentinelPhase phase;
-  RrCollection r1(n);
+  RrCollection r1(n, options.rr_encoding);
   SUBSIM_RETURN_IF_ERROR(FillCollection(
       {.kind = options.generator, .graph = &graph, .rng = &rng1,
        .count = theta0, .num_threads = options.num_threads,
@@ -87,6 +87,8 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
   greedy_options.k = k;
   greedy_options.tie_break_by_out_degree = true;
   greedy_options.graph = &graph;
+  greedy_options.approx_coverage = options.approx_coverage;
+  greedy_options.metrics = metrics;
 
   std::vector<NodeId> fallback;  // last greedy prefix, in case nothing passes
 
@@ -120,7 +122,7 @@ Result<SentinelPhase> RunSentinelSet(const Graph& graph,
       // Lines 9-12: verify on an independent sentinel-truncated R2. The
       // rng2 cursor persists across iterations even though r2 is rebuilt,
       // so every iteration verifies on fresh samples.
-      RrCollection r2(n);
+      RrCollection r2(n, options.rr_encoding);
       SUBSIM_RETURN_IF_ERROR(FillCollection(
           {.kind = options.generator, .graph = &graph, .rng = &rng2,
            .count = r1.num_sets(), .num_threads = options.num_threads,
@@ -256,8 +258,8 @@ Result<ImResult> Hist::Run(const Graph& graph,
   const double delta_iter = delta2 / (3.0 * i_max);
   const double target_ratio = kOneMinusInvE - eps;
 
-  RrCollection r1(n);
-  RrCollection r2(n);
+  RrCollection r1(n, options.rr_encoding);
+  RrCollection r2(n, options.rr_encoding);
   SUBSIM_RETURN_IF_ERROR(FillCollection(
       {.kind = options.generator, .graph = &graph, .rng = &rng3,
        .count = theta0, .num_threads = options.num_threads,
@@ -280,6 +282,8 @@ Result<ImResult> Hist::Run(const Graph& graph,
   greedy_options.exclude_sentinel_hit_sets = true;  // line 5
   greedy_options.excluded_nodes = sentinels;
   greedy_options.singleton_top_count = k;  // maxMC ranges over k nodes
+  greedy_options.approx_coverage = options.approx_coverage;
+  greedy_options.metrics = metrics;
 
   for (std::uint32_t i = 1; i <= i_max; ++i) {
     // Line 6: residual greedy on the unhit sets.

@@ -49,6 +49,22 @@ struct ImOptions {
   /// wall-clock time only (see docs/rr_generation.md).
   FillKernel fill_kernel = FillKernel::kAuto;
 
+  /// Arena storage encoding for every RR collection the run builds (local
+  /// collections and `MakeSampleStore` stores alike). A pure storage knob:
+  /// the sample stream, the inverted index, and therefore the selected
+  /// seeds are identical for every value — kDeltaVarint just spends ~3-4x
+  /// fewer arena bytes (see docs/memory.md).
+  RrEncoding rr_encoding = RrEncoding::kRaw;
+
+  /// Approximate the greedy max-coverage marginals with per-candidate
+  /// HyperLogLog count-distinct sketches instead of exact inverted-index
+  /// recounts, with an error-adaptive exact refinement when the estimated
+  /// best is within the sketch error bar of the runner-up (docs/memory.md).
+  /// Selected gains and every reported bound stay exact (they are
+  /// recomputed from the exact covered bitmap); only *which* node wins a
+  /// near-tie may differ from exact greedy, within the sketch (ε, δ).
+  bool approx_coverage = false;
+
   /// Optional observability sinks (must outlive the run). Attaching them
   /// never changes the RNG streams or the selected seeds — metrics are
   /// flushed outside the sampling loops and spans only read the clock.

@@ -18,6 +18,7 @@ Result<std::unique_ptr<SampleStore>> Imm::MakeSampleStore(
   store_options.num_threads = options.num_threads;
   store_options.obs = options.obs;
   store_options.kernel = options.fill_kernel;
+  store_options.encoding = options.rr_encoding;
   return SampleStore::Create(graph, options.generator,
                              {MakeRngStream(options.rng_seed, 1),
                               MakeRngStream(options.rng_seed, 2)},
@@ -57,6 +58,8 @@ Result<ImResult> Imm::RunWithStore(const Graph& graph,
 
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k;
+  greedy_options.approx_coverage = options.approx_coverage;
+  greedy_options.metrics = options.obs.metrics;
 
   // `cold_sets` tracks how many sets a cold run's collection would hold at
   // each point; the store may be longer (warmed by other queries), so every

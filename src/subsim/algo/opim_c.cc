@@ -19,6 +19,7 @@ Result<std::unique_ptr<SampleStore>> OpimC::MakeSampleStore(
   store_options.num_threads = options.num_threads;
   store_options.obs = options.obs;
   store_options.kernel = options.fill_kernel;
+  store_options.encoding = options.rr_encoding;
   return SampleStore::Create(graph, options.generator,
                              {MakeRngStream(options.rng_seed, 1),
                               MakeRngStream(options.rng_seed, 2)},
@@ -76,6 +77,8 @@ Result<ImResult> OpimC::RunWithStore(const Graph& graph,
 
     CoverageGreedyOptions greedy_options;
     greedy_options.k = k;
+    greedy_options.approx_coverage = options.approx_coverage;
+    greedy_options.metrics = options.obs.metrics;
     const CoverageGreedyResult greedy = RunCoverageGreedy(r1, greedy_options);
 
     const double lambda_upper = CoverageUpperBoundFromGreedy(greedy, k);

@@ -44,11 +44,13 @@ Result<ImResult> Ssa::Run(const Graph& graph,
 
   RngStream rng1 = MakeRngStream(options.rng_seed, 1);
   RngStream rng2 = MakeRngStream(options.rng_seed, 2);
-  RrCollection r1(n);
-  RrCollection r2(n);
+  RrCollection r1(n, options.rr_encoding);
+  RrCollection r2(n, options.rr_encoding);
 
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k;
+  greedy_options.approx_coverage = options.approx_coverage;
+  greedy_options.metrics = options.obs.metrics;
 
   ImResult result;
   for (std::uint32_t i = 1; i <= i_max; ++i) {

@@ -33,7 +33,7 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
   // set before deciding whether to stop), so it keeps a plain sequential
   // Rng; the bulk fills use counter-based streams 2 and 3.
   Rng gen_rng(DeriveStreamSeed(options.rng_seed, 1));
-  RrCollection collection(n);
+  RrCollection collection(n, options.rr_encoding);
   std::vector<NodeId> scratch;
 
   // ---- Phase 1a: KPT* estimation (TIM Algorithm 2). ----
@@ -74,6 +74,8 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
 
   CoverageGreedyOptions greedy_options;
   greedy_options.k = k;
+  greedy_options.approx_coverage = options.approx_coverage;
+  greedy_options.metrics = options.obs.metrics;
 
   // ---- Phase 1b: TIM+ refinement. ----
   // Greedy on the probe sets yields a candidate whose influence is
@@ -88,7 +90,7 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
     const std::uint64_t refine_batch = static_cast<std::uint64_t>(
         std::ceil((2.0 + eps_prime) * l * ln_n * static_cast<double>(n) /
                   (eps_prime * eps_prime * kpt_star)));
-    RrCollection refine(n);
+    RrCollection refine(n, options.rr_encoding);
     RngStream refine_rng = MakeRngStream(options.rng_seed, 2);
     // Cap the refinement effort; it is a heuristic tightener.
     const std::uint64_t capped =
@@ -117,7 +119,7 @@ Result<ImResult> TimPlus::Run(const Graph& graph,
 
   // TIM+ regenerates its RR sets for the selection phase (unlike IMM, its
   // analysis needs independence from the estimation phase).
-  RrCollection selection(n);
+  RrCollection selection(n, options.rr_encoding);
   RngStream selection_rng = MakeRngStream(options.rng_seed, 3);
   SUBSIM_RETURN_IF_ERROR(FillCollection(
       {.kind = options.generator, .graph = &graph, .rng = &selection_rng,

@@ -1,0 +1,96 @@
+#include "subsim/coverage/hll_sketch.h"
+
+#include <bit>
+#include <cmath>
+
+namespace subsim {
+
+namespace {
+
+/// Flajolet et al.'s bias-correction constant for m registers.
+double HllAlpha(std::size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+/// Raw harmonic-mean estimate plus the standard small-range (linear
+/// counting) correction; the large-range correction is irrelevant at RR-set
+/// cardinalities (≪ 2^32).
+double EstimateFromAccumulators(std::size_t m, double inverse_sum,
+                                std::size_t zero_registers) {
+  const double md = static_cast<double>(m);
+  const double raw = HllAlpha(m) * md * md / inverse_sum;
+  if (raw <= 2.5 * md && zero_registers > 0) {
+    return md * std::log(md / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+}  // namespace
+
+double HllRelativeStdError(std::uint32_t precision) {
+  return 1.04 / std::sqrt(static_cast<double>(HllNumRegisters(precision)));
+}
+
+void HllObserve(std::span<std::uint8_t> registers, std::uint32_t precision,
+                std::uint64_t item) {
+  SUBSIM_DCHECK(registers.size() == HllNumRegisters(precision),
+                "register span does not match precision");
+  const std::uint64_t h = HllHash(item);
+  const std::size_t j = static_cast<std::size_t>(h >> (64 - precision));
+  // Rank = 1 + leading zeros of the remaining bits (bounded by the
+  // remaining width so a zero suffix stays representable).
+  const std::uint64_t rest = (h << precision) | (std::uint64_t{1} << (precision - 1));
+  const std::uint8_t rank = static_cast<std::uint8_t>(
+      std::countl_zero(rest) + 1);
+  if (rank > registers[j]) {
+    registers[j] = rank;
+  }
+}
+
+double HllEstimate(std::span<const std::uint8_t> registers) {
+  double inverse_sum = 0.0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t r : registers) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) {
+      ++zeros;
+    }
+  }
+  return EstimateFromAccumulators(registers.size(), inverse_sum, zeros);
+}
+
+double HllEstimateUnion(std::span<const std::uint8_t> a,
+                        std::span<const std::uint8_t> b) {
+  SUBSIM_DCHECK(a.size() == b.size(), "union of mismatched sketches");
+  double inverse_sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const std::uint8_t r = a[j] > b[j] ? a[j] : b[j];
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) {
+      ++zeros;
+    }
+  }
+  return EstimateFromAccumulators(a.size(), inverse_sum, zeros);
+}
+
+void HllMerge(std::span<std::uint8_t> into,
+              std::span<const std::uint8_t> from) {
+  SUBSIM_DCHECK(into.size() == from.size(), "merge of mismatched sketches");
+  for (std::size_t j = 0; j < into.size(); ++j) {
+    if (from[j] > into[j]) {
+      into[j] = from[j];
+    }
+  }
+}
+
+}  // namespace subsim

@@ -1,0 +1,61 @@
+#ifndef SUBSIM_COVERAGE_HLL_SKETCH_H_
+#define SUBSIM_COVERAGE_HLL_SKETCH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "subsim/util/check.h"
+
+namespace subsim {
+
+/// HyperLogLog count-distinct primitives for approximate coverage.
+///
+/// A sketch is a span of `m = 2^precision` one-byte registers; register j
+/// holds the maximum `1 + leading-zero count` of the hashed items routed to
+/// it. Relative standard error of the cardinality estimate is ≈ 1.04/√m
+/// (docs/memory.md derives how the greedy refinement consumes this bound).
+///
+/// Sketches over RR-set ids are unions-of-items, so the sketch of a union
+/// is the register-wise max — which is what lets the greedy keep one
+/// static sketch per candidate node plus a single running "covered" sketch
+/// and estimate any marginal in O(m), independent of how many RR sets the
+/// candidate appears in.
+///
+/// All functions are deterministic: the item hash is a fixed splitmix64
+/// finalizer, so approximate runs are exactly reproducible.
+
+/// Number of registers for a precision (register-index bits).
+inline std::size_t HllNumRegisters(std::uint32_t precision) {
+  return std::size_t{1} << precision;
+}
+
+/// 1.04/√m — the relative standard error of the estimator.
+double HllRelativeStdError(std::uint32_t precision);
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer) used for items.
+inline std::uint64_t HllHash(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Folds one item into `registers` (size must be 2^precision).
+void HllObserve(std::span<std::uint8_t> registers, std::uint32_t precision,
+                std::uint64_t item);
+
+/// Cardinality estimate of one sketch.
+double HllEstimate(std::span<const std::uint8_t> registers);
+
+/// Cardinality estimate of the union of two same-precision sketches
+/// (register-wise max, computed on the fly — neither input is modified).
+double HllEstimateUnion(std::span<const std::uint8_t> a,
+                        std::span<const std::uint8_t> b);
+
+/// Merges `from` into `into` (register-wise max).
+void HllMerge(std::span<std::uint8_t> into,
+              std::span<const std::uint8_t> from);
+
+}  // namespace subsim
+
+#endif  // SUBSIM_COVERAGE_HLL_SKETCH_H_

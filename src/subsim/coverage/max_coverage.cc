@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "subsim/coverage/hll_sketch.h"
+#include "subsim/obs/metrics.h"
 #include "subsim/util/check.h"
 
 namespace subsim {
@@ -26,6 +28,215 @@ struct HeapEntry {
   }
 };
 
+/// Approx-mode heap entry: same shape, estimated (double) key.
+struct ApproxHeapEntry {
+  double estimate;
+  NodeId out_degree;
+  NodeId node;
+
+  bool operator<(const ApproxHeapEntry& other) const {
+    if (estimate != other.estimate) return estimate < other.estimate;
+    if (out_degree != other.out_degree) return out_degree < other.out_degree;
+    return node < other.node;
+  }
+};
+
+/// How many standard errors of headroom a sketch estimate gets before the
+/// loop trusts it as an upper bound on a marginal. 3σ keeps the chance of
+/// a violated bound (the only way approx selection can differ from exact
+/// greedy) negligible per estimate while still discharging clearly
+/// dominated candidates without an exact recount.
+constexpr double kHllMarginSigmas = 3.0;
+
+/// Everything both selection loops share.
+struct GreedyState {
+  const RrCollectionView* collection;
+  const CoverageGreedyOptions* options;
+  std::vector<std::uint8_t> covered;
+  std::vector<std::uint8_t> selected;
+  std::vector<std::uint64_t> initial_cov;
+  std::uint32_t k = 0;
+};
+
+/// Exact marginal of `v`: currently-uncovered sets containing it.
+std::uint64_t ExactMarginal(const GreedyState& state, NodeId v) {
+  std::uint64_t fresh = 0;
+  for (RrId id : state.collection->SetsContaining(v)) {
+    if (!state.covered[id]) {
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+/// Commits `v` as the next seed: marks its sets covered and appends the
+/// (exact) gain to the result.
+void SelectSeed(GreedyState* state, NodeId v, std::uint64_t exact_gain,
+                CoverageGreedyResult* result) {
+  state->selected[v] = 1;
+  for (RrId id : state->collection->SetsContaining(v)) {
+    state->covered[id] = 1;
+  }
+  const std::uint64_t total =
+      (result->coverage_prefix.empty() ? 0 : result->coverage_prefix.back()) +
+      exact_gain;
+  result->seeds.push_back(v);
+  result->gains.push_back(exact_gain);
+  result->coverage_prefix.push_back(total);
+}
+
+void RunExactLoop(GreedyState* state, CoverageGreedyResult* result) {
+  const NodeId n = state->collection->num_graph_nodes();
+  const CoverageGreedyOptions& options = *state->options;
+  auto out_degree = [&](NodeId v) -> NodeId {
+    return options.tie_break_by_out_degree ? options.graph->OutDegree(v)
+                                           : NodeId{0};
+  };
+
+  std::priority_queue<HeapEntry> heap;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!state->selected[v]) {
+      heap.push(HeapEntry{state->initial_cov[v], out_degree(v), v});
+    }
+  }
+
+  while (result->seeds.size() < state->k && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (state->selected[top.node]) {
+      continue;
+    }
+    // Refresh the marginal: count currently-uncovered sets containing it.
+    const std::uint64_t fresh = ExactMarginal(*state, top.node);
+    if (fresh != top.marginal) {
+      SUBSIM_DCHECK(fresh < top.marginal, "marginal grew — index corrupt");
+      top.marginal = fresh;
+      heap.push(top);
+      continue;
+    }
+    // The key is fresh and was the heap maximum, so it dominates every
+    // remaining stale key, hence every fresh key: an exact argmax under
+    // (marginal, out-degree, id).
+    SelectSeed(state, top.node, top.marginal, result);
+  }
+}
+
+/// Sketch-guided selection (`CoverageGreedyOptions::approx_coverage`).
+///
+/// CELF with sketch-tightened upper bounds. Every heap key is an upper
+/// bound on the node's exact marginal: initially its exact singleton
+/// coverage, thereafter min(previous bound, est(|C ∪ H(v)|) − |C| + 3σ)
+/// where |C| is the exact covered count (maintained anyway for committed
+/// gains) and the union estimate is one O(m) register scan, independent
+/// of how long the candidate's index list is. A popped node whose bound
+/// is dominated by the runner-up's is pushed back without touching the
+/// inverted index — that is where the sketches earn their keep. A node
+/// that survives the bound test is recounted exactly and commits only if
+/// its exact (marginal, out-degree, id) key still dominates the heap of
+/// upper bounds — so the selected sequence matches exact greedy unless a
+/// 3σ error bar is actually violated. When the bars cannot separate
+/// contenders the loop degrades gracefully into exact CELF (the extra
+/// recounts are what `coverage.hll_refinements` counts).
+void RunApproxLoop(GreedyState* state, CoverageGreedyResult* result) {
+  const NodeId n = state->collection->num_graph_nodes();
+  const RrCollectionView& collection = *state->collection;
+  const CoverageGreedyOptions& options = *state->options;
+  auto out_degree = [&](NodeId v) -> NodeId {
+    return options.tie_break_by_out_degree ? options.graph->OutDegree(v)
+                                           : NodeId{0};
+  };
+
+  const std::uint32_t precision =
+      std::clamp<std::uint32_t>(options.hll_precision, 4, 16);
+  const std::size_t m = HllNumRegisters(precision);
+  const double rel_err = HllRelativeStdError(precision);
+
+  // Per-candidate sketches over the considered RR ids (pre-covered ids —
+  // sentinel exclusions — are left out so estimates live in the same
+  // universe the exact counters do), plus the covered-union sketch.
+  std::vector<std::uint8_t> bank(static_cast<std::size_t>(n) * m, 0);
+  std::vector<std::uint8_t> covered_sketch(m, 0);
+  auto sketch_of = [&](NodeId v) {
+    return std::span<std::uint8_t>(bank.data() +
+                                       static_cast<std::size_t>(v) * m,
+                                   m);
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const std::span<std::uint8_t> sketch = sketch_of(v);
+    for (RrId id : collection.SetsContaining(v)) {
+      if (!state->covered[id]) {
+        HllObserve(sketch, precision, id);
+      }
+    }
+  }
+
+  MetricsRegistry::CounterHandle refinements;
+  if (options.metrics != nullptr) {
+    options.metrics->Gauge("coverage.hll_bytes")
+        .Set(static_cast<double>(bank.size() + covered_sketch.size()));
+    refinements = options.metrics->Counter("coverage.hll_refinements");
+  }
+
+  std::priority_queue<ApproxHeapEntry> heap;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!state->selected[v]) {
+      heap.push(ApproxHeapEntry{static_cast<double>(state->initial_cov[v]),
+                                out_degree(v), v});
+    }
+  }
+
+  std::uint64_t covered_exact = 0;  // exact |C|: sum of committed gains
+  const auto select = [&](NodeId v, std::uint64_t exact_gain) {
+    SelectSeed(state, v, exact_gain, result);
+    covered_exact += exact_gain;
+    HllMerge(covered_sketch, sketch_of(v));
+  };
+
+  while (result->seeds.size() < state->k && !heap.empty()) {
+    ApproxHeapEntry top = heap.top();
+    heap.pop();
+    if (state->selected[top.node]) {
+      continue;
+    }
+    if (heap.empty()) {
+      select(top.node, ExactMarginal(*state, top.node));
+      continue;
+    }
+    const ApproxHeapEntry& next = heap.top();
+    const double union_estimate =
+        HllEstimateUnion(covered_sketch, sketch_of(top.node));
+    // The union estimate carries the sketch noise; the covered count is
+    // exact, so the marginal's error bar is the union term's alone.
+    const double margin = kHllMarginSigmas * rel_err * union_estimate;
+    const double bound = std::min(
+        top.estimate,
+        std::max(0.0, union_estimate - static_cast<double>(covered_exact)) +
+            margin);
+    if (ApproxHeapEntry{bound, top.out_degree, top.node} < next) {
+      // Dominated already at the bound level: push back without ever
+      // touching the inverted index. The min() keeps bounds monotone.
+      top.estimate = bound;
+      heap.push(top);
+      continue;
+    }
+    const std::uint64_t exact = ExactMarginal(*state, top.node);
+    const ApproxHeapEntry exact_entry{static_cast<double>(exact),
+                                      top.out_degree, top.node};
+    if (!(exact_entry < next)) {
+      // The exact key dominates every remaining upper bound, hence every
+      // remaining exact marginal: an argmax under (marginal, out-degree,
+      // id), exactly as the exact loop would have picked.
+      select(top.node, exact);
+    } else {
+      // The error bar could not separate this contender from the heap;
+      // the recount was the price of refinement. Its exact value is the
+      // tightest possible bound — re-queue under it.
+      refinements.Increment();
+      heap.push(exact_entry);
+    }
+  }
+}
+
 }  // namespace
 
 CoverageGreedyResult RunCoverageGreedy(RrCollectionView collection,
@@ -40,14 +251,19 @@ CoverageGreedyResult RunCoverageGreedy(RrCollectionView collection,
 
   CoverageGreedyResult result;
 
+  GreedyState state;
+  state.collection = &collection;
+  state.options = &options;
+  state.k = k;
+
   // Which RR sets participate. Excluded sets (sentinel hits) are treated as
   // pre-covered so they never contribute to marginals.
-  std::vector<std::uint8_t> covered(num_sets, 0);
+  state.covered.assign(num_sets, 0);
   std::uint64_t considered = num_sets;
   if (options.exclude_sentinel_hit_sets) {
     for (std::size_t id = 0; id < num_sets; ++id) {
       if (collection.HitSentinel(static_cast<RrId>(id))) {
-        covered[id] = 1;
+        state.covered[id] = 1;
         --considered;
       }
     }
@@ -55,21 +271,15 @@ CoverageGreedyResult RunCoverageGreedy(RrCollectionView collection,
   result.considered_sets = considered;
 
   // Initial singleton coverages; also feeds the exact i = 0 term of Λ^u.
-  std::vector<std::uint64_t> initial_cov(n, 0);
+  state.initial_cov.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
-    std::uint64_t c = 0;
-    for (RrId id : collection.SetsContaining(v)) {
-      if (!covered[id]) {
-        ++c;
-      }
-    }
-    initial_cov[v] = c;
+    state.initial_cov[v] = ExactMarginal(state, v);
   }
   {
     const std::uint32_t top_count =
         options.singleton_top_count > 0 ? options.singleton_top_count
                                         : options.k;
-    std::vector<std::uint64_t> top(initial_cov);
+    std::vector<std::uint64_t> top(state.initial_cov);
     if (top.size() > top_count) {
       std::nth_element(top.begin(), top.begin() + top_count, top.end(),
                        std::greater<>());
@@ -81,60 +291,20 @@ CoverageGreedyResult RunCoverageGreedy(RrCollectionView collection,
     }
   }
 
-  auto out_degree = [&](NodeId v) -> NodeId {
-    return options.tie_break_by_out_degree ? options.graph->OutDegree(v)
-                                           : NodeId{0};
-  };
-
-  std::vector<std::uint8_t> selected(n, 0);
+  state.selected.assign(n, 0);
   for (NodeId v : options.excluded_nodes) {
     SUBSIM_CHECK(v < n, "excluded node out of range");
-    selected[v] = 1;
+    state.selected[v] = 1;
   }
 
-  std::priority_queue<HeapEntry> heap;
-  for (NodeId v = 0; v < n; ++v) {
-    if (!selected[v]) {
-      heap.push(HeapEntry{initial_cov[v], out_degree(v), v});
-    }
-  }
-  std::uint64_t total = 0;
   result.seeds.reserve(k);
   result.gains.reserve(k);
   result.coverage_prefix.reserve(k);
 
-  while (result.seeds.size() < k && !heap.empty()) {
-    HeapEntry top = heap.top();
-    heap.pop();
-    if (selected[top.node]) {
-      continue;
-    }
-    // Refresh the marginal: count currently-uncovered sets containing it.
-    std::uint64_t fresh = 0;
-    for (RrId id : collection.SetsContaining(top.node)) {
-      if (!covered[id]) {
-        ++fresh;
-      }
-    }
-    if (fresh != top.marginal) {
-      SUBSIM_DCHECK(fresh < top.marginal, "marginal grew — index corrupt");
-      top.marginal = fresh;
-      heap.push(top);
-      continue;
-    }
-    // The key is fresh and was the heap maximum, so it dominates every
-    // remaining stale key, hence every fresh key: an exact argmax under
-    // (marginal, out-degree, id).
-    selected[top.node] = 1;
-    for (RrId id : collection.SetsContaining(top.node)) {
-      if (!covered[id]) {
-        covered[id] = 1;
-      }
-    }
-    total += top.marginal;
-    result.seeds.push_back(top.node);
-    result.gains.push_back(top.marginal);
-    result.coverage_prefix.push_back(total);
+  if (options.approx_coverage) {
+    RunApproxLoop(&state, &result);
+  } else {
+    RunExactLoop(&state, &result);
   }
 
   // If the graph has fewer nodes than k we may exit early; that is fine —

@@ -10,6 +10,8 @@
 
 namespace subsim {
 
+class MetricsRegistry;
+
 /// Options for the greedy max-coverage pass over an `RrCollection`.
 struct CoverageGreedyOptions {
   /// Number of seeds to select (capped at the number of graph nodes).
@@ -36,11 +38,33 @@ struct CoverageGreedyOptions {
   /// `top_k_singleton_sum`. 0 means "use k". HIST phase 2 selects k - b
   /// seeds but needs the maxMC term over the full k for Equation (2).
   std::uint32_t singleton_top_count = 0;
+
+  /// Approximate-coverage mode (`ImOptions::approx_coverage`): lazy-greedy
+  /// marginals come from per-candidate HyperLogLog sketches over RR-set
+  /// ids — O(2^hll_precision) per refresh instead of an inverted-index
+  /// recount — with an error-adaptive exact refinement whenever the
+  /// estimated best is within the sketch error bar of the runner-up.
+  /// Selected gains, `coverage_prefix`, and `top_k_singleton_sum` are
+  /// always exact (recomputed from the exact covered bitmap); only the
+  /// winner of a near-tie may differ from exact greedy. Deterministic:
+  /// sketch hashing is a fixed mixer, so runs reproduce byte-identically.
+  bool approx_coverage = false;
+
+  /// log2 of registers per sketch (m = 2^p; rel. std. error ≈ 1.04/√m).
+  /// Clamped to [4, 16]. Memory: (n + 1) * 2^p bytes while the pass runs,
+  /// reported by the `coverage.hll_bytes` gauge.
+  std::uint32_t hll_precision = 8;
+
+  /// Optional sink for `coverage.hll_bytes` / `coverage.hll_refinements`.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Output of the greedy pass. `gains[i]` is the marginal coverage of the
 /// (i+1)-th seed; `coverage_prefix[i]` is the total coverage of the first
-/// i+1 seeds. Both have `seeds.size()` entries; gains are non-increasing.
+/// i+1 seeds. Both have `seeds.size()` entries; gains are non-increasing
+/// under exact greedy (under `approx_coverage` the selection order is
+/// sketch-guided, so gains are exact per seed but only *approximately*
+/// sorted).
 struct CoverageGreedyResult {
   std::vector<NodeId> seeds;
   std::vector<std::uint64_t> gains;

@@ -260,6 +260,13 @@ Status FillCollection(const FillRequest& request, RrCollection* collection) {
   for (const WorkerBuffer& buffer : buffers) {
     FlushRrGenStatsDelta(RrGenStats(), buffer.stats, request.obs.metrics);
   }
+  if (request.obs.metrics != nullptr) {
+    // Encoded footprint of the set arena just extended — alongside
+    // `rr.set_size` this is what the compression-ratio bench and the
+    // serving byte budget observe (see RrEncoding).
+    request.obs.metrics->Gauge("rr.arena_bytes")
+        .Set(static_cast<double>(collection->arena_bytes()));
+  }
 
   request.rng->next_index = first_index + count;
   return Status::Ok();

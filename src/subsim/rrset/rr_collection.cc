@@ -6,8 +6,20 @@ namespace subsim {
 
 RrId RrCollection::Add(std::span<const NodeId> nodes, bool hit_sentinel) {
   const RrId id = static_cast<RrId>(num_sets());
-  arena_.insert(arena_.end(), nodes.begin(), nodes.end());
-  offsets_.push_back(arena_.size());
+  if (encoding_ == RrEncoding::kRaw) {
+    arena_.insert(arena_.end(), nodes.begin(), nodes.end());
+    offsets_.push_back(arena_.size());
+  } else {
+    // Delta blocks need strictly ascending ids; members are unique by the
+    // generator contract, so a plain sort suffices. The index below is
+    // built from the sorted copy — same memberships, same coverage.
+    sort_scratch_.assign(nodes.begin(), nodes.end());
+    std::sort(sort_scratch_.begin(), sort_scratch_.end());
+    AppendDeltaVarintBlock(&byte_arena_, sort_scratch_);
+    offsets_.push_back(byte_arena_.size());
+    node_prefix_.push_back(node_prefix_.back() + sort_scratch_.size());
+    nodes = sort_scratch_;
+  }
   hit_sentinel_.push_back(hit_sentinel ? 1 : 0);
   hit_prefix_.push_back(hit_prefix_.back() + (hit_sentinel ? 1 : 0));
   for (NodeId v : nodes) {
@@ -19,18 +31,24 @@ RrId RrCollection::Add(std::span<const NodeId> nodes, bool hit_sentinel) {
 
 std::uint64_t RrCollection::ApproxMemoryBytes() const {
   // The inverted index holds exactly one RrId per node membership, plus one
-  // vector header per graph node; per-vector slack is ignored.
-  return arena_.size() * sizeof(NodeId) +
-         offsets_.size() * sizeof(std::uint64_t) +
+  // vector header per graph node; per-vector slack is ignored. The arena is
+  // charged at its *encoded* size so the serving cache's byte budget tracks
+  // real RSS for either encoding.
+  return arena_bytes() + offsets_.size() * sizeof(std::uint64_t) +
+         (encoding_ == RrEncoding::kRaw
+              ? 0
+              : node_prefix_.size() * sizeof(std::uint64_t)) +
          hit_sentinel_.size() * sizeof(std::uint8_t) +
          hit_prefix_.size() * sizeof(std::uint32_t) +
-         arena_.size() * sizeof(RrId) +
+         total_nodes() * sizeof(RrId) +
          index_.size() * sizeof(std::vector<RrId>);
 }
 
 void RrCollection::Clear() {
   offsets_.assign(1, 0);
   arena_.clear();
+  byte_arena_.clear();
+  node_prefix_.assign(1, 0);
   hit_sentinel_.clear();
   hit_prefix_.assign(1, 0);
   for (auto& list : index_) {

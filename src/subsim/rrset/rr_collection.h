@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "subsim/graph/types.h"
+#include "subsim/rrset/rr_encoding.h"
 #include "subsim/util/check.h"
 
 namespace subsim {
@@ -15,12 +16,95 @@ using RrId = std::uint32_t;
 
 class RrCollectionView;
 
+/// Read-only handle to one stored RR set.
+///
+/// This is the only way to read set contents: the collection's storage
+/// encoding (`RrEncoding`) is a private detail behind it, so consumers are
+/// insulated from the arena layout. Three access shapes:
+///
+///  - `size()`: member count, O(1) for every encoding;
+///  - `ForEachNode(fn)`: visit each member in storage order (generator
+///    discovery order for kRaw, ascending for kDeltaVarint) without
+///    materializing anything — the streaming path;
+///  - `Decode(&scratch)`: bulk-decode into a caller-owned scratch vector
+///    and return a span of all members — the batch path. Zero-copy for
+///    kRaw (the span aliases the arena and `scratch` is untouched);
+///    kDeltaVarint decodes into `scratch`. Reuse one scratch across calls
+///    (per thread — the view itself is freely copyable and const).
+///
+/// Views borrow the parent arena: valid while the parent collection is
+/// alive and not `Clear()`ed, like the spans the old API returned.
+class RrSetView {
+ public:
+  RrSetView() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  RrEncoding encoding() const { return encoding_; }
+
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    if (encoding_ == RrEncoding::kRaw) {
+      for (std::size_t i = 0; i < size_; ++i) {
+        fn(raw_[i]);
+      }
+      return;
+    }
+    const std::uint8_t* p = bytes_;
+    std::uint64_t value = 0;
+    NodeId prev = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      p = DecodeVarint(p, &value);
+      prev = i == 0 ? static_cast<NodeId>(value)
+                    : static_cast<NodeId>(prev + value);
+      fn(prev);
+    }
+  }
+
+  /// All members as one span; see class comment for the scratch contract.
+  std::span<const NodeId> Decode(std::vector<NodeId>* scratch) const {
+    if (encoding_ == RrEncoding::kRaw) {
+      return {raw_, size_};
+    }
+    scratch->clear();
+    scratch->reserve(size_);
+    ForEachNode([scratch](NodeId v) { scratch->push_back(v); });
+    return {scratch->data(), scratch->size()};
+  }
+
+  /// Allocating convenience for tests and tooling; hot paths should reuse
+  /// a scratch via `Decode`.
+  std::vector<NodeId> ToVector() const {
+    std::vector<NodeId> out;
+    out.reserve(size_);
+    ForEachNode([&out](NodeId v) { out.push_back(v); });
+    return out;
+  }
+
+ private:
+  friend class RrCollection;
+
+  RrSetView(const NodeId* raw, std::size_t size)
+      : raw_(raw), size_(size), encoding_(RrEncoding::kRaw) {}
+  RrSetView(const std::uint8_t* bytes, std::size_t size)
+      : bytes_(bytes), size_(size), encoding_(RrEncoding::kDeltaVarint) {}
+
+  const NodeId* raw_ = nullptr;
+  const std::uint8_t* bytes_ = nullptr;
+  std::size_t size_ = 0;
+  RrEncoding encoding_ = RrEncoding::kRaw;
+};
+
 /// A growable pool of reverse-reachable sets with an inverted index.
 ///
-/// Storage is a single arena (offsets + node array), so appending RR sets
-/// does one amortized allocation and iteration is cache-friendly. The
-/// inverted index (node -> ids of RR sets containing it) is maintained on
-/// insert; it is what makes the greedy max-coverage pass O(total RR size).
+/// Storage is a single arena (offsets + node or byte array, selected by the
+/// `RrEncoding` passed at construction), so appending RR sets does one
+/// amortized allocation and iteration is cache-friendly. Set contents are
+/// read exclusively through `View(id)` (`RrSetView`); the encoding never
+/// leaks past it. The inverted index (node -> ids of RR sets containing it)
+/// is maintained on insert regardless of encoding; it is what makes the
+/// greedy max-coverage pass O(total RR size) — and why the selected seeds
+/// are identical across encodings.
 ///
 /// Collections also record, per set, whether its generation was truncated
 /// by a sentinel hit (Algorithm 5). Such sets are covered by the sentinel
@@ -34,22 +118,32 @@ class RrCollectionView;
 /// the property the serving cache (`serve/rr_sketch_cache`) is built on.
 class RrCollection {
  public:
-  explicit RrCollection(NodeId num_nodes) : index_(num_nodes) {}
+  explicit RrCollection(NodeId num_nodes,
+                        RrEncoding encoding = RrEncoding::kRaw)
+      : encoding_(encoding), index_(num_nodes) {}
 
   /// Appends one RR set. `nodes` are the members (root included, each node
   /// at most once); `hit_sentinel` marks sentinel-truncated generation.
+  /// kRaw stores `nodes` verbatim; kDeltaVarint stores them sorted
+  /// ascending (membership-preserving, so coverage is unaffected).
   /// Returns the new set's id.
   RrId Add(std::span<const NodeId> nodes, bool hit_sentinel);
+
+  RrEncoding encoding() const { return encoding_; }
 
   std::size_t num_sets() const { return offsets_.size() - 1; }
 
   /// Total number of node memberships across all sets.
-  std::uint64_t total_nodes() const { return arena_.size(); }
+  std::uint64_t total_nodes() const {
+    return encoding_ == RrEncoding::kRaw ? arena_.size()
+                                         : node_prefix_.back();
+  }
 
   /// Node memberships across the first `num_sets` sets.
   std::uint64_t total_nodes_in_prefix(std::size_t num_sets) const {
     SUBSIM_DCHECK(num_sets < offsets_.size(), "prefix out of range");
-    return offsets_[num_sets];
+    return encoding_ == RrEncoding::kRaw ? offsets_[num_sets]
+                                         : node_prefix_[num_sets];
   }
 
   /// Average RR-set size (0 when empty) — the quantity Figure 3(b) reports.
@@ -59,9 +153,17 @@ class RrCollection {
                : static_cast<double>(total_nodes()) / num_sets();
   }
 
-  std::span<const NodeId> Set(RrId id) const {
+  /// Handle to set `id`'s contents. Borrows the arena (see `RrSetView`).
+  RrSetView View(RrId id) const {
     SUBSIM_DCHECK(id < num_sets(), "RR id out of range");
-    return {arena_.data() + offsets_[id], arena_.data() + offsets_[id + 1]};
+    if (encoding_ == RrEncoding::kRaw) {
+      return RrSetView(
+          arena_.data() + offsets_[id],
+          static_cast<std::size_t>(offsets_[id + 1] - offsets_[id]));
+    }
+    return RrSetView(
+        byte_arena_.data() + offsets_[id],
+        static_cast<std::size_t>(node_prefix_[id + 1] - node_prefix_[id]));
   }
 
   bool HitSentinel(RrId id) const {
@@ -92,16 +194,35 @@ class RrCollection {
   /// Snapshot of the first `num_sets` sets (see `RrCollectionView`).
   RrCollectionView Prefix(std::size_t num_sets) const;
 
-  /// Approximate heap footprint in bytes (arena, offsets, flags, and the
-  /// inverted index). Used by the serving cache's byte-budget eviction.
+  /// Bytes the set arena itself occupies under the active encoding — the
+  /// quantity the `rr.arena_bytes` gauge and the compression-ratio bench
+  /// report (4 * total_nodes for kRaw, the varint block sizes otherwise).
+  std::uint64_t arena_bytes() const {
+    return encoding_ == RrEncoding::kRaw ? arena_.size() * sizeof(NodeId)
+                                         : byte_arena_.size();
+  }
+
+  /// Approximate heap footprint in bytes (encoded arena, offsets, flags,
+  /// and the inverted index). Used by the serving cache's byte-budget
+  /// eviction; charges the *encoded* arena so a delta-encoded store spends
+  /// proportionally less budget than a raw one.
   std::uint64_t ApproxMemoryBytes() const;
 
-  /// Removes all sets but keeps the node capacity.
+  /// Removes all sets but keeps the node capacity and encoding.
   void Clear();
 
  private:
+  RrEncoding encoding_;
+  /// Per-set boundaries into the active arena: node offsets into `arena_`
+  /// for kRaw, byte offsets into `byte_arena_` for kDeltaVarint.
   std::vector<std::uint64_t> offsets_{0};
-  std::vector<NodeId> arena_;
+  std::vector<NodeId> arena_;              // kRaw only
+  std::vector<std::uint8_t> byte_arena_;   // kDeltaVarint only
+  /// kDeltaVarint only: node_prefix_[i] = memberships among the first i
+  /// sets, so sizes and prefix totals stay O(1) when offsets are bytes.
+  std::vector<std::uint64_t> node_prefix_{0};
+  /// Reused by Add's kDeltaVarint sort; not part of the logical state.
+  std::vector<NodeId> sort_scratch_;
   std::vector<std::uint8_t> hit_sentinel_;
   /// hit_prefix_[i] = sentinel-hit sets among the first i sets; maintained
   /// on Add so any prefix count is O(1).
@@ -137,9 +258,9 @@ class RrCollectionView {
     return collection_->total_nodes_in_prefix(num_sets_);
   }
 
-  std::span<const NodeId> Set(RrId id) const {
+  RrSetView View(RrId id) const {
     SUBSIM_DCHECK(id < num_sets_, "RR id outside view prefix");
-    return collection_->Set(id);
+    return collection_->View(id);
   }
 
   bool HitSentinel(RrId id) const {

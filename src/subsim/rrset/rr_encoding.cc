@@ -1,0 +1,23 @@
+#include "subsim/rrset/rr_encoding.h"
+
+namespace subsim {
+
+Result<RrEncoding> ParseRrEncoding(const std::string& name) {
+  if (name == "raw") return RrEncoding::kRaw;
+  if (name == "delta" || name == "delta-varint") {
+    return RrEncoding::kDeltaVarint;
+  }
+  return Status::InvalidArgument("unknown rr encoding: " + name);
+}
+
+const char* RrEncodingName(RrEncoding encoding) {
+  switch (encoding) {
+    case RrEncoding::kRaw:
+      return "raw";
+    case RrEncoding::kDeltaVarint:
+      return "delta";
+  }
+  return "?";
+}
+
+}  // namespace subsim

@@ -1,0 +1,87 @@
+#ifndef SUBSIM_RRSET_RR_ENCODING_H_
+#define SUBSIM_RRSET_RR_ENCODING_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "subsim/graph/types.h"
+#include "subsim/util/check.h"
+#include "subsim/util/status.h"
+
+namespace subsim {
+
+/// How an `RrCollection` stores its node arena.
+///
+///  - kRaw: one `NodeId` (4 bytes) per membership, sets kept in generator
+///    discovery order — byte-identical to the historical layout, and what
+///    the golden-stream tests pin.
+///  - kDeltaVarint: each set is stored sorted ascending as a varint block:
+///    the first id absolute, every later id as the (strictly positive) gap
+///    to its predecessor. Sorted RR sets are locally dense on real graphs,
+///    so most gaps fit one varint byte — the compression the serving
+///    cache's byte budget is spent on (see docs/memory.md).
+///
+/// The encoding is a pure storage detail: both layouts index the same
+/// memberships, so greedy max-coverage — which reads only the inverted
+/// index — selects identical seeds either way.
+enum class RrEncoding : std::uint8_t {
+  kRaw = 0,
+  kDeltaVarint = 1,
+};
+
+/// Parses "raw" | "delta" (alias "delta-varint").
+Result<RrEncoding> ParseRrEncoding(const std::string& name);
+
+const char* RrEncodingName(RrEncoding encoding);
+
+/// Appends `value` to `out` as a LEB128 varint (7 bits per byte, high bit
+/// = continuation).
+inline void AppendVarint(std::vector<std::uint8_t>* out,
+                         std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decodes one varint starting at `p`; returns the first byte past it.
+/// The caller owns bounds: `p` must point into a buffer produced by
+/// `AppendVarint` with the value still ahead.
+inline const std::uint8_t* DecodeVarint(const std::uint8_t* p,
+                                        std::uint64_t* value) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (*p & 0x80) {
+    v |= static_cast<std::uint64_t>(*p & 0x7F) << shift;
+    shift += 7;
+    ++p;
+  }
+  v |= static_cast<std::uint64_t>(*p) << shift;
+  *value = v;
+  return p + 1;
+}
+
+/// Appends the delta+varint block for `sorted` (strictly ascending node
+/// ids) to `out`: first id absolute, then successive gaps. Empty sets
+/// append nothing.
+inline void AppendDeltaVarintBlock(std::vector<std::uint8_t>* out,
+                                   std::span<const NodeId> sorted) {
+  NodeId prev = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const NodeId v = sorted[i];
+    if (i == 0) {
+      AppendVarint(out, v);
+    } else {
+      SUBSIM_DCHECK(v > prev, "delta block requires strictly ascending ids");
+      AppendVarint(out, static_cast<std::uint64_t>(v) - prev);
+    }
+    prev = v;
+  }
+}
+
+}  // namespace subsim
+
+#endif  // SUBSIM_RRSET_RR_ENCODING_H_

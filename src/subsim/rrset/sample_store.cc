@@ -15,8 +15,8 @@ SampleStore::SampleStore(const Graph& graph, GeneratorKind kind,
       kind_(kind),
       num_nodes_(graph.num_nodes()),
       options_(options),
-      streams_{Stream(graph.num_nodes(), streams[0]),
-               Stream(graph.num_nodes(), streams[1])} {}
+      streams_{Stream(graph.num_nodes(), options.encoding, streams[0]),
+               Stream(graph.num_nodes(), options.encoding, streams[1])} {}
 
 Result<std::unique_ptr<SampleStore>> SampleStore::Create(
     const Graph& graph, GeneratorKind kind,
@@ -62,12 +62,19 @@ Result<std::unique_ptr<SampleStore>> SampleStore::CreateRepaired(
     // invariant, re-established here for the new store.
     streams[s] = RngStream{from.rng.base_seed, from.collection.num_sets()};
   }
+  // The repaired store inherits the source's arena encoding: kept sets are
+  // copied through RrSetView in storage order, which is an identity
+  // round-trip only within one encoding (delta storage is sorted, raw
+  // storage is discovery-ordered).
+  Options repaired_options = options;
+  repaired_options.encoding = source.options_.encoding;
   auto repaired = std::unique_ptr<SampleStore>(
-      new SampleStore(graph, source.kind_, streams, options));
+      new SampleStore(graph, source.kind_, streams, repaired_options));
 
   const RrGenStats stats_before = (*generator)->stats();
   RepairStats repair;
   std::vector<NodeId> scratch;
+  std::vector<NodeId> decode_scratch;
   std::vector<std::uint8_t> needs_regen;
   const WriterMutexLock repaired_lock(repaired->mu_);
   for (std::size_t s = 0; s < kNumStreams; ++s) {
@@ -94,7 +101,12 @@ Result<std::unique_ptr<SampleStore>> SampleStore::CreateRepaired(
         to.Add(scratch, hit);
         ++repair.sets_repaired;
       } else {
-        to.Add(from.Set(static_cast<RrId>(i)),
+        // Bulk-decode the kept set through the view; for raw arenas this
+        // is the old zero-copy span, for delta arenas it decodes into the
+        // reused scratch and Add re-encodes the (already sorted) members
+        // to identical bytes.
+        const RrSetView kept = from.View(static_cast<RrId>(i));
+        to.Add(kept.Decode(&decode_scratch),
                from.HitSentinel(static_cast<RrId>(i)));
         ++repair.sets_kept;
       }

@@ -57,6 +57,11 @@ class SampleStore {
     /// Generation kernel for fills; stream contents are identical for
     /// every value (see `FillKernel`).
     FillKernel kernel = FillKernel::kAuto;
+    /// Arena storage encoding for both streams (see `RrEncoding`). A pure
+    /// storage knob: the logical sample stream — and therefore every
+    /// selected seed — is identical for every value; only the arena bytes
+    /// (and thus `ApproxMemoryBytes`/cache budget spend) change.
+    RrEncoding encoding = RrEncoding::kRaw;
   };
 
   /// Builds a store over `graph` (which must outlive the store; the
@@ -96,9 +101,13 @@ class SampleStore {
   ///
   /// `source` is read under its shared lock (concurrent queries keep
   /// serving it); the repaired store continues both streams at the exact
-  /// indices `source` had committed. Fails when the kind rejects `graph`
-  /// (e.g. an update pushed an LT weight sum past 1) or the node counts
-  /// differ. `stats` (optional) receives the repair split.
+  /// indices `source` had committed. The repaired store always stores
+  /// under `source`'s arena encoding (`options.encoding` is ignored):
+  /// kept sets are carried through `RrSetView` in storage order, which
+  /// round-trips byte-identically only within one encoding. Fails when the
+  /// kind rejects `graph` (e.g. an update pushed an LT weight sum past 1)
+  /// or the node counts differ. `stats` (optional) receives the repair
+  /// split.
   static Result<std::unique_ptr<SampleStore>> CreateRepaired(
       const Graph& graph, const SampleStore& source,
       std::span<const NodeId> dirty_nodes, const Options& options,
@@ -126,6 +135,8 @@ class SampleStore {
 
   GeneratorKind generator_kind() const { return kind_; }
   NodeId num_graph_nodes() const { return num_nodes_; }
+  /// Arena encoding both streams store under (fixed at creation).
+  RrEncoding encoding() const { return options_.encoding; }
 
   /// Approximate heap footprint of both collections.
   std::uint64_t ApproxMemoryBytes() const SUBSIM_EXCLUDES(mu_);
@@ -179,8 +190,8 @@ class SampleStore {
     /// `next_index` always equals `collection.num_sets()`.
     RngStream rng;
 
-    Stream(NodeId num_nodes, RngStream stream)
-        : collection(num_nodes), rng(stream) {}
+    Stream(NodeId num_nodes, RrEncoding encoding, RngStream stream)
+        : collection(num_nodes, encoding), rng(stream) {}
   };
 
   SampleStore(const Graph& graph, GeneratorKind kind,

@@ -55,8 +55,26 @@ ImOptions SelectSeedsQuery::ToImOptions() const {
   options.delta = delta;
   options.rng_seed = rng_seed;
   options.generator = generator;
+  options.rr_encoding = rr_encoding;
+  options.approx_coverage = approx_coverage;
   return options;
 }
+
+namespace {
+
+bool ParseBoolValue(std::string_view value, bool* out) {
+  if (value == "1" || value == "true" || value == "yes") {
+    *out = true;
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<SelectSeedsQuery> ParseSelectSeedsQuery(std::string_view line) {
   SelectSeedsQuery query;
@@ -107,6 +125,17 @@ Result<SelectSeedsQuery> ParseSelectSeedsQuery(std::string_view line) {
         return kind.status();
       }
       query.generator = *kind;
+    } else if (key == "rr_encoding" || key == "encoding") {
+      Result<RrEncoding> encoding = ParseRrEncoding(std::string(value));
+      if (!encoding.ok()) {
+        return encoding.status();
+      }
+      query.rr_encoding = *encoding;
+    } else if (key == "approx_coverage" || key == "approx") {
+      if (!ParseBoolValue(value, &query.approx_coverage)) {
+        return Status::InvalidArgument(
+            "approx_coverage must be 0/1/true/false");
+      }
     } else {
       return Status::InvalidArgument("unknown query key '" +
                                      std::string(key) + "'");
@@ -125,6 +154,16 @@ std::string FormatQueryResponseJson(const QueryResponse& response) {
   out += ",\"graph\":\"" + JsonEscape(response.query.graph) + "\"";
   out += ",\"algo\":\"" + JsonEscape(response.query.algo) + "\"";
   out += ",\"k\":" + std::to_string(response.query.k);
+  // Echo the storage/evaluation knobs only when they deviate from the
+  // defaults, keeping the common response line unchanged.
+  if (response.query.rr_encoding != RrEncoding::kRaw) {
+    out += ",\"rr_encoding\":\"";
+    out += RrEncodingName(response.query.rr_encoding);
+    out += "\"";
+  }
+  if (response.query.approx_coverage) {
+    out += ",\"approx_coverage\":true";
+  }
   if (!response.status.ok()) {
     out += ",\"error\":\"" + JsonEscape(response.status.ToString()) + "\"}";
     return out;

@@ -20,7 +20,8 @@ namespace subsim {
 ///
 /// `graph` is required; everything else has the defaults below. Accepted
 /// keys: graph, algo, k, eps (or epsilon), delta, seed, generator,
-/// deadline_ms (or deadline).
+/// deadline_ms (or deadline), rr_encoding (or encoding), approx_coverage
+/// (or approx).
 struct SelectSeedsQuery {
   std::string graph;
   std::string algo = "opim-c";
@@ -29,6 +30,15 @@ struct SelectSeedsQuery {
   double delta = 0.0;  // 0 = 1/n
   std::uint64_t rng_seed = 1;
   GeneratorKind generator = GeneratorKind::kSubsimIc;
+  /// Arena storage encoding for this query's RR sets ("raw" | "delta").
+  /// Part of the sketch-cache key (raw and delta stores are both exact but
+  /// not byte-interchangeable); the selected seeds are identical either
+  /// way — delta just spends less cache budget (docs/memory.md).
+  RrEncoding rr_encoding = RrEncoding::kRaw;
+  /// Sketch-guided greedy ("approx_coverage=1"): HLL-estimated marginals
+  /// with error-adaptive exact refinement. NOT part of the sketch-cache
+  /// key — it changes how stored sets are *evaluated*, never their bytes.
+  bool approx_coverage = false;
   /// Wall-clock budget in milliseconds; 0 = unbounded. The budget covers
   /// queueing *and* execution: time spent queued is subtracted before the
   /// algorithm starts, an exhausted budget before any work is shed

@@ -413,6 +413,10 @@ QueryResponse QueryEngine::ExecuteInternal(const SelectSeedsQuery& query,
   key.algo = query.algo;
   key.generator = query.generator;
   key.rng_seed = query.rng_seed;
+  // Raw and delta stores hold identical logical sets, but an entry's
+  // encoding is fixed at creation — keying on it keeps each request's
+  // byte-budget behavior what it asked for instead of transcoding.
+  key.encoding = query.rr_encoding;
   Result<RrSketchCache::Lookup> lookup = cache_.GetOrCreate(
       key, snapshot->graph, [&](const Graph& target) {
         return (*algorithm)->MakeSampleStore(target, options);

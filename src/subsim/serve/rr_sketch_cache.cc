@@ -7,7 +7,8 @@ namespace subsim {
 
 std::string SketchKey::ToString() const {
   return graph + "@v" + std::to_string(graph_version) + "/" + algo + "/" +
-         GeneratorKindName(generator) + "/seed=" + std::to_string(rng_seed);
+         GeneratorKindName(generator) + "/seed=" + std::to_string(rng_seed) +
+         "/" + RrEncodingName(encoding);
 }
 
 void RrSketchCache::AddSlotLocked(const SketchKey& key,

@@ -33,27 +33,36 @@ namespace subsim {
 ///             for R1/R2, IMM uses stream 1 alone) and mixing lineages
 ///             would break the cold-equivalence guarantee;
 ///  - `generator`: the RR-set generation strategy (vanilla / subsim / lt);
-///  - `rng_seed`: the master seed the stream seeds derive from.
+///  - `rng_seed`: the master seed the stream seeds derive from;
+///  - `encoding`: the arena storage encoding. Raw and delta stores hold
+///             the same logical sets (either serves any query exactly),
+///             but a store's encoding is fixed at creation, so queries
+///             asking for different encodings get distinct entries rather
+///             than transcoding in place.
 ///
 /// The generation thread count is deliberately *not* part of the key:
 /// fills are thread-count invariant, so stores produced at any
-/// `num_threads` are interchangeable.
+/// `num_threads` are interchangeable. Likewise `approx_coverage` is an
+/// evaluation knob — it never changes the stored bytes — so it is not in
+/// the key either.
 struct SketchKey {
   std::string graph;
   std::uint64_t graph_version = 0;
   std::string algo;
   GeneratorKind generator = GeneratorKind::kVanillaIc;
   std::uint64_t rng_seed = 1;
+  RrEncoding encoding = RrEncoding::kRaw;
 
   friend bool operator==(const SketchKey& a, const SketchKey& b) {
     return a.graph == b.graph && a.graph_version == b.graph_version &&
            a.algo == b.algo && a.generator == b.generator &&
-           a.rng_seed == b.rng_seed;
+           a.rng_seed == b.rng_seed && a.encoding == b.encoding;
   }
   friend bool operator<(const SketchKey& a, const SketchKey& b) {
     return std::tie(a.graph, a.graph_version, a.algo, a.generator,
-                    a.rng_seed) < std::tie(b.graph, b.graph_version, b.algo,
-                                           b.generator, b.rng_seed);
+                    a.rng_seed, a.encoding) <
+           std::tie(b.graph, b.graph_version, b.algo, b.generator,
+                    b.rng_seed, b.encoding);
   }
 
   std::string ToString() const;

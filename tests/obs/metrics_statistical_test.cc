@@ -271,8 +271,8 @@ TEST(MetricsStatisticalTest, AttachingMetricsDoesNotPerturbRngStream) {
 
   ASSERT_EQ(plain_sets.num_sets(), obs_sets.num_sets());
   for (std::size_t i = 0; i < plain_sets.num_sets(); ++i) {
-    const auto a = plain_sets.Set(i);
-    const auto b = obs_sets.Set(i);
+    const auto a = plain_sets.View(static_cast<RrId>(i)).ToVector();
+    const auto b = obs_sets.View(static_cast<RrId>(i)).ToVector();
     ASSERT_EQ(a.size(), b.size()) << "set " << i;
     for (std::size_t j = 0; j < a.size(); ++j) {
       ASSERT_EQ(a[j], b[j]) << "set " << i << " pos " << j;

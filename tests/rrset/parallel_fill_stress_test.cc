@@ -59,8 +59,8 @@ void ExpectIdentical(const RrCollection& a, const RrCollection& b) {
   ASSERT_EQ(a.total_nodes(), b.total_nodes());
   ASSERT_EQ(a.num_hit_sentinel(), b.num_hit_sentinel());
   for (RrId id = 0; id < a.num_sets(); ++id) {
-    const auto sa = a.Set(id);
-    const auto sb = b.Set(id);
+    const auto sa = a.View(id).ToVector();
+    const auto sb = b.View(id).ToVector();
     ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
     for (std::size_t i = 0; i < sa.size(); ++i) {
       ASSERT_EQ(sa[i], sb[i]) << "set " << id << " pos " << i;
@@ -91,8 +91,8 @@ TEST(ParallelFillStressTest, DistinctSeedsDiverge) {
   ASSERT_EQ(a.num_sets(), b.num_sets());
   std::size_t differing = 0;
   for (RrId id = 0; id < a.num_sets(); ++id) {
-    const auto sa = a.Set(id);
-    const auto sb = b.Set(id);
+    const auto sa = a.View(id).ToVector();
+    const auto sb = b.View(id).ToVector();
     if (sa.size() != sb.size() ||
         !std::equal(sa.begin(), sa.end(), sb.begin())) {
       ++differing;

@@ -26,8 +26,8 @@ void ExpectIdentical(const RrCollection& a, const RrCollection& b) {
   ASSERT_EQ(a.num_sets(), b.num_sets());
   ASSERT_EQ(a.total_nodes(), b.total_nodes());
   for (RrId id = 0; id < a.num_sets(); ++id) {
-    const auto sa = a.Set(id);
-    const auto sb = b.Set(id);
+    const auto sa = a.View(id).ToVector();
+    const auto sb = b.View(id).ToVector();
     ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
     for (std::size_t i = 0; i < sa.size(); ++i) {
       ASSERT_EQ(sa[i], sb[i]) << "set " << id << " pos " << i;
@@ -119,8 +119,8 @@ TEST(FillCollectionTest, StreamSurvivesCollectionReset) {
   ASSERT_EQ(first.num_sets(), second.num_sets());
   bool all_equal = true;
   for (RrId id = 0; id < first.num_sets(); ++id) {
-    const auto sa = first.Set(id);
-    const auto sb = second.Set(id);
+    const auto sa = first.View(id).ToVector();
+    const auto sb = second.View(id).ToVector();
     if (sa.size() != sb.size() ||
         !std::equal(sa.begin(), sa.end(), sb.begin())) {
       all_equal = false;
@@ -178,7 +178,7 @@ TEST(FillCollectionTest, SentinelsApplyInEveryWorker) {
   ASSERT_TRUE(FillCollection(request, &collection).ok());
   EXPECT_EQ(collection.num_hit_sentinel(), 200u);
   for (RrId id = 0; id < collection.num_sets(); ++id) {
-    EXPECT_EQ(collection.Set(id).size(), 1u);  // root-only sets
+    EXPECT_EQ(collection.View(id).size(), 1u);  // root-only sets
   }
 }
 

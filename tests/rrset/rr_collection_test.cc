@@ -30,7 +30,7 @@ TEST(RrCollectionTest, AddAndRetrieve) {
   EXPECT_EQ(collection.total_nodes(), 4u);
   EXPECT_DOUBLE_EQ(collection.average_size(), 2.0);
 
-  const auto set0 = collection.Set(0);
+  const auto set0 = collection.View(0).ToVector();
   ASSERT_EQ(set0.size(), 3u);
   EXPECT_EQ(set0[0], 0u);
   EXPECT_EQ(set0[2], 4u);
@@ -60,7 +60,7 @@ TEST(RrCollectionTest, EmptySetAllowed) {
   RrCollection collection(3);
   collection.Add(std::vector<NodeId>{}, false);
   EXPECT_EQ(collection.num_sets(), 1u);
-  EXPECT_EQ(collection.Set(0).size(), 0u);
+  EXPECT_EQ(collection.View(0).size(), 0u);
 }
 
 TEST(RrCollectionTest, ClearResetsEverything) {
@@ -92,7 +92,7 @@ TEST(RrCollectionTest, ManySetsKeepOffsetsConsistent) {
   EXPECT_EQ(collection.num_sets(), 100u);
   EXPECT_EQ(collection.total_nodes(), expected_total);
   for (RrId id = 0; id < 100; ++id) {
-    EXPECT_EQ(collection.Set(id).size(), id % 5 + 1u);
+    EXPECT_EQ(collection.View(id).size(), id % 5 + 1u);
   }
 }
 
@@ -142,8 +142,8 @@ TEST(RrCollectionViewTest, PrefixViewSurvivesGrowth) {
   ASSERT_EQ(snapshot.SetsContaining(2).size(), 2u);
   EXPECT_EQ(snapshot.SetsContaining(2)[0], 0u);
   EXPECT_EQ(snapshot.SetsContaining(2)[1], 1u);
-  EXPECT_EQ(snapshot.Set(0).size(), 2u);
-  EXPECT_EQ(snapshot.Set(1)[1], 3u);
+  EXPECT_EQ(snapshot.View(0).size(), 2u);
+  EXPECT_EQ(snapshot.View(1).ToVector()[1], 3u);
 }
 
 TEST(RrCollectionViewTest, InvertedIndexConsistentAfterLargeAppends) {

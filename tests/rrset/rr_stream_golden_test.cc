@@ -47,11 +47,9 @@ std::uint64_t StreamChecksum(const RrCollection& collection) {
     }
   };
   for (RrId id = 0; id < collection.num_sets(); ++id) {
-    const auto set = collection.Set(id);
+    const RrSetView set = collection.View(id);
     mix(set.size());
-    for (NodeId v : set) {
-      mix(v);
-    }
+    set.ForEachNode([&](NodeId v) { mix(v); });
   }
   return hash;
 }

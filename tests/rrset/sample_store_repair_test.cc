@@ -100,8 +100,8 @@ void ExpectStoresIdentical(const SampleStore& a, const SampleStore& b) {
     const RrCollectionView va = read_a.View(s, a.num_sets(s));
     const RrCollectionView vb = read_b.View(s, b.num_sets(s));
     for (RrId id = 0; id < va.num_sets(); ++id) {
-      const std::span<const NodeId> sa = va.Set(id);
-      const std::span<const NodeId> sb = vb.Set(id);
+      const std::vector<NodeId> sa = va.View(id).ToVector();
+      const std::vector<NodeId> sb = vb.View(id).ToVector();
       ASSERT_TRUE(sa.size() == sb.size() &&
                   std::equal(sa.begin(), sa.end(), sb.begin()))
           << "set " << id << " differs";
@@ -195,6 +195,68 @@ TEST(SampleStoreRepairTest, DifferentialByteIdentity) {
       // per-node weight-sum invariant); IC kinds also exercise an insert.
       RunRepairCase({kind, num_threads, kind != GeneratorKind::kLt});
     }
+  }
+}
+
+TEST(SampleStoreRepairTest, EncodedStoreRepairsIdenticallyToColdRebuild) {
+  // Repair on a delta-varint source: kept sets round-trip through the
+  // encoded arena, repaired sets re-encode, and the result must equal a
+  // cold delta rebuild set for set. Also pins the inheritance rule —
+  // CreateRepaired stores under the SOURCE's encoding even when the repair
+  // options ask for raw, because kept sets are only byte-stable within one
+  // encoding.
+  const Graph base = RepairGraph(kSeed);
+  SampleStore::Options delta_options;
+  delta_options.encoding = RrEncoding::kDeltaVarint;
+
+  Result<std::unique_ptr<SampleStore>> source = SampleStore::Create(
+      base, GeneratorKind::kSubsimIc, Streams(), delta_options);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->encoding(), RrEncoding::kDeltaVarint);
+  ASSERT_TRUE((*source)->EnsureSets(0, kSetsR1).ok());
+  ASSERT_TRUE((*source)->EnsureSets(1, kSetsR2).ok());
+
+  UpdateBatch batch = ShrinkingBatch(base);
+  Result<EdgeUpdateResult> updated = ApplyEdgeUpdates(base, batch);
+  ASSERT_TRUE(updated.ok());
+
+  SampleStore::Options repair_options;
+  repair_options.encoding = RrEncoding::kRaw;  // deliberately ignored
+  SampleStore::RepairStats stats;
+  Result<std::unique_ptr<SampleStore>> repaired = SampleStore::CreateRepaired(
+      updated->graph, **source, updated->dirty_nodes, repair_options, &stats);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_EQ((*repaired)->encoding(), RrEncoding::kDeltaVarint);
+  EXPECT_GT(stats.sets_kept, 0u);
+  EXPECT_GT(stats.sets_repaired, 0u);
+
+  Result<std::unique_ptr<SampleStore>> cold = SampleStore::Create(
+      updated->graph, GeneratorKind::kSubsimIc, Streams(), delta_options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE((*cold)->EnsureSets(0, kSetsR1).ok());
+  ASSERT_TRUE((*cold)->EnsureSets(1, kSetsR2).ok());
+  ExpectStoresIdentical(**repaired, **cold);
+
+  // Growth after repair keeps decoding/encoding consistently.
+  ASSERT_TRUE((*repaired)->EnsureSets(0, kSetsR1 + 100).ok());
+  ASSERT_TRUE((*cold)->EnsureSets(0, kSetsR1 + 100).ok());
+  ExpectStoresIdentical(**repaired, **cold);
+
+  // And the encoded store holds the same logical sets as a raw rebuild:
+  // the delta view is the sorted raw set.
+  Result<std::unique_ptr<SampleStore>> raw = SampleStore::Create(
+      updated->graph, GeneratorKind::kSubsimIc, Streams(),
+      SampleStore::Options());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE((*raw)->EnsureSets(0, kSetsR1).ok());
+  const SampleStore::ReadGuard delta_read = (*repaired)->Read();
+  const SampleStore::ReadGuard raw_read = (*raw)->Read();
+  const RrCollectionView dv = delta_read.View(0, kSetsR1);
+  const RrCollectionView rv = raw_read.View(0, kSetsR1);
+  for (RrId id = 0; id < dv.num_sets(); ++id) {
+    std::vector<NodeId> expected = rv.View(id).ToVector();
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(dv.View(id).ToVector(), expected) << "set " << id;
   }
 }
 

@@ -40,8 +40,8 @@ void ExpectViewEquals(const RrCollectionView& view,
   ASSERT_EQ(view.num_sets(), expected.num_sets());
   EXPECT_EQ(view.total_nodes(), expected.total_nodes());
   for (RrId id = 0; id < view.num_sets(); ++id) {
-    const auto a = view.Set(id);
-    const auto b = expected.Set(id);
+    const auto a = view.View(id).ToVector();
+    const auto b = expected.View(id).ToVector();
     ASSERT_EQ(a.size(), b.size()) << "set " << id;
     for (std::size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i], b[i]) << "set " << id << " pos " << i;
@@ -102,8 +102,8 @@ TEST(SampleStoreTest, ParallelStoreMatchesSequentialStore) {
   ASSERT_EQ(va.num_sets(), vb.num_sets());
   EXPECT_EQ(va.total_nodes(), vb.total_nodes());
   for (RrId id = 0; id < va.num_sets(); ++id) {
-    const auto sa = va.Set(id);
-    const auto sb = vb.Set(id);
+    const auto sa = va.View(id).ToVector();
+    const auto sb = vb.View(id).ToVector();
     ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
     for (std::size_t i = 0; i < sa.size(); ++i) {
       EXPECT_EQ(sa[i], sb[i]) << "set " << id << " pos " << i;
@@ -123,12 +123,11 @@ TEST(SampleStoreTest, StreamsAreIndependent) {
   EXPECT_EQ((*store)->total_generated(), 70u);
 
   // Growing stream 1 further must not disturb stream 0's prefix.
-  const std::vector<NodeId> before(
-      (*store)->Read().View(0, 50).Set(10).begin(),
-      (*store)->Read().View(0, 50).Set(10).end());
+  const std::vector<NodeId> before =
+      (*store)->Read().View(0, 50).View(10).ToVector();
   ASSERT_TRUE((*store)->EnsureSets(1, 200).ok());
   const SampleStore::ReadGuard read = (*store)->Read();
-  const auto after = read.View(0, 50).Set(10);
+  const auto after = read.View(0, 50).View(10).ToVector();
   ASSERT_EQ(after.size(), before.size());
   for (std::size_t i = 0; i < after.size(); ++i) {
     EXPECT_EQ(after[i], before[i]);

@@ -408,6 +408,86 @@ TEST(RrSketchCacheTest, BudgetAccountingSurvivesGrowthAndErase) {
   EXPECT_EQ(cache.evictions(), 0u);
 }
 
+TEST(RrSketchCacheTest, MixedEncodingEntriesChargeEncodedBytes) {
+  // Two entries over the same graph/seed, one raw and one delta-varint:
+  // they must be distinct keys, the delta entry must charge the budget
+  // fewer bytes (it holds the same sets in a smaller arena), and a tight
+  // budget must evict by those encoded footprints — so a delta entry
+  // survives where its raw twin would not.
+  //
+  // Needs RR sets dense enough for the encoded arena to dominate the
+  // per-set metadata, so this graph uses uniform p=0.5 (sets span much
+  // of the 200-node giant component) instead of TinyGraph's WC weights.
+  const auto dense_graph = [] {
+    Result<EdgeList> list = GenerateBarabasiAlbert(200, 3, false, 4);
+    EXPECT_TRUE(list.ok());
+    WeightModelParams params;
+    params.uniform_p = 0.5;
+    EXPECT_TRUE(
+        AssignWeights(WeightModel::kUniformIc, params, &list.value()).ok());
+    Result<Graph> graph = BuildGraph(std::move(list).value());
+    EXPECT_TRUE(graph.ok());
+    return std::make_shared<const Graph>(std::move(graph).value());
+  }();
+  const auto delta_factory = [](const Graph& target) {
+    SampleStore::Options options;
+    options.encoding = RrEncoding::kDeltaVarint;
+    return SampleStore::Create(
+        target, GeneratorKind::kSubsimIc,
+        {MakeRngStream(1, 1), MakeRngStream(1, 2)}, options);
+  };
+  SketchKey raw_key = KeyFor("g", 1);
+  SketchKey delta_key = KeyFor("g", 1);
+  delta_key.encoding = RrEncoding::kDeltaVarint;
+  EXPECT_FALSE(raw_key == delta_key);
+  EXPECT_NE(raw_key.ToString(), delta_key.ToString());
+
+  RrSketchCache::Options roomy;
+  roomy.max_bytes = 512ull << 20;
+  RrSketchCache cache(roomy);
+  const auto& graph = dense_graph;
+  const auto raw = cache.GetOrCreate(raw_key, graph, SequentialFactory(1));
+  const auto delta = cache.GetOrCreate(delta_key, graph, delta_factory);
+  ASSERT_TRUE(raw.ok() && delta.ok());
+  EXPECT_EQ(cache.num_entries(), 2u);
+  ASSERT_TRUE(raw->entry->store->EnsureSets(0, 2048).ok());
+  ASSERT_TRUE(delta->entry->store->EnsureSets(0, 2048).ok());
+
+  const std::uint64_t raw_bytes = raw->entry->store->ApproxMemoryBytes();
+  const std::uint64_t delta_bytes = delta->entry->store->ApproxMemoryBytes();
+  EXPECT_LT(delta_bytes, raw_bytes)
+      << "the budget must see the encoded arena, not a raw-equivalent size";
+  cache.EnforceBudget();
+  EXPECT_EQ(cache.num_entries(), 2u) << "roomy budget evicts nothing";
+
+  // Budget that fits the delta entry but not raw + delta. Recreate both
+  // (delta touched last → raw is the LRU victim); after enforcement only
+  // the delta entry remains and the cache is within budget.
+  RrSketchCache::Options tight;
+  tight.max_bytes = raw_bytes + delta_bytes / 2;
+  RrSketchCache tight_cache(tight);
+  const auto traw =
+      tight_cache.GetOrCreate(raw_key, graph, SequentialFactory(1));
+  const auto tdelta = tight_cache.GetOrCreate(delta_key, graph, delta_factory);
+  ASSERT_TRUE(traw.ok() && tdelta.ok());
+  ASSERT_TRUE(traw->entry->store->EnsureSets(0, 2048).ok());
+  ASSERT_TRUE(tdelta->entry->store->EnsureSets(0, 2048).ok());
+  ASSERT_TRUE(tight_cache.GetOrCreate(delta_key, graph, delta_factory).ok());
+  tight_cache.EnforceBudget();
+  EXPECT_EQ(tight_cache.num_entries(), 1u);
+  EXPECT_LE(tight_cache.ApproxMemoryBytes(), tight.max_bytes);
+  const auto survivor =
+      tight_cache.GetOrCreate(delta_key, graph, delta_factory);
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_TRUE(survivor->hit) << "the smaller, fresher delta entry survives";
+
+  // Both stores hold the same logical sample stream.
+  EXPECT_EQ(raw->entry->store->num_sets(0),
+            delta->entry->store->num_sets(0));
+  EXPECT_EQ(raw->entry->store->encoding(), RrEncoding::kRaw);
+  EXPECT_EQ(delta->entry->store->encoding(), RrEncoding::kDeltaVarint);
+}
+
 TEST(SketchKeyTest, OrderingAndEquality) {
   const SketchKey a = KeyFor("a", 1);
   SketchKey b = KeyFor("a", 1);

@@ -1,0 +1,18 @@
+// ANALYZE-AS: src/subsim/rrset/internal_example.cc
+// Fixture: inside src/subsim/rrset/ the implementation layer is allowed
+// to reach into its own arena — the encoding is its to know. No findings.
+
+namespace subsim {
+
+using NodeId = unsigned;
+
+class RrCollection {
+ public:
+  const NodeId* Set(unsigned id) const;
+};
+
+NodeId ImplementationDetail(const RrCollection& collection) {
+  return collection.Set(0)[0];
+}
+
+}  // namespace subsim

@@ -1,0 +1,27 @@
+// Fixture: direct span access into an RR collection outside the rrset
+// layer. The arena may be delta-varint encoded, so there is no contiguous
+// NodeId span to hand out — consumers go through View(id) and the
+// RrSetView cursor. Never compiled — linted only by --self-test.
+#include "subsim/rrset/rr_collection.h"
+
+namespace subsim {
+
+NodeId FirstNodeTheOldWay(const RrCollection& collection) {
+  return collection.Set(0)[0];  // LINT-EXPECT: rr-span-access
+}
+
+NodeId FirstNodeFromAView(const RrCollectionView& snapshot) {
+  return snapshot.Set(0).front();  // LINT-EXPECT: rr-span-access
+}
+
+void UnrelatedSetMethodsStayClean(Gauge gauge, BitVector* covered) {
+  gauge.Set(1.0);      // a metrics gauge, not an RR collection
+  covered->Set(42);    // a bitmap, not an RR collection
+}
+
+NodeId SuppressedWithAReason(const RrCollection& collection) {
+  // SUBSIM-NOLINT-NEXTLINE(rr-span-access): fixture shows a reasoned suppression passes
+  return collection.Set(0)[0];
+}
+
+}  // namespace subsim

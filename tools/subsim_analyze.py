@@ -64,6 +64,14 @@ Rules (shared suppression vocabulary with subsim_lint.py:
                        different results on libc++ vs libstdc++. (This rule
                        found a real bug: GenerateBarabasiAlbert emitted
                        attachment targets in unordered_set order.)
+  rr-span-access       `.Set(` on an RrCollection / RrCollectionView handle
+                       outside src/subsim/rrset/. The arena may be
+                       delta-varint encoded, so no contiguous NodeId span
+                       exists; consumers iterate through View(id) and the
+                       RrSetView cursor (ForEachNode / Decode). The text
+                       engine tracks names declared with an RR-collection
+                       type; the ast engine resolves the callee's class, so
+                       Gauge::Set / BitVector::Set never false-positive.
   nolint-needs-reason  A suppression of any rule above must carry a reason.
 
 Usage:
@@ -121,6 +129,7 @@ UNORDERED_ITER_FORBIDDEN = (
     "src/subsim/random/",
     "src/subsim/graph/",
 )
+RR_SPAN_ALLOWED = ("src/subsim/rrset/",)
 
 ALL_RULES = (
     "raw-random",
@@ -130,6 +139,7 @@ ALL_RULES = (
     "raw-socket",
     "status-discarded",
     "unordered-iteration",
+    "rr-span-access",
     "nolint-needs-reason",
 )
 
@@ -206,6 +216,14 @@ SOCKET_CALL_RE = re.compile(
 
 UNORDERED_TYPE_RE = re.compile(
     r"\bstd\s*::\s*unordered_(?:set|map|multiset|multimap)\s*<")
+
+# rr-span-access (text engine): names declared with an RR-collection type;
+# `.Set(` is only flagged on those, so other Set() methods never match. The
+# ast engine resolves the callee's semantic parent class instead.
+RR_HANDLE_DECL_RE = re.compile(
+    r"\bRrCollection(?:View)?\s*[&*]?\s+(?P<name>\w+)\b")
+RR_SET_CALL_RE = re.compile(r"\b(?P<name>\w+)\s*(?:\.|->)\s*Set\s*\(")
+RR_COLLECTION_CLASSES = {"RrCollection", "RrCollectionView"}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -487,6 +505,17 @@ def text_engine_findings(
                             "layer; hash iteration order is implementation-"
                             "defined — copy to a sorted vector (or use an "
                             "ordered container) before consuming"))
+
+    if not path_matches(vpath, RR_SPAN_ALLOWED):
+        rr_handles = {m.group("name")
+                      for m in RR_HANDLE_DECL_RE.finditer(code)}
+        for m in RR_SET_CALL_RE.finditer(code):
+            if m.group("name") in rr_handles:
+                out.append((line_of(code, m.start()), "rr-span-access",
+                            f"'{m.group('name')}.Set(' reaches into the RR "
+                            "arena, which may be delta-varint encoded; "
+                            "iterate via View(id) and "
+                            "RrSetView::ForEachNode/Decode"))
     return out
 
 
@@ -633,6 +662,18 @@ def ast_engine_findings(
                             "BatchRrKernel::GenerateChunk is the fill's "
                             "internal engine; generate samples through "
                             "FillCollection(FillRequest)"))
+
+        if (kind == K.CALL_EXPR and cursor.spelling == "Set"
+                and not path_matches(vpath, RR_SPAN_ALLOWED)):
+            ref = cursor.referenced
+            owner = (ref.semantic_parent.spelling
+                     if ref is not None and ref.semantic_parent else "")
+            if owner in RR_COLLECTION_CLASSES:
+                out.append((line, "rr-span-access",
+                            f"{owner}::Set reaches into the RR arena, "
+                            "which may be delta-varint encoded; iterate "
+                            "via View(id) and "
+                            "RrSetView::ForEachNode/Decode"))
 
         if kind == K.CXX_FOR_RANGE_STMT and path_matches(
                 vpath, UNORDERED_ITER_FORBIDDEN):

@@ -11,6 +11,7 @@
 //   run       --in=FILE --algo=imm|opim-c|ssa|hist|celf-mc [--k=K]
 //             [--eps=E] [--generator=vanilla|subsim|lt] [--seed=S]
 //             [--threads=N] [--kernel=auto|scalar|batched]
+//             [--rr-encoding=raw|delta] [--approx-coverage]
 //             [--evaluate[=SIMS]] [--metrics-json=FILE]
 //   calibrate --in=FILE --model=wc-variant|uniform --target=AVG [--seed=S]
 //   batch     --graph=NAME=FILE [--graph=...] [--in=QUERIES|-]
@@ -67,6 +68,7 @@
 #include "subsim/obs/obs_json.h"
 #include "subsim/obs/phase_tracer.h"
 #include "subsim/rrset/parallel_fill.h"
+#include "subsim/rrset/rr_encoding.h"
 #include "subsim/serve/graph_registry.h"
 #include "subsim/serve/query.h"
 #include "subsim/serve/query_engine.h"
@@ -284,6 +286,12 @@ int CmdRun(const Flags& flags) {
   if (!kernel.ok()) {
     return Fail(kernel.status());
   }
+  // Storage encoding never changes the selected seeds either — delta just
+  // shrinks the resident arena (docs/memory.md).
+  const auto encoding = ParseRrEncoding(flags.Get("rr-encoding", "raw"));
+  if (!encoding.ok()) {
+    return Fail(encoding.status());
+  }
   ImOptions options;
   const auto k = flags.GetUint("k", 50);
   const auto eps = flags.GetDouble("eps", 0.1);
@@ -303,6 +311,8 @@ int CmdRun(const Flags& flags) {
   options.generator = *generator;
   options.num_threads = static_cast<unsigned>(*threads);
   options.fill_kernel = *kernel;
+  options.rr_encoding = *encoding;
+  options.approx_coverage = flags.Has("approx-coverage");
 
   // Observability is opt-in: without --metrics-json the run carries no
   // registry and the instrumentation handles stay no-ops.

@@ -40,6 +40,13 @@ repository's architecture:
                        substreams keep results thread-count invariant;
                        ad-hoc forked streams would silently break that
                        contract.
+  rr-span-access       No direct `.Set(` span access on RrCollection /
+                       RrCollectionView handles outside src/subsim/rrset/.
+                       The arena may be delta-varint encoded, so there is
+                       no contiguous NodeId span to hand out; consumers
+                       iterate through View(id) and the RrSetView cursor
+                       (ForEachNode / Decode), which works for every
+                       encoding.
   nolint-needs-reason  A subsim NOLINT suppression must carry a reason:
                        `// SUBSIM-NOLINT(<rule>): <why>`.
 
@@ -78,6 +85,7 @@ FILL_ENTRY_ALLOWED = (
     "src/subsim/rrset/",
     "tests/random/",
 )
+RR_SPAN_ALLOWED = ("src/subsim/rrset/",)
 IOSTREAM_ALLOWED = ("util/logging.h", "util/logging.cc", "util/check.h")
 
 # Inverse of the lists above: ad-hoc-timer fires only *inside* these paths
@@ -159,6 +167,12 @@ AD_HOC_TIMER_RE = re.compile(r"\bWallTimer\b")
 FILL_ENTRY_RE = re.compile(
     r"\bParallelFill\s*\(|\bParallelFillOptions\b|(?:\.|->|::)\s*Fork\s*\("
     r"|\bBatchRrKernel\b|\bGenerateChunk\s*\(")
+# Variables (locals, params, members) declared with an RR-collection type.
+# `.Set(` is only flagged on these names, so Gauge::Set / BitVector::Set
+# style calls elsewhere in the file never false-positive.
+RR_HANDLE_DECL_RE = re.compile(
+    r"\bRrCollection(?:View)?\s*[&*]?\s+(?P<name>\w+)\b")
+RR_SET_CALL_RE = re.compile(r"\b(?P<name>\w+)\s*(?:\.|->)\s*Set\s*\(")
 
 ALL_RULES = (
     "status-discarded",
@@ -168,6 +182,7 @@ ALL_RULES = (
     "iostream-logging",
     "ad-hoc-timer",
     "fill-entry-point",
+    "rr-span-access",
     "nolint-needs-reason",
 )
 
@@ -363,6 +378,20 @@ def lint_file(
                    "bulk RR generation must go through FillCollection"
                    "(FillRequest); direct ParallelFill/Rng::Fork use breaks"
                    " the thread-count-invariance contract")
+
+    # Rule: rr-span-access. Only names declared with an RR-collection type
+    # in this file are checked, so unrelated Set() methods stay clean.
+    if not allowed(path, RR_SPAN_ALLOWED):
+        rr_handles = {m.group("name")
+                      for m in RR_HANDLE_DECL_RE.finditer(code)}
+        if rr_handles:
+            for m in RR_SET_CALL_RE.finditer(code):
+                if m.group("name") in rr_handles:
+                    report(line_of(code, m.start()), "rr-span-access",
+                           "direct RR-set span access is forbidden outside"
+                           " src/subsim/rrset/ (the arena may be"
+                           " delta-varint encoded); iterate via View(id)"
+                           " and RrSetView::ForEachNode/Decode")
 
     # Rule: status-discarded.
     for offset, stmt in iter_statements(code):
